@@ -1,0 +1,107 @@
+// Domain example: a join-order advisor driven by pessimistic bounds.
+//
+// For a JOB-style star query, ranks left-deep join orders by the ℓp-norm
+// bound on each prefix (instead of error-prone traditional estimates) and
+// reports the actual intermediate sizes of the chosen vs the naive plan —
+// the paper's motivating application (Sec 1: optimizers pick plans by
+// intermediate-size estimates, and underestimates cause bad plans).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "bounds/normal_engine.h"
+#include "datagen/job_gen.h"
+#include "estimator/traditional.h"
+#include "exec/hash_join.h"
+#include "stats/collector.h"
+
+using namespace lpb;
+
+namespace {
+
+// Bound for the sub-query formed by a prefix of atoms.
+double PrefixBoundLog2(const Query& q, const Catalog& db,
+                       const std::vector<int>& prefix) {
+  Query sub("prefix");
+  for (int a : prefix) {
+    std::vector<std::string> names;
+    for (int v : q.atom(a).vars) names.push_back(q.var_name(v));
+    sub.AddAtom(q.atom(a).relation, names);
+  }
+  CollectorOptions opt;
+  opt.norms = {1.0, 2.0, 3.0, kInfNorm};
+  auto stats = CollectStatistics(sub, db, opt);
+  auto bound = LpNormBound(sub.num_vars(), stats);
+  return bound.log2_bound;
+}
+
+}  // namespace
+
+int main() {
+  JobWorkloadOptions jopt;
+  jopt.scale = 0.15;
+  JobWorkload wl = GenerateJobWorkload(jopt);
+  const Query& q = wl.queries[8];  // q9: cast_info ⋈ movie_companies ⋈ ...
+  std::printf("query %s: %s\n\n", q.name().c_str(), q.ToString().c_str());
+
+  // Greedy bound-driven order: start from the atom with the smallest
+  // relation; repeatedly append the connected atom minimizing the prefix
+  // bound.
+  std::vector<int> remaining(q.num_atoms());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<int> order;
+  int first = 0;
+  for (int a : remaining) {
+    if (wl.catalog.Get(q.atom(a).relation).NumRows() <
+        wl.catalog.Get(q.atom(first).relation).NumRows()) {
+      first = a;
+    }
+  }
+  order.push_back(first);
+  remaining.erase(std::find(remaining.begin(), remaining.end(), first));
+  while (!remaining.empty()) {
+    int best = -1;
+    double best_bound = 0.0;
+    VarSet covered = 0;
+    for (int a : order) covered |= q.atom(a).var_set();
+    for (int a : remaining) {
+      if (!Intersects(q.atom(a).var_set(), covered) && remaining.size() > 1) {
+        continue;  // keep the plan connected while possible
+      }
+      std::vector<int> prefix = order;
+      prefix.push_back(a);
+      const double b = PrefixBoundLog2(q, wl.catalog, prefix);
+      if (best < 0 || b < best_bound) {
+        best = a;
+        best_bound = b;
+      }
+    }
+    if (best < 0) best = remaining.front();
+    order.push_back(best);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+
+  std::printf("bound-driven order: ");
+  for (int a : order) std::printf("%s ", q.atom(a).relation.c_str());
+  std::printf("\n");
+
+  HashJoinStats advised = CountByHashJoin(q, wl.catalog, order);
+  HashJoinStats naive = CountByHashJoin(q, wl.catalog);
+  auto peak = [](const HashJoinStats& s) {
+    uint64_t m = 0;
+    for (uint64_t v : s.intermediate_sizes) m = std::max(m, v);
+    return m;
+  };
+  std::printf("output size: %llu (both plans agree: %s)\n",
+              static_cast<unsigned long long>(advised.output_count),
+              advised.output_count == naive.output_count ? "yes" : "NO");
+  std::printf("peak intermediate, bound-driven plan: %llu\n",
+              static_cast<unsigned long long>(peak(advised)));
+  std::printf("peak intermediate, textual-order plan: %llu\n",
+              static_cast<unsigned long long>(peak(naive)));
+  std::printf("traditional estimate of the output: %.0f (truth %llu)\n",
+              TraditionalEstimate(q, wl.catalog),
+              static_cast<unsigned long long>(advised.output_count));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The polymatroid bound engine (Contributions 1 & 4 of the paper).
+//
+// Computes Log-L-Bound_Γn(Σ, b) = max { h(X) : h ∈ Γn, h |= (Σ, b) }
+// (Eq. (36)), which by Theorem 5.2 equals Log-U-Bound_Γn — the best upper
+// bound on log2 |Q(D)| derivable from Shannon inequalities and the given
+// ℓp-norm statistics (Theorem 1.1). The LP has one variable per nonempty
+// subset of query variables; Shannon constraints are either fully
+// materialized (small n) or generated lazily by a cutting-plane loop that
+// adds the most violated elemental inequalities until the optimum is
+// Shannon-feasible.
+#ifndef LPB_BOUNDS_ENGINE_H_
+#define LPB_BOUNDS_ENGINE_H_
+
+#include <vector>
+
+#include "entropy/set_function.h"
+#include "lp/simplex.h"
+#include "stats/statistic.h"
+
+namespace lpb {
+
+struct EngineOptions {
+  // Materialize every elemental inequality when n <= this; otherwise run
+  // the cutting-plane loop. NOTE: the dense-tableau simplex grinds on the
+  // extremely degenerate relaxations the cutting plane produces beyond
+  // n ≈ 7, so the cutting-plane mode is best treated as experimental for
+  // larger n; every workload in the paper either fits the full lattice
+  // (n <= 8, arbitrary statistics) or uses simple statistics, where the
+  // normal-polymatroid engine is exact (Theorem 6.1) and fast to n = 20.
+  int full_lattice_max_n = 8;
+  int max_cut_rounds = 500;
+  int cuts_per_round = 256;
+  double feasibility_eps = 1e-7;
+};
+
+struct BoundResult {
+  // True if the LP solved; false on solver failure (see status).
+  LpStatus status = LpStatus::kIterationLimit;
+  // log2 of the output-size bound; +infinity when the statistics do not
+  // bound the query at all (LP unbounded).
+  double log2_bound = 0.0;
+  // Dual weight w_i per input statistic: the coefficients of the witness
+  // Σ-inequality (8) certifying the bound; Σ_i w_i log_b_i == log2_bound.
+  std::vector<double> weights;
+  // The optimal polymatroid h* (lower-bound witness of Theorem 5.2).
+  SetFunction h_opt;
+  int cut_rounds = 0;
+  int lp_iterations = 0;
+
+  bool ok() const { return status == LpStatus::kOptimal; }
+  bool unbounded() const { return status == LpStatus::kUnbounded; }
+};
+
+// Computes the polymatroid bound over n query variables from the given
+// concrete statistics (each statistic contributes the constraint
+// (1/p)h(U) + h(V|U) <= log_b, Lemma 4.1).
+BoundResult PolymatroidBound(int n, const std::vector<ConcreteStatistic>& stats,
+                             const EngineOptions& options = {});
+
+// Filters for the classic special cases:
+//   AGM ({1}): only cardinality assertions (p == 1, U == ∅);
+//   PANDA ({1,∞}): only p ∈ {1, ∞} statistics.
+std::vector<ConcreteStatistic> FilterAgmStatistics(
+    const std::vector<ConcreteStatistic>& stats);
+std::vector<ConcreteStatistic> FilterPandaStatistics(
+    const std::vector<ConcreteStatistic>& stats);
+
+}  // namespace lpb
+
+#endif  // LPB_BOUNDS_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "bounds/formulas.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpb {
+
+double TriangleAgmLog2(double log_r, double log_s, double log_t) {
+  return 0.5 * (log_r + log_s + log_t);
+}
+
+double TrianglePandaLog2(double log_r, double log_inf_s_zy) {
+  return log_r + log_inf_s_zy;
+}
+
+double TriangleL2Log2(double log2_r_yx, double log2_s_zy, double log2_t_xz) {
+  return (2.0 / 3.0) * (log2_r_yx + log2_s_zy + log2_t_xz);
+}
+
+double TriangleL3Log2(double log3_r_yx, double log3_s_yz, double log_t) {
+  return (3.0 * log3_r_yx + 3.0 * log3_s_yz + 5.0 * log_t) / 6.0;
+}
+
+double JoinPandaLog2(double log_r, double log_s, double log_inf_r_xy,
+                     double log_inf_s_zy) {
+  return std::min(log_s + log_inf_r_xy, log_r + log_inf_s_zy);
+}
+
+double JoinL2Log2(double log2_r_xy, double log2_s_zy) {
+  return log2_r_xy + log2_s_zy;
+}
+
+double JoinHolderLog2(double logp_r_xy, double logq_s_zy, double log_m,
+                      double p, double q) {
+  assert(1.0 / p + 1.0 / q <= 1.0 + 1e-12);
+  return logp_r_xy + logq_s_zy + (1.0 - 1.0 / p - 1.0 / q) * log_m;
+}
+
+double JoinEq19Log2(double logp_r_xy, double logq_s_zy, double log_s,
+                    double p, double q) {
+  assert(1.0 / p + 1.0 / q <= 1.0 + 1e-12);
+  const double e = q / (p * (q - 1.0));
+  assert(e <= 1.0 + 1e-12);
+  return logp_r_xy + e * logq_s_zy + (1.0 - e) * log_s;
+}
+
+double ChainLog2(double log_r1, double log2_r2_back, double last_logp,
+                 const std::vector<double>& mid_logp1, double p) {
+  assert(p >= 2.0);
+  double acc = (p - 2.0) * log_r1 + 2.0 * log2_r2_back + p * last_logp;
+  for (double v : mid_logp1) acc += (p - 1.0) * v;
+  return acc / p;
+}
+
+double CycleLog2(const std::vector<double>& logq_per_atom, double q) {
+  double acc = 0.0;
+  for (double v : logq_per_atom) acc += v;
+  return acc * q / (q + 1.0);
+}
+
+double CycleAgmLog2(double log_r, int k) { return 0.5 * k * log_r; }
+
+double CyclePandaLog2(double log_r, double log_inf, int k) {
+  return log_r + (k - 2) * log_inf;
+}
+
+double LoomisWhitney4Log2(double log2_a, double log_b, double log2_c,
+                          double log_d) {
+  return (2.0 * log2_a + log_b + 2.0 * log2_c + log_d) / 4.0;
+}
+
+}  // namespace lpb

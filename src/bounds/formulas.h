@@ -1,0 +1,74 @@
+// Closed-form ℓp bounds derived by hand in the paper, all in log2 domain.
+//
+// Each function takes measured log2-norms (log2 ||deg||_p, log2 |R|, ...)
+// and returns log2 of the corresponding output-size bound. They serve as
+// independent cross-checks of the LP engines (the engine optimum must never
+// exceed any of these) and as the formulas quoted in the experiment tables.
+#ifndef LPB_BOUNDS_FORMULAS_H_
+#define LPB_BOUNDS_FORMULAS_H_
+
+#include <vector>
+
+namespace lpb {
+
+// --- Triangle query Q(X,Y,Z) = R(X,Y) ∧ S(Y,Z) ∧ T(Z,X) ------------------
+
+// AGM bound (2): (|R| |S| |T|)^{1/2}.
+double TriangleAgmLog2(double log_r, double log_s, double log_t);
+
+// PANDA bound (3): |R| · ||deg_S(Z|Y)||_∞.
+double TrianglePandaLog2(double log_r, double log_inf_s_zy);
+
+// ℓ2 bound (4): ( Π ||deg||_2^2 )^{1/3}.
+double TriangleL2Log2(double log2_r_yx, double log2_s_zy, double log2_t_xz);
+
+// ℓ3/ℓ1 bound (5): ( ||deg_R(Y|X)||_3^3 ||deg_S(Y|Z)||_3^3 |T|^5 )^{1/6}.
+double TriangleL3Log2(double log3_r_yx, double log3_s_yz, double log_t);
+
+// --- Single join Q(X,Y,Z) = R(X,Y) ∧ S(Y,Z) ------------------------------
+
+// PANDA bound (17): min(|S|·||deg_R(X|Y)||_∞, |R|·||deg_S(Z|Y)||_∞).
+double JoinPandaLog2(double log_r, double log_s, double log_inf_r_xy,
+                     double log_inf_s_zy);
+
+// Cauchy-Schwarz / ℓ2 bound (18): ||deg_R(X|Y)||_2 · ||deg_S(Z|Y)||_2.
+double JoinL2Log2(double log2_r_xy, double log2_s_zy);
+
+// Hölder bound (48): ||deg_R(X|Y)||_p ||deg_S(Z|Y)||_q M^{1-1/p-1/q},
+// M = min(|Π_Y R|, |Π_Y S|); requires 1/p + 1/q <= 1.
+double JoinHolderLog2(double logp_r_xy, double logq_s_zy, double log_m,
+                      double p, double q);
+
+// Bound (19): ||deg_R(X|Y)||_p · ||deg_S(Z|Y)||_q^{q/(p(q-1))}
+//             · |S|^{1 - q/(p(q-1))}; requires 1/p + 1/q <= 1.
+double JoinEq19Log2(double logp_r_xy, double logq_s_zy, double log_s,
+                    double p, double q);
+
+// --- Chain query Q = R_1(X1,X2) ∧ ... ∧ R_{n-1}(X_{n-1},X_n) --------------
+
+// Bound from inequality (20), any real p >= 2:
+//   |Q|^p <= |R_1|^{p-2} · ||deg_{R_2}(X1|X2)||_2^2
+//            · Π_{i=2..n-2} ||deg_{R_i}(X_{i+1}|X_i)||_{p-1}^{p-1}
+//            · ||deg_{R_{n-1}}(X_n|X_{n-1})||_p^p.
+// `mid_logp1` holds log2||deg_{R_i}(X_{i+1}|X_i)||_{p-1} for i = 2..n-2.
+double ChainLog2(double log_r1, double log2_r2_back, double last_logp,
+                 const std::vector<double>& mid_logp1, double p);
+
+// --- Cycle query of length k: Q = R_0(X0,X1) ∧ ... ∧ R_{k-1}(X_{k-1},X0) --
+
+// Bound (21): |Q| <= Π_i ||deg_{R_i}(X_{i+1 mod k}|X_i)||_q^{q/(q+1)}.
+double CycleLog2(const std::vector<double>& logq_per_atom, double q);
+
+// Cycle AGM / PANDA baselines (52) for identical relations:
+//   AGM: |R|^{k/2};  PANDA: |R| · ||deg_R(Y|X)||_∞^{k-2}.
+double CycleAgmLog2(double log_r, int k);
+double CyclePandaLog2(double log_r, double log_inf, int k);
+
+// --- Loomis-Whitney n=4 (App. C.6) ----------------------------------------
+// |Q|^4 <= ||deg_A(YZ|X)||_2^2 · |B| · ||deg_C(WX|Z)||_2^2 · |D|.
+double LoomisWhitney4Log2(double log2_a, double log_b, double log2_c,
+                          double log_d);
+
+}  // namespace lpb
+
+#endif  // LPB_BOUNDS_FORMULAS_H_

@@ -1,0 +1,106 @@
+#include "bounds/newton.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <functional>
+
+namespace lpb {
+
+std::vector<double> PowerSums(const DegreeSequence& d, int m) {
+  std::vector<double> sums(m, 0.0);
+  for (int p = 1; p <= m; ++p) {
+    long double acc = 0.0;
+    for (uint64_t deg : d.degrees()) {
+      acc += powl(static_cast<long double>(deg), p);
+    }
+    sums[p - 1] = static_cast<double>(acc);
+  }
+  return sums;
+}
+
+std::vector<double> ElementarySymmetric(const std::vector<double>& s) {
+  const int m = static_cast<int>(s.size());
+  std::vector<long double> e(m + 1, 0.0);
+  e[0] = 1.0;
+  for (int k = 1; k <= m; ++k) {
+    long double acc = 0.0;
+    for (int p = 1; p <= k; ++p) {
+      const long double term = e[k - p] * static_cast<long double>(s[p - 1]);
+      acc += (p % 2 == 1) ? term : -term;
+    }
+    e[k] = acc / k;
+  }
+  return std::vector<double>(e.begin() + 1, e.end());
+}
+
+std::vector<double> DegreesFromPowerSums(const std::vector<double>& power_sums,
+                                         bool round_to_integers,
+                                         int max_iterations) {
+  const int m = static_cast<int>(power_sums.size());
+  if (m == 0) return {};
+  std::vector<double> e = ElementarySymmetric(power_sums);
+
+  // Monic polynomial coefficients: λ^m - e1 λ^{m-1} + ... + (-1)^m e_m.
+  // coef[k] multiplies λ^{m-1-k} below (leading 1 handled separately).
+  std::vector<std::complex<long double>> coef(m);
+  for (int k = 1; k <= m; ++k) {
+    coef[k - 1] = (k % 2 == 1) ? -static_cast<long double>(e[k - 1])
+                               : static_cast<long double>(e[k - 1]);
+  }
+  auto eval = [&](std::complex<long double> x) {
+    std::complex<long double> acc = 1.0;
+    for (int k = 0; k < m; ++k) acc = acc * x + coef[k];
+    return acc;
+  };
+
+  // Durand-Kerner from a scaled non-real starting configuration.
+  const long double radius =
+      std::max<long double>(1.0, powl(power_sums[m - 1], 1.0L / m));
+  std::vector<std::complex<long double>> roots(m);
+  for (int i = 0; i < m; ++i) {
+    const long double angle = 0.4L + 2.0L * M_PIl * i / m;
+    roots[i] = radius * std::complex<long double>(cosl(angle), sinl(angle));
+  }
+  // Repeated roots (very common in degree sequences) make Durand-Kerner
+  // converge only linearly around root clusters, so a tight per-iteration
+  // delta test never fires. Instead run until deltas are small OR the
+  // iteration budget is exhausted, then validate the reconstruction by
+  // recomputing the power sums: symmetric functions of a root cluster are
+  // far more accurate than the individual roots.
+  for (int it = 0; it < max_iterations; ++it) {
+    long double worst_delta = 0.0;
+    for (int i = 0; i < m; ++i) {
+      std::complex<long double> denom = 1.0;
+      for (int j = 0; j < m; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      const std::complex<long double> delta = eval(roots[i]) / denom;
+      roots[i] -= delta;
+      worst_delta = std::max(
+          worst_delta, std::abs(delta) / (1.0L + std::abs(roots[i])));
+    }
+    if (worst_delta < 1e-13L) break;
+  }
+
+  std::vector<double> degrees(m);
+  for (int i = 0; i < m; ++i) {
+    degrees[i] = static_cast<double>(roots[i].real());
+    if (round_to_integers) degrees[i] = std::round(degrees[i]);
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<double>());
+
+  // Validation: the recovered sequence must reproduce the input power sums.
+  for (int p = 1; p <= m; ++p) {
+    long double sum = 0.0;
+    for (double deg : degrees) sum += powl(static_cast<long double>(deg), p);
+    const long double target = power_sums[p - 1];
+    if (std::abs(static_cast<double>(sum - target)) >
+        1e-4 * (1.0 + std::abs(target))) {
+      return {};
+    }
+  }
+  return degrees;
+}
+
+}  // namespace lpb

@@ -1,0 +1,38 @@
+// Appendix A: the 1-to-1 correspondence between a degree sequence of length
+// m and its first m ℓp-norms, via Newton's identities.
+//
+// Forward direction: power sums ||d||_p^p for p = 1..m. Backward direction:
+// Newton's identities recover the elementary symmetric polynomials
+// e_1..e_m, and the degree sequence is the multiset of roots of
+//   λ^m - e_1 λ^{m-1} + e_2 λ^{m-2} - ... + (-1)^m e_m,
+// found here with Durand-Kerner iteration (degrees are positive reals, so
+// the roots are real and the iteration is well behaved for the moderate m
+// this is meant for; see tests for accuracy envelopes).
+#ifndef LPB_BOUNDS_NEWTON_H_
+#define LPB_BOUNDS_NEWTON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+// Power sums S_p = Σ_i d_i^p for p = 1..m (long double accumulation).
+std::vector<double> PowerSums(const DegreeSequence& d, int m);
+
+// Elementary symmetric polynomials e_1..e_m from power sums S_1..S_m
+// (Newton's identities: k e_k = Σ_{p=1..k} (-1)^{p-1} e_{k-p} S_p).
+std::vector<double> ElementarySymmetric(const std::vector<double>& power_sums);
+
+// Recovers the (sorted, non-increasing) degree sequence of length m from
+// its first m power sums. `round_to_integers` snaps results to the nearest
+// integer (degree sequences are integral). Returns an empty vector if the
+// root iteration fails to converge.
+std::vector<double> DegreesFromPowerSums(const std::vector<double>& power_sums,
+                                         bool round_to_integers = true,
+                                         int max_iterations = 2000);
+
+}  // namespace lpb
+
+#endif  // LPB_BOUNDS_NEWTON_H_

@@ -1,0 +1,47 @@
+#include "bounds/sensitivity.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "entropy/shannon.h"
+
+namespace lpb {
+
+std::vector<SensitivityEntry> AnalyzeSensitivity(
+    const BoundResult& result, const std::vector<ConcreteStatistic>& stats,
+    double eps) {
+  std::vector<SensitivityEntry> out;
+  out.reserve(stats.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    SensitivityEntry e;
+    e.stat_index = static_cast<int>(i);
+    e.weight = i < result.weights.size() ? result.weights[i] : 0.0;
+    e.slack = stats[i].log_b - Evaluate(stats[i].Lhs(), result.h_opt);
+    e.binding = e.slack <= eps;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string FormatSensitivity(const std::vector<SensitivityEntry>& entries,
+                              const std::vector<ConcreteStatistic>& stats) {
+  std::vector<SensitivityEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              return a.weight > b.weight;
+            });
+  std::string out;
+  char buf[256];
+  for (const SensitivityEntry& e : sorted) {
+    const std::string& label = stats[e.stat_index].label.empty()
+                                   ? "stat#" + std::to_string(e.stat_index)
+                                   : stats[e.stat_index].label;
+    std::snprintf(buf, sizeof(buf), "  w=%-8.4f slack=%-8.4f %s %s\n",
+                  e.weight, e.slack, e.binding ? "[binding]" : "[slack]  ",
+                  label.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lpb

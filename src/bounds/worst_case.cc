@@ -1,0 +1,87 @@
+#include "bounds/worst_case.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace lpb {
+
+Relation BasicNormalRelation(const std::vector<std::string>& attrs, VarSet w,
+                             uint64_t n) {
+  Relation rel("T", attrs);
+  rel.Reserve(n);
+  std::vector<Value> row(attrs.size(), 0);
+  for (uint64_t k = 0; k < n; ++k) {
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      row[c] = Contains(w, static_cast<int>(c)) ? k : 0;
+    }
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+Relation DomainProduct(const Relation& t, const Relation& t_prime) {
+  assert(t.arity() == t_prime.arity());
+  const int a = t.arity();
+  Relation out("T", t.attrs());
+  out.Reserve(t.NumRows() * t_prime.NumRows());
+  // Dense per-column dictionary for value pairs.
+  std::vector<std::map<std::pair<Value, Value>, Value>> dict(a);
+  std::vector<Value> row(a);
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    for (size_t j = 0; j < t_prime.NumRows(); ++j) {
+      for (int c = 0; c < a; ++c) {
+        auto key = std::make_pair(t.At(i, c), t_prime.At(j, c));
+        auto [it, inserted] =
+            dict[c].emplace(key, static_cast<Value>(dict[c].size()));
+        row[c] = it->second;
+      }
+      out.AddRow(row);
+    }
+  }
+  return out;
+}
+
+WorstCaseInstance BuildWorstCaseDatabase(const Query& query,
+                                         const std::vector<double>& alpha,
+                                         double min_alpha) {
+  const int n = query.num_vars();
+  assert(alpha.size() == (size_t{1} << n));
+  // Self-joins would require one relation to satisfy several projections at
+  // once, which Lemma 6.2 does not cover; require distinct relation names.
+  {
+    std::set<std::string> names;
+    for (const Atom& atom : query.atoms()) {
+      const bool inserted = names.insert(atom.relation).second;
+      assert(inserted && "worst-case construction requires distinct atoms");
+      (void)inserted;
+    }
+  }
+
+  WorstCaseInstance out;
+  out.beta.assign(alpha.size(), 0.0);
+  // Identity for ⊗: the single all-zero row.
+  Relation t = BasicNormalRelation(query.var_names(), 0, 1);
+  const VarSet full = FullSet(n);
+  for (VarSet w = 1; w <= full; ++w) {
+    if (alpha[w] < min_alpha) continue;
+    const uint64_t n_w =
+        static_cast<uint64_t>(std::floor(std::exp2(alpha[w])));
+    if (n_w <= 1) continue;
+    out.beta[w] = std::log2(static_cast<double>(n_w));
+    t = DomainProduct(t, BasicNormalRelation(query.var_names(), w, n_w));
+  }
+
+  for (const Atom& atom : query.atoms()) {
+    std::vector<int> cols(atom.vars.begin(), atom.vars.end());
+    Relation proj = t.Project(cols);
+    proj.set_name(atom.relation);
+    out.database.Add(std::move(proj));
+  }
+  out.witness = std::move(t);
+  return out;
+}
+
+}  // namespace lpb

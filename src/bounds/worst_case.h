@@ -1,0 +1,53 @@
+// Worst-case instance construction (Sec 6: normal relations & databases).
+//
+// Given the optimal normal polymatroid h* = Σ_W α*_W h_W of the normal
+// engine, Lemma 6.2 builds a totally uniform "normal relation"
+//   T = ⊗_W T^W_{N_W},  N_W = ⌊2^{α*_W}⌋,
+// whose projections onto the query atoms form a database D that satisfies
+// the statistics while |Q(D)| = |T| >= 2^{h*(X)} / 2^c — proving the
+// polymatroid bound tight for simple statistics (Corollary 6.3).
+#ifndef LPB_BOUNDS_WORST_CASE_H_
+#define LPB_BOUNDS_WORST_CASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "relation/relation.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+// The basic normal relation T^W_N of Def. 6.4 over attributes `attrs`
+// (one per query variable): N rows, row k holding k on the W-columns and
+// 0 elsewhere.
+Relation BasicNormalRelation(const std::vector<std::string>& attrs, VarSet w,
+                             uint64_t n);
+
+// Domain product T ⊗ T' (Sec 6): same attributes, one row per row pair,
+// each attribute value the pair of the operands' values. Pairs are
+// dictionary-encoded into fresh dense ids per column, which preserves
+// cardinalities, degrees and entropies.
+Relation DomainProduct(const Relation& t, const Relation& t_prime);
+
+struct WorstCaseInstance {
+  // The normal relation T over all query variables.
+  Relation witness;
+  // The database D: one relation per atom, R_j = Π_{vars(atom_j)}(T),
+  // named after the atom's relation.
+  Catalog database;
+  // Rounded exponents β_W = log2 ⌊2^{α_W}⌋ actually used.
+  std::vector<double> beta;
+};
+
+// Builds the worst-case database from step-function coefficients α
+// (indexed by VarSet, size 2^n; α[0] ignored). Coefficients below
+// `min_alpha` are dropped (they round to a single value anyway).
+WorstCaseInstance BuildWorstCaseDatabase(const Query& query,
+                                         const std::vector<double>& alpha,
+                                         double min_alpha = 1e-9);
+
+}  // namespace lpb
+
+#endif  // LPB_BOUNDS_WORST_CASE_H_

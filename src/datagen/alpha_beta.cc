@@ -1,0 +1,54 @@
+#include "datagen/alpha_beta.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lpb {
+
+Relation AlphaBetaRelation(const std::string& name, uint64_t m, double alpha,
+                           double beta) {
+  assert(alpha >= 0.0 && beta >= 0.0 && alpha + beta <= 1.0 + 1e-12);
+  const uint64_t ma = static_cast<uint64_t>(
+      std::llround(std::pow(static_cast<double>(m), alpha)));
+  const uint64_t mb = static_cast<uint64_t>(
+      std::llround(std::pow(static_cast<double>(m), beta)));
+
+  Relation rel(name, {"X", "Y"});
+  // Id ranges: hubs [0, ma), pair-values [ma, ma + 2*ma*mb), diagonal after.
+  const Value pair_base = ma;
+  const Value diag_base = ma + 2 * ma * mb;
+
+  // { (i, (i,j)) }: X-hubs of degree mb; Y-side pairs of degree 1.
+  for (uint64_t i = 0; i < ma; ++i) {
+    for (uint64_t j = 0; j < mb; ++j) {
+      rel.AddRow({i, pair_base + i * mb + j});
+    }
+  }
+  // { ((i,j), i) }: Y-hubs of degree mb; X-side pairs of degree 1.
+  for (uint64_t i = 0; i < ma; ++i) {
+    for (uint64_t j = 0; j < mb; ++j) {
+      rel.AddRow({pair_base + ma * mb + i * mb + j, i});
+    }
+  }
+  // Diagonal singletons to pad the size to ~m.
+  const uint64_t pad = (m > 2 * ma * mb) ? m - 2 * ma * mb : 0;
+  for (uint64_t k = 0; k < pad; ++k) {
+    rel.AddRow({diag_base + k, diag_base + k});
+  }
+  return rel;
+}
+
+Relation UniformDegreeRelation(const std::string& name, uint64_t num_right,
+                               uint64_t degree) {
+  Relation rel(name, {"X", "Y"});
+  rel.Reserve(num_right * degree);
+  Value next_x = num_right;  // X-ids disjoint from Y-ids
+  for (uint64_t y = 0; y < num_right; ++y) {
+    for (uint64_t j = 0; j < degree; ++j) {
+      rel.AddRow({next_x++, y});
+    }
+  }
+  return rel;
+}
+
+}  // namespace lpb

@@ -1,0 +1,29 @@
+// (α,β)-relations (Def. C.1) and uniform-degree bipartite relations — the
+// synthetic instances used throughout Appendix C to separate the bounds.
+#ifndef LPB_DATAGEN_ALPHA_BETA_H_
+#define LPB_DATAGEN_ALPHA_BETA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace lpb {
+
+// Binary relation R(X,Y) with |R| ≈ M where BOTH deg(Y|X) and deg(X|Y) are
+// (α,β)-sequences: M^α nodes of degree M^β plus ~M - 2M^{α+β} nodes of
+// degree 1 (the paper's footnote-5 construction:
+//   { (i, (i,j)) } ∪ { ((i,j), i) } ∪ { (k, k) } ).
+// Requires α + β <= 1. Values are packed into disjoint id ranges.
+Relation AlphaBetaRelation(const std::string& name, uint64_t m, double alpha,
+                           double beta);
+
+// Bipartite relation R(X,Y) with `num_right` Y-values each matched to
+// `degree` fresh X-values: deg(X|Y) = (degree, ..., degree) and
+// deg(Y|X) = (1, ..., 1). Used for the Appendix C.3 gap instances.
+Relation UniformDegreeRelation(const std::string& name, uint64_t num_right,
+                               uint64_t degree);
+
+}  // namespace lpb
+
+#endif  // LPB_DATAGEN_ALPHA_BETA_H_

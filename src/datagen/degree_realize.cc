@@ -1,0 +1,33 @@
+#include "datagen/degree_realize.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpb {
+
+Relation RealizeDegreeSequence(const std::string& name,
+                               const std::vector<uint64_t>& degrees,
+                               PartnerMode mode, uint64_t pool_size) {
+  Relation rel(name, {"X", "Y"});
+  const uint64_t n_left = degrees.size();
+  if (mode == PartnerMode::kSharedPool && pool_size == 0) {
+    pool_size = degrees.empty()
+                    ? 1
+                    : *std::max_element(degrees.begin(), degrees.end());
+  }
+  Value fresh = n_left + pool_size;  // fresh right ids beyond the pool range
+  for (uint64_t i = 0; i < n_left; ++i) {
+    const uint64_t d = degrees[i];
+    if (mode == PartnerMode::kSharedPool) {
+      assert(d <= pool_size);
+      for (uint64_t j = 0; j < d; ++j) {
+        rel.AddRow({i, n_left + (i + j) % pool_size});
+      }
+    } else {
+      for (uint64_t j = 0; j < d; ++j) rel.AddRow({i, fresh++});
+    }
+  }
+  return rel;
+}
+
+}  // namespace lpb

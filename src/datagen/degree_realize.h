@@ -1,0 +1,35 @@
+// Degree-sequence realization: builds a bipartite relation whose left
+// degree sequence deg(Y|X) equals a prescribed sequence (cf. the
+// Gale-Ryser construction referenced in footnote 5). Used by property
+// tests to fabricate instances with exactly-known ℓp-norms.
+#ifndef LPB_DATAGEN_DEGREE_REALIZE_H_
+#define LPB_DATAGEN_DEGREE_REALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace lpb {
+
+enum class PartnerMode {
+  // Each left node gets fresh right partners: deg(X|Y) = (1,1,...,1).
+  kFresh,
+  // Right partners are drawn round-robin from a pool of `pool_size` values;
+  // left node i with degree d_i connects to pool ids i, i+1, ..., i+d_i-1
+  // (mod pool). Every d_i must be <= pool_size.
+  kSharedPool,
+};
+
+// Relation R(X, Y) where X-node i has exactly degrees[i] distinct Y
+// partners. With kSharedPool, `pool_size` (default: max degree) controls
+// the right-side fan-in.
+Relation RealizeDegreeSequence(const std::string& name,
+                               const std::vector<uint64_t>& degrees,
+                               PartnerMode mode = PartnerMode::kFresh,
+                               uint64_t pool_size = 0);
+
+}  // namespace lpb
+
+#endif  // LPB_DATAGEN_DEGREE_REALIZE_H_

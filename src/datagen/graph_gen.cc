@@ -1,0 +1,51 @@
+#include "datagen/graph_gen.h"
+
+#include <set>
+#include <utility>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lpb {
+
+Relation GeneratePowerLawGraph(const GraphSpec& spec) {
+  Relation edges(spec.name, {"src", "dst"});
+  Rng rng(spec.seed);
+  ZipfSampler zipf(spec.num_nodes, spec.zipf_theta);
+
+  std::set<std::pair<Value, Value>> seen;
+  const uint64_t max_attempts = spec.num_edges * 50 + 1000;
+  uint64_t attempts = 0;
+  while (seen.size() < spec.num_edges && attempts < max_attempts) {
+    ++attempts;
+    Value u = zipf.Sample(rng);
+    Value v = zipf.Sample(rng);
+    if (!spec.allow_self_loops && u == v) continue;
+    if (spec.symmetric && u > v) std::swap(u, v);
+    seen.insert({u, v});
+  }
+  edges.Reserve(spec.symmetric ? 2 * seen.size() : seen.size());
+  for (const auto& [u, v] : seen) {
+    edges.AddRow({u, v});
+    if (spec.symmetric) edges.AddRow({v, u});
+  }
+  return edges;
+}
+
+std::vector<GraphSpec> SnapStandInSpecs() {
+  // Node/edge counts follow the originals for the small datasets and are
+  // scaled down ~20-200x for the large ones (soc-LiveJournal has 68M edges
+  // in the original); the Zipf exponents are chosen so that the max-degree
+  // to avg-degree ratios roughly match the published degree distributions.
+  return {
+      {"ca_GrQc", 5242, 14496, 0.65, true, false, 101},
+      {"ca_HepTh", 9877, 25998, 0.60, true, false, 102},
+      {"facebook", 4039, 88234, 0.55, true, false, 103},
+      {"soc_Epinions", 60000, 300000, 0.85, true, false, 104},
+      {"soc_LiveJournal", 120000, 420000, 0.80, true, false, 105},
+      {"soc_pokec", 100000, 380000, 0.75, true, false, 106},
+      {"twitter", 70000, 320000, 0.90, true, false, 107},
+  };
+}
+
+}  // namespace lpb

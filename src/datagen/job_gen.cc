@@ -1,0 +1,152 @@
+#include "datagen/job_gen.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "query/parser.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lpb {
+namespace {
+
+Relation IdTable(const std::string& name, uint64_t n) {
+  Relation rel(name, {"id"});
+  rel.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) rel.AddRow({i});
+  return rel;
+}
+
+// A fact table whose columns are sampled independently from per-column
+// Zipf distributions; rows are deduplicated (set semantics).
+Relation FactTable(const std::string& name,
+                   const std::vector<std::string>& attrs, uint64_t rows,
+                   const std::vector<ZipfSampler>& samplers, Rng& rng) {
+  Relation rel(name, attrs);
+  rel.Reserve(rows);
+  std::vector<Value> row(attrs.size());
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < samplers.size(); ++c) {
+      row[c] = samplers[c].Sample(rng);
+    }
+    rel.AddRow(row);
+  }
+  rel.Deduplicate();
+  return rel;
+}
+
+}  // namespace
+
+std::vector<std::string> JobQueryTexts() {
+  return {
+      /*q1*/ "cast_info(M,P,R), title(M,KT), name(P), role_type(R), kind_type(KT)",
+      /*q2*/ "movie_companies(M,C,CT), title(M,KT), company_name(C), company_type(CT), kind_type(KT)",
+      /*q3*/ "movie_keyword(M,K), title(M,KT), keyword(K), kind_type(KT)",
+      /*q4*/ "movie_info(M,IT1), movie_info_idx(M,IT2), title(M,KT), info_type(IT1), info_type(IT2)",
+      /*q5*/ "movie_companies(M,C,CT), movie_keyword(M,K), title(M,KT), company_name(C), keyword(K)",
+      /*q6*/ "cast_info(M,P,R), movie_keyword(M,K), title(M,KT), keyword(K), name(P)",
+      /*q7*/ "cast_info(M,P,R), person_info(P,PIT), info_type(PIT), name(P), title(M,KT), movie_link(M,M2,LT), link_type(LT), title(M2,KT2)",
+      /*q8*/ "cast_info(M,P,R), movie_companies(M,C,CT), title(M,KT), name(P), company_name(C), role_type(R), company_type(CT)",
+      /*q9*/ "cast_info(M,P,R), movie_companies(M,C,CT), movie_keyword(M,K), title(M,KT), name(P), company_name(C), keyword(K), kind_type(KT)",
+      /*q10*/ "cast_info(M,P,R), complete_cast(M,SU,ST), comp_cast_type(SU), comp_cast_type(ST), title(M,KT), name(P), role_type(R)",
+      /*q11*/ "movie_companies(M,C,CT), movie_link(M,M2,LT), title(M,KT), title(M2,KT2), link_type(LT), company_name(C), company_type(CT), kind_type(KT)",
+      /*q12*/ "movie_companies(M,C,CT), movie_info(M,IT1), movie_info_idx(M,IT2), title(M,KT), company_name(C), info_type(IT1), info_type(IT2), kind_type(KT)",
+      /*q13*/ "movie_companies(M,C,CT), movie_info(M,IT1), movie_info_idx(M,IT2), title(M,KT), company_name(C), info_type(IT1), info_type(IT2), kind_type(KT), company_type(CT)",
+      /*q14*/ "movie_info(M,IT1), movie_info_idx(M,IT2), movie_keyword(M,K), title(M,KT), keyword(K), info_type(IT1), info_type(IT2), kind_type(KT)",
+      /*q15*/ "movie_companies(M,C,CT), movie_info(M,IT1), movie_keyword(M,K), aka_title(M), title(M,KT), company_name(C), keyword(K), info_type(IT1), company_type(CT)",
+      /*q16*/ "cast_info(M,P,R), movie_keyword(M,K), complete_cast(M,SU,ST), title(M,KT), name(P), keyword(K), comp_cast_type(SU), comp_cast_type(ST)",
+      /*q17*/ "cast_info(M,P,R), movie_keyword(M,K), title(M,KT), name(P), keyword(K), role_type(R), kind_type(KT)",
+      /*q18*/ "cast_info(M,P,R), movie_info_idx(M,IT2), title(M,KT), info_type(IT2), name(P), role_type(R), kind_type(KT)",
+      /*q19*/ "cast_info(M,P,R), person_info(P,PIT), movie_companies(M,C,CT), title(M,KT), name(P), info_type(PIT), company_name(C), company_type(CT), role_type(R), kind_type(KT)",
+      /*q20*/ "cast_info(M,P,R), complete_cast(M,SU,ST), movie_keyword(M,K), title(M,KT), comp_cast_type(SU), comp_cast_type(ST), keyword(K), name(P), role_type(R), kind_type(KT)",
+      /*q21*/ "movie_companies(M,C,CT), movie_link(M,M2,LT), movie_info(M,IT1), title(M,KT), title(M2,KT2), link_type(LT), company_name(C), info_type(IT1), kind_type(KT)",
+      /*q22*/ "movie_companies(M,C,CT), movie_info(M,IT1), movie_info_idx(M,IT2), movie_keyword(M,K), title(M,KT), company_name(C), company_type(CT), keyword(K), info_type(IT1), info_type(IT2), kind_type(KT)",
+      /*q23*/ "cast_info(M,P,R), movie_info(M,IT1), movie_keyword(M,K), aka_title(M), title(M,KT), name(P), role_type(R), keyword(K), info_type(IT1), kind_type(KT), complete_cast(M,SU,ST)",
+      /*q24*/ "cast_info(M,P,R), movie_companies(M,C,CT), movie_keyword(M,K), movie_info(M,IT1), title(M,KT), name(P), company_name(C), keyword(K), info_type(IT1), role_type(R), company_type(CT), kind_type(KT)",
+      /*q25*/ "cast_info(M,P,R), person_info(P,PIT), movie_keyword(M,K), title(M,KT), name(P), info_type(PIT), keyword(K), role_type(R), kind_type(KT)",
+      /*q26*/ "cast_info(M,P,R), person_info(P,PIT), movie_companies(M,C,CT), movie_keyword(M,K), title(M,KT), name(P), info_type(PIT), company_name(C), keyword(K), role_type(R), company_type(CT), kind_type(KT)",
+      /*q27*/ "movie_companies(M,C,CT), movie_link(M,M2,LT), title(M,KT), title(M2,KT2), movie_keyword(M,K), movie_info(M,IT1), link_type(LT), company_name(C), keyword(K), info_type(IT1), kind_type(KT), kind_type(KT2)",
+      /*q28*/ "cast_info(M,P,R), movie_companies(M,C,CT), movie_keyword(M,K), movie_info(M,IT1), complete_cast(M,SU,ST), title(M,KT), name(P), company_name(C), keyword(K), info_type(IT1), role_type(R), company_type(CT), kind_type(KT), comp_cast_type(SU)",
+      /*q29*/ "cast_info(M,P,R), person_info(P,PIT), movie_link(M,M2,LT), title(M,KT), title(M2,KT2), name(P), info_type(PIT), link_type(LT), kind_type(KT), kind_type(KT2), role_type(R), movie_keyword(M,K), keyword(K)",
+      /*q30*/ "cast_info(M,P,R), movie_info(M,IT1), movie_info_idx(M,IT2), complete_cast(M,SU,ST), title(M,KT), name(P), info_type(IT1), info_type(IT2), comp_cast_type(SU), comp_cast_type(ST), role_type(R), kind_type(KT)",
+      /*q31*/ "movie_keyword(M,K), movie_companies(M,C,CT), title(M,KT), keyword(K), company_name(C), company_type(CT)",
+      /*q32*/ "movie_link(M,M2,LT), title(M,KT), title(M2,KT2), link_type(LT), kind_type(KT), kind_type(KT2)",
+      /*q33*/ "cast_info(M,P,R), person_info(P,PIT), movie_companies(M,C,CT), movie_keyword(M,K), movie_info(M,IT1), title(M,KT), name(P), info_type(PIT), info_type(IT1), company_name(C), keyword(K), role_type(R), company_type(CT), kind_type(KT)",
+  };
+}
+
+JobWorkload GenerateJobWorkload(const JobWorkloadOptions& options) {
+  JobWorkload wl;
+  Rng rng(options.seed);
+  const double sc = options.scale;
+  auto sz = [&](double base) {
+    return static_cast<uint64_t>(std::llround(base * sc));
+  };
+
+  const uint64_t movies = sz(30000), persons = sz(50000);
+  const uint64_t companies = sz(15000), keywords = sz(20000);
+  const uint64_t info_types = 80, kinds = 7, ctypes = 4, roles = 11,
+                 ltypes = 18, cctypes = 4;
+  const double ms = options.movie_skew;
+
+  // Shared samplers so correlated popularity (hot movies are hot in every
+  // fact table, like real IMDB) arises naturally.
+  ZipfSampler z_movie(movies, ms), z_movie_lo(movies, ms * 0.8);
+  ZipfSampler z_person(persons, 0.25), z_company(companies, 0.45);
+  ZipfSampler z_keyword(keywords, 0.50), z_it(info_types, 0.70);
+  ZipfSampler z_kind(kinds, 0.80), z_ct(ctypes, 0.80);
+  ZipfSampler z_role(roles, 0.80), z_lt(ltypes, 0.60);
+  ZipfSampler z_cct(cctypes, 0.50), z_m2(movies, 0.05);
+
+  // Hub: title(id, kind_id) — one row per movie (id is a key).
+  {
+    Relation title("title", {"id", "kind_id"});
+    title.Reserve(movies);
+    for (uint64_t m = 0; m < movies; ++m) title.AddRow({m, z_kind.Sample(rng)});
+    wl.catalog.Add(std::move(title));
+  }
+
+  wl.catalog.Add(FactTable("cast_info", {"movie_id", "person_id", "role_id"},
+                           sz(120000), {z_movie, z_person, z_role}, rng));
+  wl.catalog.Add(FactTable("movie_companies",
+                           {"movie_id", "company_id", "company_type_id"},
+                           sz(60000), {z_movie, z_company, z_ct}, rng));
+  wl.catalog.Add(FactTable("movie_keyword", {"movie_id", "keyword_id"},
+                           sz(80000), {z_movie, z_keyword}, rng));
+  wl.catalog.Add(FactTable("movie_info", {"movie_id", "info_type_id"},
+                           sz(80000), {z_movie_lo, z_it}, rng));
+  wl.catalog.Add(FactTable("movie_info_idx", {"movie_id", "info_type_id"},
+                           sz(40000), {z_movie_lo, z_it}, rng));
+  wl.catalog.Add(FactTable("movie_link",
+                           {"movie_id", "linked_movie_id", "link_type_id"},
+                           sz(15000), {z_movie_lo, z_m2, z_lt}, rng));
+  wl.catalog.Add(FactTable("aka_title", {"movie_id"}, sz(20000),
+                           {z_movie_lo}, rng));
+  wl.catalog.Add(FactTable("complete_cast",
+                           {"movie_id", "subject_id", "status_id"}, sz(15000),
+                           {z_movie_lo, z_cct, z_cct}, rng));
+  wl.catalog.Add(FactTable("person_info", {"person_id", "info_type_id"},
+                           sz(60000), {z_person, z_it}, rng));
+
+  wl.catalog.Add(IdTable("name", persons));
+  wl.catalog.Add(IdTable("company_name", companies));
+  wl.catalog.Add(IdTable("keyword", keywords));
+  wl.catalog.Add(IdTable("info_type", info_types));
+  wl.catalog.Add(IdTable("kind_type", kinds));
+  wl.catalog.Add(IdTable("company_type", ctypes));
+  wl.catalog.Add(IdTable("role_type", roles));
+  wl.catalog.Add(IdTable("link_type", ltypes));
+  wl.catalog.Add(IdTable("comp_cast_type", cctypes));
+
+  int qnum = 0;
+  for (const std::string& text : JobQueryTexts()) {
+    std::string error;
+    std::optional<Query> q = ParseQuery(text, &error);
+    assert(q.has_value() && "bad built-in JOB query");
+    q->set_name("q" + std::to_string(++qnum));
+    wl.queries.push_back(std::move(*q));
+  }
+  return wl;
+}
+
+}  // namespace lpb

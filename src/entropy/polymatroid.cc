@@ -1,0 +1,53 @@
+#include "entropy/polymatroid.h"
+
+#include <cassert>
+
+namespace lpb {
+
+bool IsPolymatroid(const SetFunction& h, double eps) {
+  const int n = h.num_vars();
+  const VarSet full = FullSet(n);
+  if (h[0] < -eps || h[0] > eps) return false;
+  // Elemental monotonicity: h(X) >= h(X - {i}).
+  for (int i = 0; i < n; ++i) {
+    if (h[full] < h[full & ~VarBit(i)] - eps) return false;
+  }
+  // Elemental submodularity: h(S∪{i}) + h(S∪{j}) >= h(S∪{i,j}) + h(S).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const VarSet ij = VarBit(i) | VarBit(j);
+      const VarSet rest = full & ~ij;
+      for (VarSet s : SubsetRange(rest)) {
+        if (h[s | VarBit(i)] + h[s | VarBit(j)] < h[s | ij] + h[s] - eps) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsModular(const SetFunction& h, double eps) {
+  const int n = h.num_vars();
+  const VarSet full = FullSet(n);
+  for (VarSet s = 1; s <= full; ++s) {
+    double sum = 0.0;
+    for (int v : VarRange(s)) sum += h[VarBit(v)];
+    if (h[s] < sum - eps || h[s] > sum + eps) return false;
+  }
+  return true;
+}
+
+SetFunction Modularize(const SetFunction& h, const std::vector<int>& order) {
+  const int n = h.num_vars();
+  assert(static_cast<int>(order.size()) == n);
+  std::vector<double> weights(n, 0.0);
+  VarSet prefix = 0;
+  for (int v : order) {
+    weights[v] = h.Conditional(VarBit(v), prefix);
+    prefix |= VarBit(v);
+  }
+  return SetFunction::Modular(n, weights);
+}
+
+}  // namespace lpb

@@ -1,0 +1,26 @@
+// Polymatroid predicates and constructions (Sec 3 and Appendix B).
+#ifndef LPB_ENTROPY_POLYMATROID_H_
+#define LPB_ENTROPY_POLYMATROID_H_
+
+#include <vector>
+
+#include "entropy/set_function.h"
+
+namespace lpb {
+
+// True if h satisfies the basic Shannon inequalities (24)-(26):
+// h(∅)=0, monotonicity, submodularity (checked via the elemental forms).
+bool IsPolymatroid(const SetFunction& h, double eps = 1e-9);
+
+// True if h(U) = Σ_{i∈U} h({i}) for all U.
+bool IsModular(const SetFunction& h, double eps = 1e-9);
+
+// The modularization of Lemma B.3: given a polymatroid h and a variable
+// order pi (a permutation of 0..n-1), returns the modular function h' with
+// h'(X_{pi_k}) = h(X_{pi_k} | X_{pi_0} ... X_{pi_{k-1}}). It satisfies
+// h'(X) = h(X), h'(U) <= h(U), and h'(Xj|Xi) <= h(Xj|Xi) for pi-earlier i.
+SetFunction Modularize(const SetFunction& h, const std::vector<int>& order);
+
+}  // namespace lpb
+
+#endif  // LPB_ENTROPY_POLYMATROID_H_

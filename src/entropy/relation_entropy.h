@@ -1,0 +1,23 @@
+// Entropy of a relation instance: the entropic vector of the uniform
+// probability distribution over its tuples (Sec 3 and Sec 6). Used to
+// verify Lemma 4.1, total uniformity of normal relations, and tightness.
+#ifndef LPB_ENTROPY_RELATION_ENTROPY_H_
+#define LPB_ENTROPY_RELATION_ENTROPY_H_
+
+#include "entropy/set_function.h"
+#include "relation/relation.h"
+
+namespace lpb {
+
+// Entropic vector of the uniform distribution over the (deduplicated) rows
+// of `rel`, indexed by bitmasks over the relation's own columns
+// (bit i = column i). h(∅) = 0, h(full) = log2 |rel|.
+SetFunction EntropyOfRelation(const Relation& rel);
+
+// True if every marginal of the uniform distribution over `rel` is itself
+// uniform: log2 |Π_V(rel)| == h(V) for all V (Sec 6, "totally uniform").
+bool IsTotallyUniform(const Relation& rel, double eps = 1e-9);
+
+}  // namespace lpb
+
+#endif  // LPB_ENTROPY_RELATION_ENTROPY_H_

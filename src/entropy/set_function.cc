@@ -1,0 +1,64 @@
+#include "entropy/set_function.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lpb {
+
+SetFunction& SetFunction::operator+=(const SetFunction& o) {
+  assert(n_ == o.n_);
+  for (size_t s = 0; s < h_.size(); ++s) h_[s] += o.h_[s];
+  return *this;
+}
+
+SetFunction& SetFunction::operator*=(double c) {
+  for (double& v : h_) v *= c;
+  return *this;
+}
+
+double SetFunction::MaxDiff(const SetFunction& o) const {
+  assert(n_ == o.n_);
+  double worst = 0.0;
+  for (size_t s = 0; s < h_.size(); ++s) {
+    worst = std::max(worst, std::abs(h_[s] - o.h_[s]));
+  }
+  return worst;
+}
+
+SetFunction SetFunction::Step(int n, VarSet w) {
+  SetFunction f(n);
+  const VarSet full = FullSet(n);
+  for (VarSet s = 1; s <= full; ++s) {
+    f[s] = Intersects(s, w) ? 1.0 : 0.0;
+  }
+  return f;
+}
+
+SetFunction SetFunction::Modular(int n, const std::vector<double>& weights) {
+  assert(static_cast<int>(weights.size()) == n);
+  SetFunction f(n);
+  const VarSet full = FullSet(n);
+  for (VarSet s = 1; s <= full; ++s) {
+    double acc = 0.0;
+    for (int v : VarRange(s)) acc += weights[v];
+    f[s] = acc;
+  }
+  return f;
+}
+
+SetFunction SetFunction::NormalCombination(int n,
+                                           const std::vector<double>& alpha) {
+  assert(alpha.size() == (size_t{1} << n));
+  SetFunction f(n);
+  const VarSet full = FullSet(n);
+  for (VarSet w = 1; w <= full; ++w) {
+    const double a = alpha[w];
+    if (a == 0.0) continue;
+    for (VarSet s = 1; s <= full; ++s) {
+      if (Intersects(s, w)) f[s] += a;
+    }
+  }
+  return f;
+}
+
+}  // namespace lpb

@@ -1,0 +1,97 @@
+#include "entropy/shannon.h"
+
+#include <cassert>
+#include <map>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace lpb {
+
+double Evaluate(const LinearForm& form, const SetFunction& h) {
+  double acc = 0.0;
+  for (const EntropyTerm& t : form) acc += t.coef * h[t.set];
+  return acc;
+}
+
+std::vector<LinearForm> ElementalInequalities(int n) {
+  std::vector<LinearForm> out;
+  const VarSet full = FullSet(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back({{full, 1.0}, {full & ~VarBit(i), -1.0}});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const VarSet ij = VarBit(i) | VarBit(j);
+      const VarSet rest = full & ~ij;
+      for (VarSet s : SubsetRange(rest)) {
+        LinearForm f = {{s | VarBit(i), 1.0},
+                        {s | VarBit(j), 1.0},
+                        {s | ij, -1.0}};
+        if (s != 0) f.push_back({s, -1.0});
+        out.push_back(std::move(f));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Converts a linear form into LP terms over variables indexed by mask-1
+// (the ∅ coordinate is pinned to 0 and dropped). Merges repeated sets.
+std::vector<LpTerm> ToLpTerms(const LinearForm& form) {
+  std::map<VarSet, double> merged;
+  for (const EntropyTerm& t : form) {
+    if (t.set == 0) continue;  // h(∅) = 0
+    merged[t.set] += t.coef;
+  }
+  std::vector<LpTerm> terms;
+  terms.reserve(merged.size());
+  for (const auto& [set, coef] : merged) {
+    if (coef != 0.0) terms.push_back({static_cast<int>(set) - 1, coef});
+  }
+  return terms;
+}
+
+}  // namespace
+
+bool IsValidShannon(int n, const LinearForm& form, double eps) {
+  // form(h) >= 0 for all h in the cone Γn iff the minimum of form(h) over
+  // the normalized slice {h ∈ Γn : Σ_S h(S) <= 1} is >= 0.
+  const int num_vars = (1 << n) - 1;
+  LpProblem lp(num_vars);
+  for (const LpTerm& t : ToLpTerms(form)) {
+    lp.SetObjective(t.var, -t.coef);  // maximize -form == minimize form
+  }
+  for (const LinearForm& ineq : ElementalInequalities(n)) {
+    lp.AddConstraint(ToLpTerms(ineq), LpSense::kGe, 0.0);
+  }
+  std::vector<LpTerm> norm;
+  norm.reserve(num_vars);
+  for (int v = 0; v < num_vars; ++v) norm.push_back({v, 1.0});
+  lp.AddConstraint(std::move(norm), LpSense::kLe, 1.0);
+
+  LpResult res = SolveLp(lp);
+  assert(res.status == LpStatus::kOptimal);
+  return -res.objective >= -eps;
+}
+
+LinearForm ZhangYeungForm(int n, const std::vector<int>& vars) {
+  assert(vars.size() == 4);
+  const VarSet a = VarBit(vars[0]), b = VarBit(vars[1]);
+  const VarSet x = VarBit(vars[2]), y = VarBit(vars[3]);
+  (void)n;
+  // I(X;Y) <= 2I(X;Y|A) + I(X;Y|B) + I(A;B) + I(A;Y|X) + I(A;X|Y), expanded
+  // into entropies (matches the expansion in Appendix D.2):
+  // 0 <= 3h(XY) - 2h(X) - 2h(Y) - 4h(AXY) - h(BXY)
+  //      + 3h(AX) + 3h(AY) + h(BX) + h(BY) - h(AB) - h(A).
+  return LinearForm{
+      {x | y, 3.0},     {x, -2.0},        {y, -2.0},
+      {a | x | y, -4.0}, {b | x | y, -1.0}, {a | x, 3.0},
+      {a | y, 3.0},     {b | x, 1.0},     {b | y, 1.0},
+      {a | b, -1.0},    {a, -1.0},
+  };
+}
+
+}  // namespace lpb

@@ -1,0 +1,46 @@
+// Shannon (elemental) information inequalities over n variables, and a
+// decision procedure for validity of linear information inequalities over
+// the polymatroid cone Γn (Sec 3: "Shannon inequalities are ... decidable
+// in exponential time").
+#ifndef LPB_ENTROPY_SHANNON_H_
+#define LPB_ENTROPY_SHANNON_H_
+
+#include <vector>
+
+#include "entropy/set_function.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+// A sparse linear form Σ terms.coef · h(terms.set) over entropy vectors.
+struct EntropyTerm {
+  VarSet set = 0;
+  double coef = 0.0;
+};
+using LinearForm = std::vector<EntropyTerm>;
+
+// Evaluates a linear form at h.
+double Evaluate(const LinearForm& form, const SetFunction& h);
+
+// All elemental Shannon inequalities `form(h) >= 0` for n variables:
+//   monotonicity:  h([n]) - h([n] - {i}) >= 0                (n of them)
+//   submodularity: h(S∪{i}) + h(S∪{j}) - h(S∪{i,j}) - h(S) >= 0
+//                  for i < j, S ⊆ [n]∖{i,j}                  (C(n,2)·2^(n-2))
+// Every Shannon inequality is a nonnegative combination of these.
+std::vector<LinearForm> ElementalInequalities(int n);
+
+// True iff `form(h) >= 0` holds for every polymatroid h ∈ Γn (a Shannon
+// inequality). Decided by minimizing form(h) over the normalized cone via
+// the simplex solver.
+bool IsValidShannon(int n, const LinearForm& form, double eps = 1e-7);
+
+// The Zhang-Yeung non-Shannon inequality (60) over variables (A,B,X,Y) given
+// as ids in `vars` (size 4):
+//   I(X;Y) <= 2I(X;Y|A) + I(X;Y|B) + I(A;B) + I(A;Y|X) + I(A;X|Y),
+// rewritten as a LinearForm F with F(h) >= 0. Valid for all entropic vectors
+// but NOT for all polymatroids (Appendix D.2 builds the 35/36 gap from it).
+LinearForm ZhangYeungForm(int n, const std::vector<int>& vars);
+
+}  // namespace lpb
+
+#endif  // LPB_ENTROPY_SHANNON_H_

@@ -1,0 +1,121 @@
+#include "estimator/advisor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "bounds/normal_engine.h"
+
+namespace lpb {
+namespace {
+
+int ColumnOfVar(const Atom& atom, int v) {
+  for (size_t j = 0; j < atom.vars.size(); ++j) {
+    if (atom.vars[j] == v) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+std::vector<int> ColumnsOf(const Atom& atom, VarSet s) {
+  std::vector<int> cols;
+  for (int v : VarRange(s)) cols.push_back(ColumnOfVar(atom, v));
+  return cols;
+}
+
+}  // namespace
+
+CardinalityAdvisor::CardinalityAdvisor(const Catalog& catalog,
+                                       AdvisorOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+const std::vector<double>& CardinalityAdvisor::CachedNorms(
+    const std::string& relation, const std::vector<int>& u_cols,
+    const std::vector<int>& v_cols) {
+  Key key{relation, u_cols, v_cols};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    const DegreeSequence deg =
+        ComputeDegreeSequence(catalog_.Get(relation), u_cols, v_cols);
+    std::vector<double> norms;
+    norms.reserve(options_.norms.size());
+    for (double p : options_.norms) norms.push_back(deg.Log2NormP(p));
+    it = cache_.emplace(std::move(key), std::move(norms)).first;
+  }
+  return it->second;
+}
+
+std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
+    const Query& query) {
+  std::vector<ConcreteStatistic> stats;
+  for (int a = 0; a < query.num_atoms(); ++a) {
+    const Atom& atom = query.atom(a);
+    const VarSet atom_vars = atom.var_set();
+
+    // Cardinality assertion (ℓ1 over (vars | ∅)).
+    {
+      const std::vector<int> v_cols = ColumnsOf(atom, atom_vars);
+      // ℓ1 of deg(V|∅) = |Π_V(R)|; reuse the cache with p = 1 position if
+      // present, otherwise compute through the same path with norms[0].
+      const std::vector<double>& norms =
+          CachedNorms(atom.relation, {}, v_cols);
+      for (size_t k = 0; k < options_.norms.size(); ++k) {
+        if (options_.norms[k] == 1.0) {
+          ConcreteStatistic s;
+          s.sigma = {0, atom_vars};
+          s.p = 1.0;
+          s.log_b = norms[k];
+          s.guard_atom = a;
+          stats.push_back(s);
+          break;
+        }
+      }
+    }
+
+    // Simple per-variable conditionals.
+    for (int v : VarRange(atom_vars)) {
+      const VarSet u = VarBit(v);
+      const VarSet rest = atom_vars & ~u;
+      if (rest == 0) continue;
+      const std::vector<double>& norms = CachedNorms(
+          atom.relation, ColumnsOf(atom, u), ColumnsOf(atom, rest));
+      for (size_t k = 0; k < options_.norms.size(); ++k) {
+        ConcreteStatistic s;
+        s.sigma = {u, rest};
+        s.p = options_.norms[k];
+        s.log_b = norms[k];
+        s.guard_atom = a;
+        stats.push_back(s);
+      }
+    }
+  }
+  return stats;
+}
+
+double CardinalityAdvisor::EstimateLog2(const Query& query) {
+  auto stats = AssembleStatistics(query);
+  return LpNormBound(query.num_vars(), stats, options_.engine).log2_bound;
+}
+
+double CardinalityAdvisor::Estimate(const Query& query) {
+  return std::exp2(EstimateLog2(query));
+}
+
+CardinalityAdvisor::Explanation CardinalityAdvisor::Explain(
+    const Query& query) {
+  Explanation out;
+  out.stats = AssembleStatistics(query);
+  for (ConcreteStatistic& s : out.stats) s.label = ToString(s, query);
+  out.bound = LpNormBound(query.num_vars(), out.stats, options_.engine);
+  return out;
+}
+
+void CardinalityAdvisor::Invalidate(const std::string& relation) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (std::get<0>(it->first) == relation) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace lpb

@@ -1,0 +1,78 @@
+// CardinalityAdvisor: the paper's "future work" packaged as an API —
+// a pessimistic cardinality estimation service for query optimizers.
+//
+// The advisor precomputes ℓp-norm statistics per (relation, conditional)
+// once, caches them, and then answers EstimateLog2(query) by assembling the
+// cached statistics into the bound LP. This mirrors how a real system would
+// deploy the paper: statistics maintenance is offline (O(N log N) per
+// degree sequence, footnote 1), estimation is a small LP per query.
+#ifndef LPB_ESTIMATOR_ADVISOR_H_
+#define LPB_ESTIMATOR_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bounds/engine.h"
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "relation/degree_sequence.h"
+#include "stats/statistic.h"
+
+namespace lpb {
+
+struct AdvisorOptions {
+  // Norms maintained for every per-column degree sequence.
+  std::vector<double> norms = {1.0, 2.0, 3.0, 4.0, kInfNorm};
+  // Engine options for the occasional non-simple statistics set.
+  EngineOptions engine;
+};
+
+class CardinalityAdvisor {
+ public:
+  // The advisor keeps a reference to the catalog; it must outlive the
+  // advisor. Statistics are computed lazily and cached.
+  CardinalityAdvisor(const Catalog& catalog, AdvisorOptions options = {});
+
+  // log2 upper bound on |Q(D)|; +infinity if the statistics cannot bound
+  // the query (should not happen for full CQs with maintained norms).
+  double EstimateLog2(const Query& query);
+
+  // Upper bound in linear space (2^EstimateLog2, saturating).
+  double Estimate(const Query& query);
+
+  // Full result (certificate weights, optimal polymatroid) plus the
+  // statistics it was computed from.
+  struct Explanation {
+    BoundResult bound;
+    std::vector<ConcreteStatistic> stats;
+  };
+  Explanation Explain(const Query& query);
+
+  // Number of distinct cached degree sequences (statistics maintenance
+  // footprint).
+  size_t CacheSize() const { return cache_.size(); }
+
+  // Drops cached statistics for one relation (call after updates).
+  void Invalidate(const std::string& relation);
+
+ private:
+  // Cache key: relation name + U column list + V column list.
+  using Key = std::tuple<std::string, std::vector<int>, std::vector<int>>;
+
+  // Cached log2 norms for one degree sequence, aligned with options_.norms.
+  const std::vector<double>& CachedNorms(const std::string& relation,
+                                         const std::vector<int>& u_cols,
+                                         const std::vector<int>& v_cols);
+
+  std::vector<ConcreteStatistic> AssembleStatistics(const Query& query);
+
+  const Catalog& catalog_;
+  AdvisorOptions options_;
+  std::map<Key, std::vector<double>> cache_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_ESTIMATOR_ADVISOR_H_

@@ -1,0 +1,22 @@
+#include "estimator/dsb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lpb {
+
+uint64_t SingleJoinDsb(const DegreeSequence& a, const DegreeSequence& b) {
+  const size_t m = std::min(a.size(), b.size());
+  uint64_t acc = 0;
+  for (size_t i = 0; i < m; ++i) acc += a.degrees()[i] * b.degrees()[i];
+  return acc;
+}
+
+double SingleJoinDsbLog2(const DegreeSequence& a, const DegreeSequence& b) {
+  const uint64_t dsb = SingleJoinDsb(a, b);
+  if (dsb == 0) return -std::numeric_limits<double>::infinity();
+  return std::log2(static_cast<double>(dsb));
+}
+
+}  // namespace lpb

@@ -1,0 +1,29 @@
+// Traditional (textbook / System-R style) cardinality estimator — the
+// stand-in for DuckDB's estimator in the paper's experiment tables.
+//
+// Implements formula (15)/(16) generalized to multiway joins: the estimate
+// is Π_j |R_j| divided, for every join variable v shared by k atoms, by the
+// product of all but the smallest distinct counts of v — exactly the
+// Selinger selectivity 1/max(V(R,v), V(S,v)) applied along a chain of the
+// k atoms in ascending distinct-count order. It assumes uniformity and
+// independence, so it *under*-estimates skewed acyclic joins and
+// *over*-estimates the triangle query, the behaviours Appendix C reports
+// for DuckDB.
+#ifndef LPB_ESTIMATOR_TRADITIONAL_H_
+#define LPB_ESTIMATOR_TRADITIONAL_H_
+
+#include "query/query.h"
+#include "relation/catalog.h"
+
+namespace lpb {
+
+// Returns log2 of the estimated output size. Returns -infinity for an
+// estimate of zero (some relation is empty).
+double TraditionalEstimateLog2(const Query& query, const Catalog& catalog);
+
+// Convenience: the estimate itself (2^log2).
+double TraditionalEstimate(const Query& query, const Catalog& catalog);
+
+}  // namespace lpb
+
+#endif  // LPB_ESTIMATOR_TRADITIONAL_H_

@@ -1,0 +1,234 @@
+#include "exec/generic_join.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpb {
+namespace {
+
+// An atom's data, projected to its distinct variables (in global join
+// order), equality-selected for repeated variables, deduplicated and
+// sorted lexicographically.
+struct AtomIndex {
+  std::vector<int> vars;                 // global var ids, in join order
+  std::vector<std::vector<Value>> rows;  // sorted row-major tuples
+};
+
+AtomIndex BuildAtomIndex(const Atom& atom, const Relation& rel,
+                         const std::vector<int>& order_pos) {
+  AtomIndex index;
+  // Distinct variables of the atom, sorted by global join order.
+  for (int v : VarRange(atom.var_set())) index.vars.push_back(v);
+  std::sort(index.vars.begin(), index.vars.end(),
+            [&](int a, int b) { return order_pos[a] < order_pos[b]; });
+
+  // First relation column per variable, plus equality checks for repeats.
+  std::vector<int> first_col(index.vars.size());
+  for (size_t k = 0; k < index.vars.size(); ++k) {
+    for (size_t j = 0; j < atom.vars.size(); ++j) {
+      if (atom.vars[j] == index.vars[k]) {
+        first_col[k] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+
+  index.rows.reserve(rel.NumRows());
+  std::vector<Value> tuple(index.vars.size());
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    bool ok = true;
+    // Repeated variables (R(X,X)) imply an equality selection.
+    for (size_t j = 0; j < atom.vars.size() && ok; ++j) {
+      for (size_t j2 = j + 1; j2 < atom.vars.size(); ++j2) {
+        if (atom.vars[j] == atom.vars[j2] &&
+            rel.At(r, static_cast<int>(j)) !=
+                rel.At(r, static_cast<int>(j2))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (size_t k = 0; k < index.vars.size(); ++k) {
+      tuple[k] = rel.At(r, first_col[k]);
+    }
+    index.rows.push_back(tuple);
+  }
+  std::sort(index.rows.begin(), index.rows.end());
+  index.rows.erase(std::unique(index.rows.begin(), index.rows.end()),
+                   index.rows.end());
+  return index;
+}
+
+struct AtomState {
+  size_t lo = 0;
+  size_t hi = 0;
+  int depth = 0;  // number of this atom's variables already bound
+};
+
+// Subrange of [lo, hi) where column `depth` equals `val` (rows in the range
+// share their first `depth` components, so that column is sorted).
+std::pair<size_t, size_t> EqualRange(const AtomIndex& index, size_t lo,
+                                     size_t hi, int depth, Value val) {
+  auto begin = index.rows.begin();
+  auto first = std::partition_point(
+      begin + lo, begin + hi,
+      [&](const std::vector<Value>& row) { return row[depth] < val; });
+  auto last = std::partition_point(
+      first, begin + hi,
+      [&](const std::vector<Value>& row) { return row[depth] <= val; });
+  return {static_cast<size_t>(first - begin),
+          static_cast<size_t>(last - begin)};
+}
+
+class Joiner {
+ public:
+  Joiner(const Query& query, const Catalog& catalog,
+         const JoinOptions& options, Relation* output)
+      : output_(output) {
+    order_ = options.var_order.empty() ? DefaultVariableOrder(query)
+                                       : options.var_order;
+    assert(static_cast<int>(order_.size()) == query.num_vars());
+    std::vector<int> order_pos(query.num_vars());
+    for (size_t i = 0; i < order_.size(); ++i) order_pos[order_[i]] = i;
+
+    for (const Atom& atom : query.atoms()) {
+      indexes_.push_back(
+          BuildAtomIndex(atom, catalog.Get(atom.relation), order_pos));
+    }
+    states_.resize(indexes_.size());
+    for (size_t a = 0; a < indexes_.size(); ++a) {
+      states_[a] = {0, indexes_[a].rows.size(), 0};
+    }
+    if (output_ != nullptr) assignment_.resize(query.num_vars());
+  }
+
+  uint64_t Run() {
+    count_ = 0;
+    Recurse(0, states_);
+    return count_;
+  }
+
+ private:
+  void Recurse(size_t level, const std::vector<AtomState>& states) {
+    if (level == order_.size()) {
+      ++count_;
+      if (output_ != nullptr) output_->AddRow(assignment_);
+      return;
+    }
+    const int var = order_[level];
+
+    // Atoms whose next unbound variable is `var`.
+    std::vector<int> active;
+    int seed = -1;
+    for (size_t a = 0; a < indexes_.size(); ++a) {
+      const AtomIndex& idx = indexes_[a];
+      const AtomState& st = states[a];
+      if (st.depth < static_cast<int>(idx.vars.size()) &&
+          idx.vars[st.depth] == var) {
+        active.push_back(static_cast<int>(a));
+        if (seed < 0 || st.hi - st.lo < states[seed].hi - states[seed].lo) {
+          seed = static_cast<int>(a);
+        }
+      }
+    }
+    assert(seed >= 0 && "full CQ: every variable occurs in some atom");
+
+    // Fast leaf: at the last level with no materialization, the number of
+    // outputs is the intersection size — no per-value recursion needed.
+    const bool leaf = (level + 1 == order_.size()) && output_ == nullptr;
+
+    const AtomIndex& seed_idx = indexes_[seed];
+    std::vector<AtomState> next = states;
+    size_t pos = states[seed].lo;
+    while (pos < states[seed].hi) {
+      const Value val = seed_idx.rows[pos][states[seed].depth];
+      auto [s_lo, s_hi] =
+          EqualRange(seed_idx, pos, states[seed].hi, states[seed].depth, val);
+      pos = s_hi;
+
+      bool present = true;
+      for (int a : active) {
+        if (a == seed) {
+          next[a] = {s_lo, s_hi, states[a].depth + 1};
+          continue;
+        }
+        auto [lo, hi] = EqualRange(indexes_[a], states[a].lo, states[a].hi,
+                                   states[a].depth, val);
+        if (lo == hi) {
+          present = false;
+          break;
+        }
+        next[a] = {lo, hi, states[a].depth + 1};
+      }
+      if (!present) continue;
+      if (leaf) {
+        ++count_;
+        continue;
+      }
+      if (output_ != nullptr) assignment_[var] = val;
+      Recurse(level + 1, next);
+      // Restore the untouched states for the next candidate value.
+      for (int a : active) next[a] = states[a];
+    }
+  }
+
+  std::vector<int> order_;
+  std::vector<AtomIndex> indexes_;
+  std::vector<AtomState> states_;
+  std::vector<Value> assignment_;
+  Relation* output_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::vector<int> DefaultVariableOrder(const Query& query) {
+  const int n = query.num_vars();
+  std::vector<int> coverage(n, 0);
+  for (const Atom& atom : query.atoms()) {
+    for (int v : VarRange(atom.var_set())) ++coverage[v];
+  }
+  std::vector<int> order;
+  VarSet chosen = 0;
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    bool best_adjacent = false;
+    for (int v = 0; v < n; ++v) {
+      if (Contains(chosen, v)) continue;
+      bool adjacent = false;
+      for (const Atom& atom : query.atoms()) {
+        const VarSet s = atom.var_set();
+        if (Contains(s, v) && Intersects(s, chosen)) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (best < 0 ||
+          (adjacent && !best_adjacent) ||
+          (adjacent == best_adjacent && coverage[v] > coverage[best])) {
+        best = v;
+        best_adjacent = adjacent;
+      }
+    }
+    order.push_back(best);
+    chosen |= VarBit(best);
+  }
+  return order;
+}
+
+uint64_t CountJoin(const Query& query, const Catalog& catalog,
+                   const JoinOptions& options) {
+  Joiner joiner(query, catalog, options, nullptr);
+  return joiner.Run();
+}
+
+Relation MaterializeJoin(const Query& query, const Catalog& catalog,
+                         const JoinOptions& options) {
+  Relation out(query.name().empty() ? "Q" : query.name(), query.var_names());
+  Joiner joiner(query, catalog, options, &out);
+  joiner.Run();
+  return out;
+}
+
+}  // namespace lpb

@@ -1,0 +1,135 @@
+#include "exec/hash_join.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+namespace lpb {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (Value x : v) {
+      h ^= std::hash<Value>()(x);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+// Intermediate result: variable ids + row-major tuples.
+struct Intermediate {
+  std::vector<int> vars;
+  std::vector<std::vector<Value>> rows;
+};
+
+// Projects an atom's relation to (distinct-variable, deduplicated,
+// equality-selected) tuples; vars come out in ascending id order.
+Intermediate AtomTuples(const Atom& atom, const Relation& rel) {
+  Intermediate out;
+  for (int v : VarRange(atom.var_set())) out.vars.push_back(v);
+  std::vector<int> first_col(out.vars.size());
+  for (size_t k = 0; k < out.vars.size(); ++k) {
+    for (size_t j = 0; j < atom.vars.size(); ++j) {
+      if (atom.vars[j] == out.vars[k]) {
+        first_col[k] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  std::vector<Value> tuple(out.vars.size());
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    bool ok = true;
+    for (size_t j = 0; j < atom.vars.size() && ok; ++j) {
+      for (size_t j2 = j + 1; j2 < atom.vars.size(); ++j2) {
+        if (atom.vars[j] == atom.vars[j2] &&
+            rel.At(r, static_cast<int>(j)) != rel.At(r, static_cast<int>(j2))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (size_t k = 0; k < out.vars.size(); ++k) {
+      tuple[k] = rel.At(r, first_col[k]);
+    }
+    out.rows.push_back(tuple);
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  out.rows.erase(std::unique(out.rows.begin(), out.rows.end()),
+                 out.rows.end());
+  return out;
+}
+
+Intermediate Join(const Intermediate& left, const Intermediate& right) {
+  // Common and right-only variable positions.
+  std::vector<std::pair<int, int>> common;  // (left pos, right pos)
+  std::vector<int> right_only;              // right positions
+  for (size_t j = 0; j < right.vars.size(); ++j) {
+    auto it = std::find(left.vars.begin(), left.vars.end(), right.vars[j]);
+    if (it != left.vars.end()) {
+      common.push_back({static_cast<int>(it - left.vars.begin()),
+                        static_cast<int>(j)});
+    } else {
+      right_only.push_back(static_cast<int>(j));
+    }
+  }
+
+  Intermediate out;
+  out.vars = left.vars;
+  for (int j : right_only) out.vars.push_back(right.vars[j]);
+
+  // Hash the right side on the common key.
+  std::unordered_map<std::vector<Value>, std::vector<uint32_t>, VecHash>
+      table;
+  std::vector<Value> key(common.size());
+  for (size_t r = 0; r < right.rows.size(); ++r) {
+    for (size_t k = 0; k < common.size(); ++k) {
+      key[k] = right.rows[r][common[k].second];
+    }
+    table[key].push_back(static_cast<uint32_t>(r));
+  }
+
+  std::vector<Value> tuple;
+  for (const std::vector<Value>& lrow : left.rows) {
+    for (size_t k = 0; k < common.size(); ++k) {
+      key[k] = lrow[common[k].first];
+    }
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (uint32_t r : it->second) {
+      tuple = lrow;
+      for (int j : right_only) tuple.push_back(right.rows[r][j]);
+      out.rows.push_back(tuple);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HashJoinStats CountByHashJoin(const Query& query, const Catalog& catalog,
+                              const std::vector<int>& atom_order) {
+  std::vector<int> order = atom_order;
+  if (order.empty()) {
+    order.resize(query.num_atoms());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  assert(static_cast<int>(order.size()) == query.num_atoms());
+
+  HashJoinStats stats;
+  Intermediate acc = AtomTuples(query.atom(order[0]),
+                                catalog.Get(query.atom(order[0]).relation));
+  stats.intermediate_sizes.push_back(acc.rows.size());
+  for (size_t i = 1; i < order.size(); ++i) {
+    const Atom& atom = query.atom(order[i]);
+    acc = Join(acc, AtomTuples(atom, catalog.Get(atom.relation)));
+    stats.intermediate_sizes.push_back(acc.rows.size());
+  }
+  stats.output_count = acc.rows.size();
+  return stats;
+}
+
+}  // namespace lpb

@@ -1,0 +1,34 @@
+// Pairwise left-deep hash join — the baseline evaluator.
+//
+// Joins the query's atoms in the given (or textual) order, materializing
+// every intermediate result. Used to cross-check the generic join and as
+// the "traditional plan" side of the evaluation benchmarks: on skewed
+// inputs its intermediate results blow up exactly where the paper's
+// ℓp-bounds predict.
+#ifndef LPB_EXEC_HASH_JOIN_H_
+#define LPB_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "relation/relation.h"
+
+namespace lpb {
+
+struct HashJoinStats {
+  uint64_t output_count = 0;
+  // Size of each intermediate (after joining atoms 0..i).
+  std::vector<uint64_t> intermediate_sizes;
+};
+
+// Evaluates the query with pairwise hash joins in atom order (or
+// `atom_order` if non-empty). Returns the output count and intermediate
+// sizes. Repeated variables inside an atom apply equality selections.
+HashJoinStats CountByHashJoin(const Query& query, const Catalog& catalog,
+                              const std::vector<int>& atom_order = {});
+
+}  // namespace lpb
+
+#endif  // LPB_EXEC_HASH_JOIN_H_

@@ -1,0 +1,130 @@
+#include "exec/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "exec/generic_join.h"
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+bool StronglySatisfiesLog2(const Relation& rel, const std::vector<int>& u_cols,
+                           const std::vector<int>& v_cols, double p,
+                           double log_b, double eps) {
+  if (rel.NumRows() == 0) return true;
+  const DegreeSequence deg = ComputeDegreeSequence(rel, u_cols, v_cols);
+  const double log_groups = std::log2(static_cast<double>(deg.size()));
+  const double log_max = std::log2(static_cast<double>(deg.MaxDegree()));
+  return log_groups + p * log_max <= p * log_b + eps;
+}
+
+std::vector<Relation> PartitionStrong(const Relation& rel,
+                                      const std::vector<int>& u_cols,
+                                      const std::vector<int>& v_cols,
+                                      double p) {
+  // Degree of each row's U-value over distinct (U,V) pairs.
+  std::vector<int> uv = u_cols;
+  uv.insert(uv.end(), v_cols.begin(), v_cols.end());
+  std::vector<uint32_t> order = rel.SortedOrder(u_cols);
+
+  // Assign each row a (bucket, chunk) pair: bucket = ceil(log2 degree) of
+  // its U-group, chunk = round-robin over U-groups within the bucket so
+  // that each bucket is split into ~ceil(2^p) chunks of equal group count.
+  const int num_chunks = static_cast<int>(std::ceil(std::exp2(p)));
+  std::map<std::pair<int, int>, Relation> parts;
+  std::map<int, int> next_chunk_in_bucket;
+
+  size_t i = 0;
+  std::vector<Value> row(rel.arity());
+  while (i < order.size()) {
+    // One U-group: rows [i, j).
+    size_t j = i + 1;
+    while (j < order.size() && rel.RowsEqualOn(order[i], order[j], u_cols)) {
+      ++j;
+    }
+    // Distinct (U,V) degree of the group.
+    std::vector<uint32_t> group(order.begin() + i, order.begin() + j);
+    std::sort(group.begin(), group.end(), [&](uint32_t a, uint32_t b) {
+      return rel.RowLessOn(a, b, uv);
+    });
+    uint64_t degree = 1;
+    for (size_t k = 1; k < group.size(); ++k) {
+      if (!rel.RowsEqualOn(group[k - 1], group[k], uv)) ++degree;
+    }
+    const int bucket =
+        degree <= 1 ? 0
+                    : static_cast<int>(std::ceil(
+                          std::log2(static_cast<double>(degree))));
+    const int chunk = next_chunk_in_bucket[bucket]++ % num_chunks;
+
+    auto key = std::make_pair(bucket, chunk);
+    auto it = parts.find(key);
+    if (it == parts.end()) {
+      it = parts.emplace(key, Relation(rel.name(), rel.attrs())).first;
+    }
+    for (size_t k = i; k < j; ++k) {
+      for (int c = 0; c < rel.arity(); ++c) row[c] = rel.At(order[k], c);
+      it->second.AddRow(row);
+    }
+    i = j;
+  }
+
+  std::vector<Relation> out;
+  out.reserve(parts.size());
+  for (auto& [key, part] : parts) out.push_back(std::move(part));
+  return out;
+}
+
+PartitionedCountResult CountJoinPartitioned(
+    const Query& query, const Catalog& catalog,
+    const std::vector<PartitionSpec>& specs) {
+  // Partition each specified atom's relation; unspecified atoms contribute
+  // the single whole relation.
+  std::vector<std::vector<Relation>> parts_per_atom(query.num_atoms());
+  for (int a = 0; a < query.num_atoms(); ++a) {
+    parts_per_atom[a] = {catalog.Get(query.atom(a).relation)};
+  }
+  for (const PartitionSpec& spec : specs) {
+    assert(spec.atom >= 0 && spec.atom < query.num_atoms());
+    parts_per_atom[spec.atom] =
+        PartitionStrong(catalog.Get(query.atom(spec.atom).relation),
+                        spec.u_cols, spec.v_cols, spec.p);
+  }
+
+  // Self-joins: evaluating part combinations requires each atom to read its
+  // own part, so rebuild the query with a unique relation name per atom.
+  Query renamed("Q_parts");
+  for (int a = 0; a < query.num_atoms(); ++a) {
+    std::vector<std::string> names;
+    for (int v : query.atom(a).vars) names.push_back(query.var_name(v));
+    renamed.AddAtom(query.atom(a).relation + "#" + std::to_string(a), names);
+  }
+
+  PartitionedCountResult result;
+  std::vector<size_t> pick(query.num_atoms(), 0);
+  while (true) {
+    Catalog part_db;
+    for (int a = 0; a < query.num_atoms(); ++a) {
+      Relation part = parts_per_atom[a][pick[a]];
+      part.set_name(query.atom(a).relation + "#" + std::to_string(a));
+      part_db.Add(std::move(part));
+    }
+    const uint64_t c = CountJoin(renamed, part_db);
+    ++result.subqueries;
+    if (c > 0) ++result.nonempty_subqueries;
+    result.count += c;
+
+    // Advance the odometer.
+    int a = 0;
+    for (; a < query.num_atoms(); ++a) {
+      if (++pick[a] < parts_per_atom[a].size()) break;
+      pick[a] = 0;
+    }
+    if (a == query.num_atoms()) break;
+  }
+  return result;
+}
+
+}  // namespace lpb

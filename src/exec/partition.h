@@ -1,0 +1,62 @@
+// The degree-partitioning evaluation algorithm of Sec 2.2 (Lemma 2.5 and
+// Theorem 2.6).
+//
+// A relation satisfying an ℓp statistic ||deg_R(V|U)||_p <= B is split into
+// O(2^p log N) parts that each *strongly* satisfy it — i.e. admit an ℓ∞
+// bound d on the degree and an ℓ1 bound B^p/d^p on |Π_U| — turning the
+// query into a disjoint union of subqueries over part combinations, each
+// evaluated with the worst-case-optimal join (our PANDA black box).
+#ifndef LPB_EXEC_PARTITION_H_
+#define LPB_EXEC_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "relation/relation.h"
+
+namespace lpb {
+
+// Strong satisfaction check (Eq. (22)): true iff
+//   log2 |Π_U(R)| + p · log2 ||deg_R(V|U)||_∞ <= p · log_b + eps,
+// i.e. R |=_s ((V|U), p), B) with witness d = max degree.
+bool StronglySatisfiesLog2(const Relation& rel, const std::vector<int>& u_cols,
+                           const std::vector<int>& v_cols, double p,
+                           double log_b, double eps = 1e-9);
+
+// Lemma 2.5: partitions `rel` into parts such that, whenever rel satisfies
+// ||deg(V|U)||_p <= B, every part strongly satisfies that statistic. Parts
+// are formed by (1) bucketing U-groups by ⌈log2 degree⌉ and (2) splitting
+// each bucket into ⌈2^p⌉ chunks of nearly equal U-group count. Empty parts
+// are dropped; the parts are disjoint and their union is rel.
+std::vector<Relation> PartitionStrong(const Relation& rel,
+                                      const std::vector<int>& u_cols,
+                                      const std::vector<int>& v_cols,
+                                      double p);
+
+// Partition request for one atom of a query.
+struct PartitionSpec {
+  int atom = 0;
+  std::vector<int> u_cols;  // relation column indices
+  std::vector<int> v_cols;
+  double p = 2.0;
+};
+
+struct PartitionedCountResult {
+  uint64_t count = 0;
+  uint64_t subqueries = 0;       // part combinations evaluated
+  uint64_t nonempty_subqueries = 0;
+};
+
+// Theorem 2.6 driver: partitions the specified atoms' relations with
+// PartitionStrong, evaluates every combination of parts with the generic
+// join, and sums the (disjoint) counts. Equals CountJoin on the original
+// database — asserted by tests.
+PartitionedCountResult CountJoinPartitioned(
+    const Query& query, const Catalog& catalog,
+    const std::vector<PartitionSpec>& specs);
+
+}  // namespace lpb
+
+#endif  // LPB_EXEC_PARTITION_H_

@@ -1,0 +1,135 @@
+#include "exec/yannakakis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "query/join_tree.h"
+
+namespace lpb {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (Value x : v) {
+      h ^= std::hash<Value>()(x);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+// A node's distinct tuples over its distinct variables (ascending ids),
+// with the equality selection for repeated variables applied.
+struct Node {
+  std::vector<int> vars;
+  std::vector<std::vector<Value>> rows;
+  std::vector<uint64_t> weight;  // extensions into this node's subtree
+};
+
+Node BuildNode(const Atom& atom, const Relation& rel) {
+  Node node;
+  for (int v : VarRange(atom.var_set())) node.vars.push_back(v);
+  std::vector<int> first_col(node.vars.size());
+  for (size_t k = 0; k < node.vars.size(); ++k) {
+    for (size_t j = 0; j < atom.vars.size(); ++j) {
+      if (atom.vars[j] == node.vars[k]) {
+        first_col[k] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  std::vector<Value> tuple(node.vars.size());
+  for (size_t r = 0; r < rel.NumRows(); ++r) {
+    bool ok = true;
+    for (size_t j = 0; j < atom.vars.size() && ok; ++j) {
+      for (size_t j2 = j + 1; j2 < atom.vars.size(); ++j2) {
+        if (atom.vars[j] == atom.vars[j2] &&
+            rel.At(r, static_cast<int>(j)) !=
+                rel.At(r, static_cast<int>(j2))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (size_t k = 0; k < node.vars.size(); ++k) {
+      tuple[k] = rel.At(r, first_col[k]);
+    }
+    node.rows.push_back(tuple);
+  }
+  std::sort(node.rows.begin(), node.rows.end());
+  node.rows.erase(std::unique(node.rows.begin(), node.rows.end()),
+                  node.rows.end());
+  node.weight.assign(node.rows.size(), 1);
+  return node;
+}
+
+// Positions in `vars` of the variables shared with `other_set`.
+std::vector<int> SharedPositions(const std::vector<int>& vars,
+                                 VarSet other_set) {
+  std::vector<int> pos;
+  for (size_t k = 0; k < vars.size(); ++k) {
+    if (Contains(other_set, vars[k])) pos.push_back(static_cast<int>(k));
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::optional<uint64_t> CountAcyclic(const Query& query,
+                                     const Catalog& catalog) {
+  std::optional<JoinTree> tree = BuildJoinTree(query);
+  if (!tree.has_value()) return std::nullopt;
+
+  const int m = query.num_atoms();
+  std::vector<Node> nodes;
+  nodes.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    nodes.push_back(BuildNode(query.atom(i), catalog.Get(query.atom(i).relation)));
+  }
+
+  // Bottom-up: fold each child's keyed weight sums into its parent.
+  for (int i : tree->bottom_up) {
+    if (tree->IsRoot(i)) continue;
+    const int p = tree->parent[i];
+    Node& child = nodes[i];
+    Node& par = nodes[p];
+    const VarSet par_set = query.atom(p).var_set();
+    const VarSet child_set = query.atom(i).var_set();
+    const std::vector<int> child_key = SharedPositions(child.vars, par_set);
+    const std::vector<int> par_key = SharedPositions(par.vars, child_set);
+
+    std::unordered_map<std::vector<Value>, uint64_t, VecHash> sums;
+    std::vector<Value> key(child_key.size());
+    for (size_t r = 0; r < child.rows.size(); ++r) {
+      if (child.weight[r] == 0) continue;
+      for (size_t k = 0; k < child_key.size(); ++k) {
+        key[k] = child.rows[r][child_key[k]];
+      }
+      sums[key] += child.weight[r];
+    }
+    key.resize(par_key.size());
+    for (size_t r = 0; r < par.rows.size(); ++r) {
+      for (size_t k = 0; k < par_key.size(); ++k) {
+        key[k] = par.rows[r][par_key[k]];
+      }
+      auto it = sums.find(key);
+      par.weight[r] = (it == sums.end()) ? 0 : par.weight[r] * it->second;
+    }
+  }
+
+  // Forest: the total is the product of per-root sums (disconnected parts
+  // multiply).
+  uint64_t total = 1;
+  for (int i = 0; i < m; ++i) {
+    if (!tree->IsRoot(i)) continue;
+    uint64_t root_sum = 0;
+    for (uint64_t w : nodes[i].weight) root_sum += w;
+    total *= root_sum;
+  }
+  return total;
+}
+
+}  // namespace lpb

@@ -1,0 +1,29 @@
+// Yannakakis-style counting for α-acyclic full joins.
+//
+// Computes |Q(D)| in time O(input + #distinct keys) via a bottom-up
+// dynamic program on a join tree: each node tuple carries the number of
+// extensions into its subtree; parents multiply the per-child sums of
+// matching tuples. No intermediate result is ever materialized, so star
+// queries whose output is huge (JOB-style workloads) count in linear time
+// where the worst-case-optimal join would enumerate.
+#ifndef LPB_EXEC_YANNAKAKIS_H_
+#define LPB_EXEC_YANNAKAKIS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "query/query.h"
+#include "relation/catalog.h"
+
+namespace lpb {
+
+// Returns |Q(D)| for an α-acyclic query, or std::nullopt if the query is
+// not α-acyclic (callers fall back to CountJoin). Counts are computed in
+// uint64_t; overflow is the caller's responsibility (outputs beyond 2^64
+// are out of scope for the experiments).
+std::optional<uint64_t> CountAcyclic(const Query& query,
+                                     const Catalog& catalog);
+
+}  // namespace lpb
+
+#endif  // LPB_EXEC_YANNAKAKIS_H_

@@ -1,0 +1,29 @@
+#include "lp/lp_problem.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lpb {
+
+void LpProblem::SetObjective(int var, double coef) {
+  assert(var >= 0 && var < num_vars());
+  objective_[var] = coef;
+}
+
+int LpProblem::AddConstraint(std::vector<LpTerm> terms, LpSense sense,
+                             double rhs) {
+  for (const LpTerm& t : terms) {
+    assert(t.var >= 0 && t.var < num_vars());
+    (void)t;
+  }
+  constraints_.push_back(LpConstraint{std::move(terms), sense, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+double LpProblem::EvalLhs(int i, const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (const LpTerm& t : constraints_[i].terms) acc += t.coef * x[t.var];
+  return acc;
+}
+
+}  // namespace lpb

@@ -1,0 +1,61 @@
+// Linear program model: maximize c'x subject to linear constraints, x >= 0.
+//
+// This is the substrate for every bound in the library (Sec 5 of the paper
+// computes the polymatroid bound as the optimum of a linear program). No LP
+// library is available offline, so the solver in simplex.h is built from
+// scratch; this header defines the solver-independent problem description.
+#ifndef LPB_LP_LP_PROBLEM_H_
+#define LPB_LP_LP_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+namespace lpb {
+
+// One term `coef * x_var` of a linear expression.
+struct LpTerm {
+  int var = 0;
+  double coef = 0.0;
+};
+
+enum class LpSense { kLe, kGe, kEq };
+
+struct LpConstraint {
+  std::vector<LpTerm> terms;
+  LpSense sense = LpSense::kLe;
+  double rhs = 0.0;
+};
+
+// A linear program in the form
+//   maximize    c'x
+//   subject to  <constraints>, x >= 0.
+// Minimization is expressed by negating the objective at the call site.
+class LpProblem {
+ public:
+  explicit LpProblem(int num_vars) : objective_(num_vars, 0.0) {}
+
+  int num_vars() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  // Sets the objective coefficient of variable `var` (default 0).
+  void SetObjective(int var, double coef);
+  double objective_coef(int var) const { return objective_[var]; }
+  const std::vector<double>& objective() const { return objective_; }
+
+  // Adds a constraint; returns its index (used to look up duals).
+  int AddConstraint(std::vector<LpTerm> terms, LpSense sense, double rhs);
+
+  const LpConstraint& constraint(int i) const { return constraints_[i]; }
+  const std::vector<LpConstraint>& constraints() const { return constraints_; }
+
+  // Evaluates the left-hand side of constraint i at point x.
+  double EvalLhs(int i, const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<LpConstraint> constraints_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_LP_LP_PROBLEM_H_

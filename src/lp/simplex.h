@@ -1,0 +1,53 @@
+// Dense two-phase primal simplex solver.
+//
+// Solves `maximize c'x s.t. Ax {<=,>=,=} b, x >= 0` on a dense tableau.
+// Phase 1 drives artificial variables out of the basis; phase 2 optimizes
+// the real objective. Pricing is Dantzig's rule; the leaving row is chosen
+// by a lexicographic ratio test, which guarantees termination on the
+// heavily degenerate cutting-plane LPs of the bound engine. Dual values for every constraint are recovered from the final
+// objective row — the bound engines use them as the witness coefficients
+// w_i of the paper's information inequality (8).
+#ifndef LPB_LP_SIMPLEX_H_
+#define LPB_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/lp_problem.h"
+
+namespace lpb {
+
+enum class LpStatus {
+  kOptimal,
+  kUnbounded,
+  kInfeasible,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  // Primal solution, size = problem.num_vars(). Valid when kOptimal.
+  std::vector<double> x;
+  // Dual value per constraint, size = problem.num_constraints().
+  // Sign convention: for a <= constraint of a maximization problem the dual
+  // is >= 0, for >= it is <= 0; duals satisfy sum_i y_i b_i = objective.
+  std::vector<double> duals;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;          // pivot / feasibility tolerance
+  int max_iterations = 0;     // 0 = automatic (50 * (rows + cols) + 1000)
+  // Optional right-hand-side perturbation (b_i += perturb * (1 + i mod 101)).
+  // Degeneracy is handled by the lexicographic ratio test, so this defaults
+  // to off; it remains available for experimentation.
+  double perturb = 0.0;
+};
+
+// Solves the LP. The problem is copied into an internal tableau; `problem`
+// is not modified.
+LpResult SolveLp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace lpb
+
+#endif  // LPB_LP_SIMPLEX_H_

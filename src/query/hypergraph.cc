@@ -1,0 +1,162 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace lpb {
+namespace {
+
+// Union-find over [0, n).
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  // Returns true if x and y were in different sets.
+  bool Union(int x, int y) {
+    x = Find(x);
+    y = Find(y);
+    if (x == y) return false;
+    parent_[x] = y;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Hypergraph::Hypergraph(const Query& query) : num_vars_(query.num_vars()) {
+  edges_.reserve(query.num_atoms());
+  for (const Atom& atom : query.atoms()) edges_.push_back(atom.var_set());
+}
+
+bool Hypergraph::IsAlphaAcyclic() const {
+  std::vector<VarSet> edges = edges_;
+  bool changed = true;
+  while (changed && edges.size() > 1) {
+    changed = false;
+    // Remove isolated variables (occurring in exactly one edge).
+    std::vector<int> occurrences(num_vars_, 0);
+    for (VarSet e : edges) {
+      for (int v : VarRange(e)) ++occurrences[v];
+    }
+    for (VarSet& e : edges) {
+      for (int v : VarRange(e)) {
+        if (occurrences[v] == 1) {
+          e &= ~VarBit(v);
+          changed = true;
+        }
+      }
+    }
+    // Remove edges contained in another edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        if (IsSubset(edges[i], edges[j])) {
+          edges.erase(edges.begin() + i);
+          changed = true;
+          --i;
+          break;
+        }
+      }
+    }
+  }
+  return edges.size() <= 1;
+}
+
+bool Hypergraph::IsBergeAcyclic() const {
+  // Incidence graph nodes: used variables [0, num_vars_) and hyperedges
+  // [num_vars_, num_vars_ + m). Forest iff #edges == #nodes - #components.
+  const int m = num_edges();
+  DisjointSets ds(num_vars_ + m);
+  int incidences = 0;
+  std::vector<bool> used(num_vars_, false);
+  for (int e = 0; e < m; ++e) {
+    for (int v : VarRange(edges_[e])) {
+      used[v] = true;
+      ++incidences;
+      if (!ds.Union(v, num_vars_ + e)) return false;  // closed a cycle
+    }
+  }
+  (void)incidences;
+  return true;
+}
+
+bool Hypergraph::IsConnected() const {
+  const int m = num_edges();
+  if (m <= 1) return true;
+  DisjointSets ds(m);
+  int components = m;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      if (Intersects(edges_[i], edges_[j]) && ds.Union(i, j)) --components;
+    }
+  }
+  return components == 1;
+}
+
+int Hypergraph::BinaryGirth() const {
+  // Collect binary atoms as undirected variable pairs.
+  std::vector<std::pair<int, int>> pairs;
+  for (VarSet e : edges_) {
+    if (SetSize(e) == 1) {
+      // A binary atom R(X, X) is a self-loop on X.
+      // (Unary atoms also land here; they are not cycles, so only count a
+      // self-loop when the originating atom had two positions — we cannot
+      // distinguish that from the VarSet alone, so unary sets are skipped.)
+      continue;
+    }
+    if (SetSize(e) != 2) continue;
+    int a = LowestVar(e);
+    int b = LowestVar(e & (e - 1));
+    pairs.emplace_back(a, b);
+  }
+  // Parallel edges between the same pair form a 2-cycle.
+  std::vector<std::pair<int, int>> sorted = pairs;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) return 2;
+  }
+
+  // Girth = min over edges (u,v) of 1 + dist(u, v) in the graph minus that
+  // edge. Exact, and cheap at query sizes.
+  std::vector<std::vector<std::pair<int, int>>> adj(num_vars_);  // (nbr, edge)
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    adj[pairs[i].first].emplace_back(pairs[i].second, static_cast<int>(i));
+    adj[pairs[i].second].emplace_back(pairs[i].first, static_cast<int>(i));
+  }
+  int girth = 0;
+  for (size_t skip = 0; skip < pairs.size(); ++skip) {
+    const auto [src, dst] = pairs[skip];
+    std::vector<int> dist(num_vars_, std::numeric_limits<int>::max());
+    std::deque<int> queue{src};
+    dist[src] = 0;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      if (u == dst) break;
+      for (auto [w, eid] : adj[u]) {
+        if (eid == static_cast<int>(skip)) continue;
+        if (dist[w] > dist[u] + 1) {
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (dist[dst] != std::numeric_limits<int>::max()) {
+      int cycle = dist[dst] + 1;
+      if (girth == 0 || cycle < girth) girth = cycle;
+    }
+  }
+  return girth;
+}
+
+}  // namespace lpb

@@ -1,0 +1,51 @@
+// Structural analysis of a query's hypergraph: α-acyclicity (GYO ear
+// removal), Berge-acyclicity, connectivity, and the girth of the binary
+// atom graph (used by the comparison with Jayaraman et al. in Appendix B).
+#ifndef LPB_QUERY_HYPERGRAPH_H_
+#define LPB_QUERY_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+class Hypergraph {
+ public:
+  explicit Hypergraph(const Query& query);
+
+  int num_vars() const { return num_vars_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<VarSet>& edges() const { return edges_; }
+
+  // α-acyclicity via GYO ear removal: repeatedly delete isolated variables
+  // (occurring in exactly one edge) and edges contained in another edge;
+  // acyclic iff everything is eliminated.
+  bool IsAlphaAcyclic() const;
+
+  // Berge-acyclicity: the bipartite incidence graph (variables vs edges,
+  // counting only variables occurring in >= 1 edge) is a forest. Implies
+  // α-acyclicity and that all degree sequences over single join variables
+  // are "simple" in the paper's sense.
+  bool IsBergeAcyclic() const;
+
+  // True if the variable-intersection graph of the edges is connected
+  // (edges sharing a variable are adjacent). Vacuously true with <= 1 edge.
+  bool IsConnected() const;
+
+  // Girth of the graph whose nodes are variables and whose edges are the
+  // *binary* atoms (atoms of other arities are ignored). Returns the length
+  // of the shortest cycle, or 0 if the binary graph is acyclic. Parallel
+  // edges between the same pair of variables form a cycle of length 2; a
+  // self-loop has girth 1.
+  int BinaryGirth() const;
+
+ private:
+  int num_vars_;
+  std::vector<VarSet> edges_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,91 @@
+#include "query/join_tree.h"
+
+#include <numeric>
+
+namespace lpb {
+
+std::optional<JoinTree> BuildJoinTree(const Query& query) {
+  const int m = query.num_atoms();
+  std::vector<VarSet> vars(m);
+  for (int i = 0; i < m; ++i) vars[i] = query.atom(i).var_set();
+
+  JoinTree tree;
+  tree.parent.assign(m, -1);
+  std::vector<bool> alive(m, true);
+  int remaining = m;
+
+  // GYO: repeatedly remove an "ear" — an atom whose variables shared with
+  // the rest are covered by a single witness atom — and make the witness
+  // its parent.
+  bool progress = true;
+  while (remaining > 1 && progress) {
+    progress = false;
+    for (int i = 0; i < m && remaining > 1; ++i) {
+      if (!alive[i]) continue;
+      VarSet shared = 0;
+      for (int k = 0; k < m; ++k) {
+        if (k != i && alive[k]) shared |= vars[i] & vars[k];
+      }
+      int witness = -1;
+      for (int j = 0; j < m; ++j) {
+        if (j != i && alive[j] && IsSubset(shared, vars[j])) {
+          witness = j;
+          break;
+        }
+      }
+      if (witness < 0) continue;
+      tree.parent[i] = witness;
+      tree.bottom_up.push_back(i);
+      alive[i] = false;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 1) {
+    // No ear found with >1 atoms left in some component: check whether the
+    // leftovers are pairwise disconnected roots (legal forest) or a cyclic
+    // core (not α-acyclic).
+    for (int i = 0; i < m; ++i) {
+      if (!alive[i]) continue;
+      for (int j = i + 1; j < m; ++j) {
+        if (alive[j] && Intersects(vars[i], vars[j])) return std::nullopt;
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (alive[i]) tree.bottom_up.push_back(i);  // roots last
+  }
+  return tree;
+}
+
+bool HasRunningIntersection(const Query& query, const JoinTree& tree) {
+  const int m = query.num_atoms();
+  for (int v = 0; v < query.num_vars(); ++v) {
+    std::vector<int> holders;
+    for (int i = 0; i < m; ++i) {
+      if (Contains(query.atom(i).var_set(), v)) holders.push_back(i);
+    }
+    if (holders.size() <= 1) continue;
+    // Union-find over tree edges whose endpoints both hold v.
+    std::vector<int> uf(m);
+    std::iota(uf.begin(), uf.end(), 0);
+    auto find = [&](int x) {
+      while (uf[x] != x) x = uf[x] = uf[uf[x]];
+      return x;
+    };
+    for (int i = 0; i < m; ++i) {
+      const int p = tree.parent[i];
+      if (p >= 0 && Contains(query.atom(i).var_set(), v) &&
+          Contains(query.atom(p).var_set(), v)) {
+        uf[find(i)] = find(p);
+      }
+    }
+    const int root = find(holders[0]);
+    for (int h : holders) {
+      if (find(h) != root) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lpb

@@ -1,0 +1,39 @@
+// Join trees for α-acyclic queries (GYO-based construction).
+//
+// A join tree has one node per atom; for every variable, the nodes whose
+// atoms contain it form a connected subtree (the running-intersection
+// property). It exists iff the query is α-acyclic, and it drives the
+// Yannakakis-style acyclic evaluation in exec/yannakakis.h.
+#ifndef LPB_QUERY_JOIN_TREE_H_
+#define LPB_QUERY_JOIN_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+struct JoinTree {
+  // parent[i] = parent atom index of atom i, or -1 for the root. The tree
+  // may be a forest for disconnected queries (several -1 entries).
+  std::vector<int> parent;
+  // Atom indices in a bottom-up order (every node precedes its parent).
+  std::vector<int> bottom_up;
+
+  int num_nodes() const { return static_cast<int>(parent.size()); }
+  bool IsRoot(int i) const { return parent[i] < 0; }
+};
+
+// Builds a join tree via GYO ear removal. Returns std::nullopt when the
+// query is not α-acyclic.
+std::optional<JoinTree> BuildJoinTree(const Query& query);
+
+// Verifies the running-intersection property of `tree` for `query`
+// (used by tests; O(vars · atoms²)).
+bool HasRunningIntersection(const Query& query, const JoinTree& tree);
+
+}  // namespace lpb
+
+#endif  // LPB_QUERY_JOIN_TREE_H_

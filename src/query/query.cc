@@ -1,0 +1,47 @@
+#include "query/query.h"
+
+#include <cassert>
+
+namespace lpb {
+
+int Query::VarIndex(const std::string& name) const {
+  for (int i = 0; i < num_vars(); ++i) {
+    if (var_names_[i] == name) return i;
+  }
+  return -1;
+}
+
+int Query::AddVar(const std::string& name) {
+  int idx = VarIndex(name);
+  if (idx >= 0) return idx;
+  assert(num_vars() < kMaxVars);
+  var_names_.push_back(name);
+  return num_vars() - 1;
+}
+
+int Query::AddAtom(const std::string& relation,
+                   const std::vector<std::string>& names) {
+  Atom atom;
+  atom.relation = relation;
+  atom.vars.reserve(names.size());
+  for (const std::string& n : names) atom.vars.push_back(AddVar(n));
+  atoms_.push_back(std::move(atom));
+  return num_atoms() - 1;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_atoms(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].relation;
+    out += "(";
+    for (size_t j = 0; j < atoms_[i].vars.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += var_names_[atoms_[i].vars[j]];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace lpb

@@ -1,0 +1,70 @@
+// Full conjunctive (join) query representation (Eq. (6) of the paper):
+//   Q(X) = R_1(V_1) ∧ ... ∧ R_m(V_m)
+// Variables are interned to dense ids 0..n-1 so that variable sets can be
+// bitmasks (util/bits.h) and entropy vectors can be arrays of size 2^n.
+#ifndef LPB_QUERY_QUERY_H_
+#define LPB_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace lpb {
+
+// One atom R(X_{i1}, ..., X_{ik}). `vars[j]` is the query-variable id bound
+// to the j-th column of the relation. The same relation name may appear in
+// several atoms (self-joins).
+struct Atom {
+  std::string relation;
+  std::vector<int> vars;
+
+  VarSet var_set() const {
+    VarSet s = 0;
+    for (int v : vars) s |= VarBit(v);
+    return s;
+  }
+};
+
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(int i) const { return atoms_[i]; }
+
+  const std::string& var_name(int v) const { return var_names_[v]; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  // Id of the variable with the given name, or -1.
+  int VarIndex(const std::string& name) const;
+
+  // Interns a variable name, returning its id (existing or new).
+  int AddVar(const std::string& name);
+
+  // Adds an atom over named variables; unknown names are interned.
+  // Returns the atom index.
+  int AddAtom(const std::string& relation,
+              const std::vector<std::string>& var_names);
+
+  // All variables of the query as a bitmask.
+  VarSet AllVars() const { return FullSet(num_vars()); }
+
+  // Human-readable rendering, e.g. "R(X, Y), S(Y, Z)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> var_names_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_QUERY_QUERY_H_

@@ -1,0 +1,48 @@
+#include "relation/compressed_sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lpb {
+
+DegreeSequence CompressDominating(const DegreeSequence& d,
+                                  const CompressionOptions& options) {
+  const auto& deg = d.degrees();
+  const size_t n = deg.size();
+  std::vector<uint64_t> out(deg.begin(), deg.end());
+  const size_t head = std::min<size_t>(options.exact_head, n);
+  if (head >= n) return DegreeSequence(std::move(out));
+
+  // Tail: geometric buckets by rank, each replaced by its max (= first
+  // element, as the sequence is sorted non-increasing).
+  const size_t tail_len = n - head;
+  const int buckets = std::max(1, options.tail_buckets);
+  // Bucket b spans ranks [head + tail_len^{b/B}, head + tail_len^{(b+1)/B})
+  // — geometric in rank so heavy ranks get fine resolution.
+  size_t start = head;
+  for (int b = 0; b < buckets && start < n; ++b) {
+    size_t end;
+    if (b + 1 == buckets) {
+      end = n;
+    } else {
+      const double frac = std::pow(static_cast<double>(tail_len),
+                                   static_cast<double>(b + 1) / buckets);
+      end = std::min(n, head + std::max<size_t>(
+                              static_cast<size_t>(std::llround(frac)),
+                              start - head + 1));
+    }
+    const uint64_t bucket_max = out[start];  // sorted: first is the max
+    for (size_t i = start; i < end; ++i) out[i] = bucket_max;
+    start = end;
+  }
+  return DegreeSequence(std::move(out));
+}
+
+size_t DistinctDegreeValues(const DegreeSequence& d) {
+  std::set<uint64_t> values(d.degrees().begin(), d.degrees().end());
+  return values.size();
+}
+
+}  // namespace lpb

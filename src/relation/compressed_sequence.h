@@ -1,0 +1,35 @@
+// Lossy degree-sequence compression (the SafeBound [7] idea referenced in
+// Sec 1.3 / Appendix C.3): real degree sequences are too large to store, so
+// systems keep a small *dominating* summary — the top-k degrees exactly
+// plus per-bucket maxima for the tail. Any bound computed from the
+// compressed sequence (DSB, ℓp-norms) remains a sound upper bound because
+// the summary dominates the original coordinatewise.
+#ifndef LPB_RELATION_COMPRESSED_SEQUENCE_H_
+#define LPB_RELATION_COMPRESSED_SEQUENCE_H_
+
+#include <cstdint>
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+struct CompressionOptions {
+  // Number of head degrees stored exactly.
+  int exact_head = 8;
+  // Number of geometric buckets for the tail; each bucket is replaced by
+  // its maximum degree.
+  int tail_buckets = 8;
+};
+
+// Returns a degree sequence of the same length that dominates `d`
+// coordinatewise (d'_i >= d_i) while storing only
+// exact_head + tail_buckets distinct values.
+DegreeSequence CompressDominating(const DegreeSequence& d,
+                                  const CompressionOptions& options = {});
+
+// Number of distinct degree values (the storage footprint of a summary).
+size_t DistinctDegreeValues(const DegreeSequence& d);
+
+}  // namespace lpb
+
+#endif  // LPB_RELATION_COMPRESSED_SEQUENCE_H_

@@ -1,0 +1,47 @@
+// CSV import/export for relations — lets users run the estimator on their
+// own data (e.g. actual SNAP edge lists) without recompiling.
+//
+// Format: an optional header row with attribute names, then one row of
+// unsigned integers per tuple. The delimiter defaults to ',' and may be
+// any single character (tab for SNAP .txt files). Lines starting with '#'
+// are skipped (SNAP convention).
+#ifndef LPB_RELATION_CSV_H_
+#define LPB_RELATION_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace lpb {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // Treat the first non-comment row as attribute names. When false, the
+  // attributes are named c0, c1, ...
+  bool has_header = true;
+};
+
+// Parses CSV text into a relation named `name`. Returns std::nullopt and
+// fills *error on malformed input (ragged rows, non-numeric fields).
+std::optional<Relation> RelationFromCsv(const std::string& name,
+                                        const std::string& text,
+                                        const CsvOptions& options = {},
+                                        std::string* error = nullptr);
+
+// Reads a CSV file from disk; same semantics as RelationFromCsv.
+std::optional<Relation> LoadRelationCsv(const std::string& name,
+                                        const std::string& path,
+                                        const CsvOptions& options = {},
+                                        std::string* error = nullptr);
+
+// Serializes a relation (header + rows).
+std::string RelationToCsv(const Relation& rel, const CsvOptions& options = {});
+
+// Writes a relation to disk; returns false on I/O failure.
+bool SaveRelationCsv(const Relation& rel, const std::string& path,
+                     const CsvOptions& options = {});
+
+}  // namespace lpb
+
+#endif  // LPB_RELATION_CSV_H_

@@ -1,0 +1,78 @@
+#include "relation/degree_sequence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace lpb {
+
+DegreeSequence::DegreeSequence(std::vector<uint64_t> degrees)
+    : degrees_(std::move(degrees)) {
+  std::sort(degrees_.begin(), degrees_.end(), std::greater<uint64_t>());
+  while (!degrees_.empty() && degrees_.back() == 0) degrees_.pop_back();
+}
+
+uint64_t DegreeSequence::Total() const {
+  uint64_t total = 0;
+  for (uint64_t d : degrees_) total += d;
+  return total;
+}
+
+double DegreeSequence::NormP(double p) const {
+  if (degrees_.empty()) return 0.0;
+  return std::exp2(Log2NormP(p));
+}
+
+double DegreeSequence::Log2NormP(double p) const {
+  assert(p > 0.0);
+  if (degrees_.empty()) return -kInfNorm;
+  if (p >= kInfNorm / 2) return std::log2(static_cast<double>(degrees_[0]));
+  // log2 (sum_i d_i^p)^{1/p} via a base-2 log-sum-exp anchored at the max
+  // term, so the result stays finite for large p (d^p overflows double for
+  // p ~ 30 and d ~ 10^11).
+  const double max_log = p * std::log2(static_cast<double>(degrees_[0]));
+  double sum = 0.0;
+  for (uint64_t d : degrees_) {
+    sum += std::exp2(p * std::log2(static_cast<double>(d)) - max_log);
+  }
+  return (max_log + std::log2(sum)) / p;
+}
+
+bool DegreeSequence::DominatedBy(const DegreeSequence& other) const {
+  if (degrees_.size() > other.degrees_.size()) return false;
+  for (size_t i = 0; i < degrees_.size(); ++i) {
+    if (degrees_[i] > other.degrees_[i]) return false;
+  }
+  return true;
+}
+
+DegreeSequence ComputeDegreeSequence(const Relation& rel,
+                                     const std::vector<int>& u_cols,
+                                     const std::vector<int>& v_cols) {
+  if (rel.NumRows() == 0) return DegreeSequence();
+
+  std::vector<int> uv = u_cols;
+  uv.insert(uv.end(), v_cols.begin(), v_cols.end());
+  std::vector<uint32_t> order = rel.SortedOrder(uv);
+
+  std::vector<uint64_t> degrees;
+  uint64_t current = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const bool same_uv =
+        i > 0 && rel.RowsEqualOn(order[i - 1], order[i], uv);
+    if (same_uv) continue;  // duplicate (u, v) edge
+    const bool same_u =
+        i > 0 && rel.RowsEqualOn(order[i - 1], order[i], u_cols);
+    if (same_u) {
+      ++current;
+    } else {
+      if (current > 0) degrees.push_back(current);
+      current = 1;
+    }
+  }
+  if (current > 0) degrees.push_back(current);
+  return DegreeSequence(std::move(degrees));
+}
+
+}  // namespace lpb

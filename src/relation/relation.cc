@@ -1,0 +1,98 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lpb {
+
+Relation::Relation(std::string name, std::vector<std::string> attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)) {
+  cols_.resize(attrs_.size());
+}
+
+int Relation::AttrIndex(const std::string& name) const {
+  for (int i = 0; i < arity(); ++i) {
+    if (attrs_[i] == name) return i;
+  }
+  return -1;
+}
+
+void Relation::AddRow(const std::vector<Value>& row) {
+  assert(static_cast<int>(row.size()) == arity());
+  for (int i = 0; i < arity(); ++i) cols_[i].push_back(row[i]);
+  ++num_rows_;
+}
+
+void Relation::AddRow(std::initializer_list<Value> row) {
+  assert(static_cast<int>(row.size()) == arity());
+  int i = 0;
+  for (Value v : row) cols_[i++].push_back(v);
+  ++num_rows_;
+}
+
+void Relation::Reserve(size_t rows) {
+  for (auto& c : cols_) c.reserve(rows);
+}
+
+bool Relation::RowsEqualOn(uint32_t a, uint32_t b,
+                           const std::vector<int>& cols) const {
+  for (int c : cols) {
+    if (cols_[c][a] != cols_[c][b]) return false;
+  }
+  return true;
+}
+
+bool Relation::RowLessOn(uint32_t a, uint32_t b,
+                         const std::vector<int>& cols) const {
+  for (int c : cols) {
+    if (cols_[c][a] != cols_[c][b]) return cols_[c][a] < cols_[c][b];
+  }
+  return false;
+}
+
+std::vector<uint32_t> Relation::SortedOrder(
+    const std::vector<int>& cols) const {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return RowLessOn(a, b, cols);
+  });
+  return order;
+}
+
+size_t Relation::DistinctCount(const std::vector<int>& cols) const {
+  if (num_rows_ == 0) return 0;
+  std::vector<uint32_t> order = SortedOrder(cols);
+  size_t distinct = 1;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (!RowsEqualOn(order[i - 1], order[i], cols)) ++distinct;
+  }
+  return distinct;
+}
+
+Relation Relation::Project(const std::vector<int>& cols) const {
+  std::vector<std::string> names;
+  names.reserve(cols.size());
+  for (int c : cols) names.push_back(attrs_[c]);
+  Relation out(name_, std::move(names));
+  if (num_rows_ == 0) return out;
+  std::vector<uint32_t> order = SortedOrder(cols);
+  std::vector<Value> row(cols.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0 && RowsEqualOn(order[i - 1], order[i], cols)) continue;
+    for (size_t j = 0; j < cols.size(); ++j) row[j] = cols_[cols[j]][order[i]];
+    out.AddRow(row);
+  }
+  return out;
+}
+
+void Relation::Deduplicate() {
+  std::vector<int> all(arity());
+  std::iota(all.begin(), all.end(), 0);
+  Relation deduped = Project(all);
+  cols_ = std::move(deduped.cols_);
+  num_rows_ = deduped.num_rows_;
+}
+
+}  // namespace lpb

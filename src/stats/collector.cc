@@ -1,0 +1,102 @@
+#include "stats/collector.h"
+
+#include <cassert>
+#include <map>
+#include <tuple>
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+namespace {
+
+// First column of `atom` bound to query variable v, or -1.
+int ColumnOfVar(const Atom& atom, int v) {
+  for (size_t j = 0; j < atom.vars.size(); ++j) {
+    if (atom.vars[j] == v) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+std::vector<int> ColumnsOfVarSet(const Atom& atom, VarSet s) {
+  std::vector<int> cols;
+  for (int v : VarRange(s)) {
+    int c = ColumnOfVar(atom, v);
+    assert(c >= 0);
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+using CacheKey = std::tuple<std::string, std::vector<int>, std::vector<int>>;
+
+const DegreeSequence& CachedDegrees(const Relation& rel,
+                                    const std::vector<int>& u_cols,
+                                    const std::vector<int>& v_cols,
+                                    std::map<CacheKey, DegreeSequence>& cache) {
+  CacheKey key{rel.name(), u_cols, v_cols};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, ComputeDegreeSequence(rel, u_cols, v_cols)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<ConcreteStatistic> CollectStatistics(
+    const Query& query, const Catalog& catalog,
+    const CollectorOptions& options) {
+  std::vector<ConcreteStatistic> stats;
+  std::map<CacheKey, DegreeSequence> cache;
+
+  for (int a = 0; a < query.num_atoms(); ++a) {
+    const Atom& atom = query.atom(a);
+    const Relation& rel = catalog.Get(atom.relation);
+    const VarSet atom_vars = atom.var_set();
+
+    if (options.include_cardinalities) {
+      const std::vector<int> v_cols = ColumnsOfVarSet(atom, atom_vars);
+      const DegreeSequence& deg = CachedDegrees(rel, {}, v_cols, cache);
+      ConcreteStatistic stat;
+      stat.sigma = Conditional{0, atom_vars};
+      stat.p = 1.0;
+      stat.log_b = deg.Log2NormP(1.0);
+      stat.guard_atom = a;
+      stat.label = ToString(stat, query);
+      stats.push_back(std::move(stat));
+    }
+
+    for (VarSet u : SubsetRange(atom_vars)) {
+      const int usize = SetSize(u);
+      if (usize == 0 || usize > options.max_u_size) continue;
+      const VarSet v = atom_vars & ~u;
+      if (v == 0) continue;
+      const std::vector<int> u_cols = ColumnsOfVarSet(atom, u);
+      const std::vector<int> v_cols = ColumnsOfVarSet(atom, v);
+      const DegreeSequence& deg = CachedDegrees(rel, u_cols, v_cols, cache);
+      for (double p : options.norms) {
+        ConcreteStatistic stat;
+        stat.sigma = Conditional{u, v};
+        stat.p = p;
+        stat.log_b = deg.Log2NormP(p);
+        stat.guard_atom = a;
+        stat.label = ToString(stat, query);
+        stats.push_back(std::move(stat));
+      }
+    }
+  }
+  return stats;
+}
+
+double MeasureLog2Norm(const Query& query, int atom_index,
+                       const Catalog& catalog, Conditional sigma, double p) {
+  sigma = Normalize(sigma);
+  const Atom& atom = query.atom(atom_index);
+  const Relation& rel = catalog.Get(atom.relation);
+  assert(IsSubset(sigma.All(), atom.var_set()));
+  const std::vector<int> u_cols = ColumnsOfVarSet(atom, sigma.u);
+  const std::vector<int> v_cols = ColumnsOfVarSet(atom, sigma.v);
+  return ComputeDegreeSequence(rel, u_cols, v_cols).Log2NormP(p);
+}
+
+}  // namespace lpb

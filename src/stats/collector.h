@@ -1,0 +1,43 @@
+// Statistics collection: computes concrete ℓp-norm statistics from a
+// database instance for a given query ("We follow the standard assumption
+// in cardinality estimation that several ℓp-norms are pre-computed", Sec 1).
+#ifndef LPB_STATS_COLLECTOR_H_
+#define LPB_STATS_COLLECTOR_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "relation/degree_sequence.h"
+#include "stats/statistic.h"
+
+namespace lpb {
+
+struct CollectorOptions {
+  // Norm indices to collect for every degree sequence; kInfNorm allowed.
+  std::vector<double> norms = {1.0, 2.0, kInfNorm};
+  // Max size of the conditioning set U. 1 = simple statistics only (the
+  // paper's JOB experiments use simple statistics exclusively).
+  int max_u_size = 1;
+  // Also emit the cardinality statistic |Π_vars(R)| (p=1, U=∅) per atom.
+  bool include_cardinalities = true;
+};
+
+// For every atom R(V) of `query` and every U ⊆ V with 0 < |U| <=
+// max_u_size, emits ||deg_R(V∖U | U)||_p <= (measured value) for each
+// requested p, plus per-atom cardinality assertions. Duplicate (relation,
+// conditional, p) combinations across self-join atoms are computed once and
+// emitted once per guarding atom (the bound LP needs each atom's guard).
+std::vector<ConcreteStatistic> CollectStatistics(
+    const Query& query, const Catalog& catalog,
+    const CollectorOptions& options = {});
+
+// Single-statistic helper: the measured log2 ||deg_R(V|U)||_p where U/V are
+// given as query-variable sets interpreted under `atom`'s binding. Variables
+// bound to several columns of the atom (e.g. R(X,X)) use the first column.
+double MeasureLog2Norm(const Query& query, int atom_index,
+                       const Catalog& catalog, Conditional sigma, double p);
+
+}  // namespace lpb
+
+#endif  // LPB_STATS_COLLECTOR_H_

@@ -1,0 +1,62 @@
+#include "stats/statistic.h"
+
+#include <cmath>
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+LinearForm ConcreteStatistic::Lhs() const {
+  const double inv_p = (p >= kInfNorm / 2) ? 0.0 : 1.0 / p;
+  LinearForm form;
+  if (sigma.All() != 0) form.push_back({sigma.All(), 1.0});
+  if (sigma.u != 0) form.push_back({sigma.u, inv_p - 1.0});
+  return form;
+}
+
+Conditional Normalize(Conditional sigma) {
+  sigma.v &= ~sigma.u;
+  return sigma;
+}
+
+namespace {
+
+std::string VarList(VarSet s, const Query& query) {
+  std::string out;
+  bool first = true;
+  for (int v : VarRange(s)) {
+    if (!first) out += ",";
+    out += query.var_name(v);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Conditional& sigma, const Query& query) {
+  return "(" + VarList(sigma.v, query) + "|" + VarList(sigma.u, query) + ")";
+}
+
+std::string ToString(const ConcreteStatistic& stat, const Query& query) {
+  std::string guard = stat.guard_atom >= 0
+                          ? query.atom(stat.guard_atom).relation
+                          : std::string("?");
+  std::string p_str = (stat.p >= kInfNorm / 2)
+                          ? std::string("inf")
+                          : std::to_string(stat.p);
+  // Trim trailing zeros of the double rendering.
+  while (p_str.size() > 1 && p_str.back() == '0') p_str.pop_back();
+  if (!p_str.empty() && p_str.back() == '.') p_str.pop_back();
+  return guard + ": " + ToString(stat.sigma, query) + " p=" + p_str +
+         " log2B=" + std::to_string(stat.log_b);
+}
+
+bool AllSimple(const std::vector<ConcreteStatistic>& stats) {
+  for (const ConcreteStatistic& s : stats) {
+    if (!s.sigma.IsSimple()) return false;
+  }
+  return true;
+}
+
+}  // namespace lpb

@@ -1,0 +1,57 @@
+// Abstract and concrete ℓp statistics on degree sequences (Sec 1.2).
+//
+// An abstract conditional σ = (V|U) over query variables, a norm index
+// p ∈ (0, ∞], and a concrete value B form the statistic
+//   ||deg_R(V|U)||_p <= B,
+// guarded by the relation R of some atom. Its information-theoretic shadow
+// (Lemma 4.1 / Eq. (7)) is the linear constraint
+//   (1/p) h(U) + h(V|U) <= log2 B
+// on entropy vectors, which is what the bound engines consume.
+#ifndef LPB_STATS_STATISTIC_H_
+#define LPB_STATS_STATISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "entropy/shannon.h"
+#include "query/query.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+// (V | U) over query variables. V is kept disjoint from U (Normalize).
+struct Conditional {
+  VarSet u = 0;  // the "given" side; |U| <= 1 makes the conditional simple
+  VarSet v = 0;
+
+  VarSet All() const { return u | v; }
+  bool IsSimple() const { return SetSize(u) <= 1; }
+};
+
+struct ConcreteStatistic {
+  Conditional sigma;
+  double p = 1.0;       // norm index, kInfNorm for ℓ∞
+  double log_b = 0.0;   // log2 of the asserted bound B
+  int guard_atom = -1;  // index of the guarding atom in the query, or -1
+  std::string label;    // human-readable provenance, e.g. "R: (Y|X) p=2"
+
+  // The linear form (1/p)h(U) + h(U∪V) - h(U) as entropy terms; pairs with
+  // `<= log_b` in the bound LPs.
+  LinearForm Lhs() const;
+};
+
+// Normalizes σ so that V ∩ U = ∅ (deg(V|U) = deg(V∖U|U) since the U part
+// of an edge is fixed).
+Conditional Normalize(Conditional sigma);
+
+// Renders "(Y,Z|X) p=2" style labels using the query's variable names.
+std::string ToString(const Conditional& sigma, const Query& query);
+std::string ToString(const ConcreteStatistic& stat, const Query& query);
+
+// True if every statistic is simple (|U| <= 1) — the regime where the
+// polymatroid bound is tight (Sec 6).
+bool AllSimple(const std::vector<ConcreteStatistic>& stats);
+
+}  // namespace lpb
+
+#endif  // LPB_STATS_STATISTIC_H_

@@ -1,0 +1,105 @@
+// Bit-set utilities over variable sets encoded as 32-bit masks.
+//
+// Throughout the library a set of query variables {X_0, ..., X_{n-1}} is
+// represented as a bitmask: bit i set means X_i is a member. Entropy vectors
+// are indexed by these masks, so n is limited to kMaxVars.
+#ifndef LPB_UTIL_BITS_H_
+#define LPB_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace lpb {
+
+// A set of query variables, encoded as a bitmask.
+using VarSet = uint32_t;
+
+// Maximum number of distinct variables in a query. Entropy vectors have
+// 2^n entries, so this caps memory at 2^20 doubles (8 MiB).
+inline constexpr int kMaxVars = 20;
+
+// Singleton set {i}.
+constexpr VarSet VarBit(int i) { return VarSet{1} << i; }
+
+// Full set {0, ..., n-1}.
+constexpr VarSet FullSet(int n) {
+  return n >= 32 ? ~VarSet{0} : (VarSet{1} << n) - 1;
+}
+
+constexpr bool Contains(VarSet s, int i) { return (s >> i) & 1; }
+constexpr bool IsSubset(VarSet a, VarSet b) { return (a & ~b) == 0; }
+constexpr bool Intersects(VarSet a, VarSet b) { return (a & b) != 0; }
+constexpr int SetSize(VarSet s) { return std::popcount(s); }
+
+// Index of the lowest set bit; undefined for s == 0.
+constexpr int LowestVar(VarSet s) { return std::countr_zero(s); }
+
+// Iterates over the elements (bit indices) of a VarSet:
+//   for (int v : VarRange(s)) ...
+class VarRange {
+ public:
+  explicit constexpr VarRange(VarSet s) : set_(s) {}
+
+  class Iterator {
+   public:
+    explicit constexpr Iterator(VarSet s) : rest_(s) {}
+    constexpr int operator*() const { return std::countr_zero(rest_); }
+    constexpr Iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& o) const {
+      return rest_ != o.rest_;
+    }
+
+   private:
+    VarSet rest_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(set_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+ private:
+  VarSet set_;
+};
+
+// Iterates over all subsets of a VarSet (including the empty set and the
+// set itself), in increasing mask order:
+//   for (VarSet t : SubsetRange(s)) ...
+class SubsetRange {
+ public:
+  explicit constexpr SubsetRange(VarSet s) : set_(s) {}
+
+  class Iterator {
+   public:
+    constexpr Iterator(VarSet cur, VarSet set, bool done)
+        : cur_(cur), set_(set), done_(done) {}
+    constexpr VarSet operator*() const { return cur_; }
+    constexpr Iterator& operator++() {
+      if (cur_ == set_) {
+        done_ = true;
+      } else {
+        cur_ = (cur_ - set_) & set_;  // next subset in increasing order
+      }
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& o) const {
+      return done_ != o.done_ || cur_ != o.cur_;
+    }
+
+   private:
+    VarSet cur_;
+    VarSet set_;
+    bool done_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(0, set_, false); }
+  constexpr Iterator end() const { return Iterator(set_, set_, true); }
+
+ private:
+  VarSet set_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_UTIL_BITS_H_

@@ -1,0 +1,40 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// All data generators in the library take an explicit Rng so that every
+// experiment is reproducible from a seed printed in its output.
+#ifndef LPB_UTIL_RANDOM_H_
+#define LPB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace lpb {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+// implementation), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound); bound must be > 0. Uses Lemire rejection to
+  // avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace lpb
+
+#endif  // LPB_UTIL_RANDOM_H_

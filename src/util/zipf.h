@@ -1,0 +1,35 @@
+// Zipf (power-law) sampling over [0, n).
+//
+// Used by the data generators to produce heavy-tailed degree distributions
+// that mimic the SNAP social-network datasets used in the paper's
+// Appendix C experiments.
+#ifndef LPB_UTIL_ZIPF_H_
+#define LPB_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lpb {
+
+// Samples k with probability proportional to 1 / (k+1)^theta, k in [0, n).
+// Precomputes the CDF at construction; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_UTIL_ZIPF_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "datagen/job_gen.h"
+#include "exec/generic_join.h"
+#include "exec/yannakakis.h"
+#include "query/join_tree.h"
+#include "query/parser.h"
+#include "relation/catalog.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lpb {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+TEST(JoinTree, PathQuery) {
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,W)");
+  auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(HasRunningIntersection(q, *tree));
+  int roots = 0;
+  for (int i = 0; i < tree->num_nodes(); ++i) {
+    if (tree->IsRoot(i)) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(JoinTree, TriangleHasNoTree) {
+  EXPECT_FALSE(BuildJoinTree(Parse("R(X,Y), S(Y,Z), T(Z,X)")).has_value());
+}
+
+TEST(JoinTree, TriangleWithCoverHasTree) {
+  Query q = Parse("U(X,Y,Z), R(X,Y), S(Y,Z), T(Z,X)");
+  auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(HasRunningIntersection(q, *tree));
+}
+
+TEST(JoinTree, DisconnectedQueryStillHasValidTree) {
+  // GYO links disconnected components through an empty interface (any atom
+  // can witness an empty shared set); the counting DP treats the empty key
+  // as a cross product, so a single root is fine — what matters is the
+  // running-intersection property.
+  Query q = Parse("R(X,Y), S(Z,W)");
+  auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(HasRunningIntersection(q, *tree));
+  int roots = 0;
+  for (int i = 0; i < tree->num_nodes(); ++i) {
+    if (tree->IsRoot(i)) ++roots;
+  }
+  EXPECT_GE(roots, 1);
+}
+
+TEST(JoinTree, BottomUpOrderRespectsParents) {
+  Query q = Parse(
+      "cast_info(M,P,R), title(M,KT), name(P), role_type(R), kind_type(KT)");
+  auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.has_value());
+  std::vector<bool> seen(q.num_atoms(), false);
+  for (int i : tree->bottom_up) {
+    if (!tree->IsRoot(i)) {
+      EXPECT_FALSE(seen[tree->parent[i]]) << "parent before child";
+    }
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(JoinTree, AllJobQueriesHaveTrees) {
+  for (const std::string& text : JobQueryTexts()) {
+    Query q = Parse(text);
+    auto tree = BuildJoinTree(q);
+    ASSERT_TRUE(tree.has_value()) << text;
+    EXPECT_TRUE(HasRunningIntersection(q, *tree)) << text;
+  }
+}
+
+Catalog RandomDb(Rng& rng, const std::vector<std::string>& names, int rows,
+                 int domain) {
+  Catalog db;
+  ZipfSampler zipf(domain, 0.4);
+  for (const std::string& name : names) {
+    Relation r(name, {"a", "b"});
+    for (int i = 0; i < rows; ++i) {
+      r.AddRow({zipf.Sample(rng), zipf.Sample(rng)});
+    }
+    r.Deduplicate();
+    db.Add(std::move(r));
+  }
+  return db;
+}
+
+TEST(Yannakakis, MatchesGenericJoinOnPaths) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Catalog db = RandomDb(rng, {"R", "S", "T"}, 60, 10);
+    for (const char* text :
+         {"R(X,Y), S(Y,Z)", "R(X,Y), S(Y,Z), T(Z,W)"}) {
+      Query q = Parse(text);
+      auto fast = CountAcyclic(q, db);
+      ASSERT_TRUE(fast.has_value()) << text;
+      EXPECT_EQ(*fast, CountJoin(q, db)) << text << " trial " << trial;
+    }
+  }
+}
+
+TEST(Yannakakis, MatchesGenericJoinOnStars) {
+  Rng rng(22);
+  Catalog db = RandomDb(rng, {"R", "S", "T"}, 80, 12);
+  Query q = Parse("R(M,A), S(M,B), T(M,C)");
+  auto fast = CountAcyclic(q, db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, CountJoin(q, db));
+}
+
+TEST(Yannakakis, RefusesCyclicQueries) {
+  Rng rng(23);
+  Catalog db = RandomDb(rng, {"R", "S", "T"}, 40, 8);
+  EXPECT_FALSE(CountAcyclic(Parse("R(X,Y), S(Y,Z), T(Z,X)"), db).has_value());
+}
+
+TEST(Yannakakis, SelfJoins) {
+  Rng rng(24);
+  Catalog db = RandomDb(rng, {"R"}, 70, 10);
+  for (const char* text : {"R(X,Y), R(Y,Z)", "R(X,Y), R(Z,Y)"}) {
+    Query q = Parse(text);
+    auto fast = CountAcyclic(q, db);
+    ASSERT_TRUE(fast.has_value()) << text;
+    EXPECT_EQ(*fast, CountJoin(q, db)) << text;
+  }
+}
+
+TEST(Yannakakis, CartesianProductForest) {
+  Catalog db;
+  Relation r("R", {"x"});
+  r.AddRow({1});
+  r.AddRow({2});
+  Relation s("S", {"y"});
+  for (Value i = 0; i < 5; ++i) s.AddRow({i});
+  db.Add(std::move(r));
+  db.Add(std::move(s));
+  auto fast = CountAcyclic(Parse("R(X), S(Y)"), db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, 10u);
+}
+
+TEST(Yannakakis, EmptyRelationPropagates) {
+  Catalog db;
+  db.Add(Relation("R", {"x", "y"}));
+  Relation s("S", {"y", "z"});
+  s.AddRow({1, 2});
+  db.Add(std::move(s));
+  auto fast = CountAcyclic(Parse("R(X,Y), S(Y,Z)"), db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, 0u);
+}
+
+TEST(Yannakakis, RepeatedVariableSelection) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  r.AddRow({1, 1});
+  r.AddRow({1, 2});
+  r.AddRow({3, 3});
+  db.Add(std::move(r));
+  Relation s("S", {"x", "z"});
+  s.AddRow({1, 9});
+  s.AddRow({3, 9});
+  db.Add(std::move(s));
+  Query q = Parse("R(X,X), S(X,Z)");
+  auto fast = CountAcyclic(q, db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, CountJoin(q, db));
+  EXPECT_EQ(*fast, 2u);
+}
+
+TEST(Yannakakis, MatchesGenericJoinOnJobWorkload) {
+  JobWorkloadOptions opt;
+  opt.scale = 0.05;
+  JobWorkload wl = GenerateJobWorkload(opt);
+  for (int idx : {0, 3, 6, 8, 20, 27, 32}) {
+    const Query& q = wl.queries[idx];
+    auto fast = CountAcyclic(q, wl.catalog);
+    ASSERT_TRUE(fast.has_value()) << q.name();
+    EXPECT_EQ(*fast, CountJoin(q, wl.catalog)) << q.name();
+  }
+}
+
+TEST(Yannakakis, TernaryAtoms) {
+  Rng rng(25);
+  Catalog db;
+  Relation r("R", {"a", "b", "c"});
+  for (int i = 0; i < 60; ++i) {
+    r.AddRow({rng.Uniform(5), rng.Uniform(5), rng.Uniform(5)});
+  }
+  r.Deduplicate();
+  db.Add(std::move(r));
+  Relation s("S", {"b", "c", "d"});
+  for (int i = 0; i < 60; ++i) {
+    s.AddRow({rng.Uniform(5), rng.Uniform(5), rng.Uniform(5)});
+  }
+  s.Deduplicate();
+  db.Add(std::move(s));
+  Query q = Parse("R(A,B,C), S(B,C,D)");
+  auto fast = CountAcyclic(q, db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, CountJoin(q, db));
+}
+
+}  // namespace
+}  // namespace lpb

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/job_gen.h"
+#include "exec/generic_join.h"
+#include "exec/yannakakis.h"
+#include "query/parser.h"
+#include "bounds/normal_engine.h"
+#include "estimator/advisor.h"
+#include "stats/collector.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lpb {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+Catalog SmallDb(uint64_t seed = 3) {
+  Catalog db;
+  Rng rng(seed);
+  ZipfSampler zipf(15, 0.5);
+  for (const char* name : {"R", "S", "T"}) {
+    Relation r(name, {"a", "b"});
+    for (int i = 0; i < 100; ++i) {
+      r.AddRow({zipf.Sample(rng), zipf.Sample(rng)});
+    }
+    r.Deduplicate();
+    db.Add(std::move(r));
+  }
+  return db;
+}
+
+TEST(Advisor, MatchesCollectorPipeline) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  for (const char* text :
+       {"R(X,Y), S(Y,Z)", "R(X,Y), S(Y,Z), T(Z,X)", "R(X,Y), R(Y,Z)"}) {
+    Query q = Parse(text);
+    CollectorOptions copt;
+    copt.norms = AdvisorOptions{}.norms;
+    auto stats = CollectStatistics(q, db, copt);
+    auto expected = LpNormBound(q.num_vars(), stats);
+    EXPECT_NEAR(advisor.EstimateLog2(q), expected.log2_bound, 1e-9) << text;
+  }
+}
+
+TEST(Advisor, EstimatesAreSound) {
+  Catalog db = SmallDb(7);
+  CardinalityAdvisor advisor(db);
+  for (const char* text :
+       {"R(X,Y), S(Y,Z)", "R(X,Y), S(Y,Z), T(Z,W)", "R(X,Y), T(Y,X)"}) {
+    Query q = Parse(text);
+    const uint64_t truth = CountJoin(q, db);
+    if (truth == 0) continue;
+    EXPECT_GE(advisor.EstimateLog2(q),
+              std::log2(static_cast<double>(truth)) - 1e-6)
+        << text;
+  }
+}
+
+TEST(Advisor, CacheIsSharedAcrossQueries) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  advisor.EstimateLog2(Parse("R(X,Y), S(Y,Z)"));
+  const size_t after_first = advisor.CacheSize();
+  EXPECT_GT(after_first, 0u);
+  // The triangle reuses R's and S's sequences; only T's are new.
+  advisor.EstimateLog2(Parse("R(X,Y), S(Y,Z), T(Z,X)"));
+  const size_t after_second = advisor.CacheSize();
+  EXPECT_GT(after_second, after_first);
+  // Re-running adds nothing.
+  advisor.EstimateLog2(Parse("R(X,Y), S(Y,Z), T(Z,X)"));
+  EXPECT_EQ(advisor.CacheSize(), after_second);
+}
+
+TEST(Advisor, SelfJoinSharesCacheEntries) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  advisor.EstimateLog2(Parse("R(X,Y), R(Y,Z)"));
+  // Two atoms over the same relation with the same column splits: the
+  // cache holds entries for R only (cardinality + two conditionals).
+  EXPECT_LE(advisor.CacheSize(), 3u);
+}
+
+TEST(Advisor, InvalidateDropsOnlyThatRelation) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  advisor.EstimateLog2(Parse("R(X,Y), S(Y,Z)"));
+  const size_t full = advisor.CacheSize();
+  advisor.Invalidate("R");
+  EXPECT_LT(advisor.CacheSize(), full);
+  EXPECT_GT(advisor.CacheSize(), 0u);  // S entries survive
+}
+
+TEST(Advisor, ExplainProducesCertificate) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  auto explanation = advisor.Explain(q);
+  ASSERT_TRUE(explanation.bound.ok());
+  double certified = 0.0;
+  for (size_t i = 0; i < explanation.stats.size(); ++i) {
+    certified +=
+        explanation.bound.weights[i] * explanation.stats[i].log_b;
+    EXPECT_FALSE(explanation.stats[i].label.empty());
+  }
+  EXPECT_NEAR(certified, explanation.bound.log2_bound, 1e-5);
+}
+
+TEST(Advisor, JobWorkloadThroughput) {
+  JobWorkloadOptions opt;
+  opt.scale = 0.05;
+  JobWorkload wl = GenerateJobWorkload(opt);
+  CardinalityAdvisor advisor(wl.catalog);
+  int sound = 0;
+  for (const Query& q : wl.queries) {
+    const double est = advisor.EstimateLog2(q);
+    auto truth = CountAcyclic(q, wl.catalog);
+    ASSERT_TRUE(truth.has_value());
+    if (*truth == 0 ||
+        est >= std::log2(static_cast<double>(*truth)) - 1e-6) {
+      ++sound;
+    }
+  }
+  EXPECT_EQ(sound, static_cast<int>(wl.queries.size()));
+  // The cache holds one entry per (relation, column split), far fewer than
+  // 33 x per-query statistics.
+  EXPECT_LT(advisor.CacheSize(), 100u);
+}
+
+TEST(Advisor, EstimateLinearSpace) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  EXPECT_NEAR(std::log2(advisor.Estimate(q)), advisor.EstimateLog2(q), 1e-9);
+}
+
+}  // namespace
+}  // namespace lpb

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "entropy/relation_entropy.h"
+#include "entropy/set_function.h"
+#include "entropy/shannon.h"
+#include "relation/degree_sequence.h"
+#include "util/random.h"
+
+namespace lpb {
+namespace {
+
+TEST(SetFunction, StepFunctionDefinition) {
+  // h_W(U) = 1 iff W ∩ U ≠ ∅ (Eq. 27).
+  SetFunction h = SetFunction::Step(3, 0b011);
+  EXPECT_EQ(h[0], 0.0);
+  EXPECT_EQ(h[0b001], 1.0);
+  EXPECT_EQ(h[0b100], 0.0);
+  EXPECT_EQ(h[0b110], 1.0);
+  EXPECT_EQ(h[0b111], 1.0);
+}
+
+TEST(SetFunction, StepFunctionsArePolymatroids) {
+  for (VarSet w = 1; w < 16; ++w) {
+    EXPECT_TRUE(IsPolymatroid(SetFunction::Step(4, w))) << "W=" << w;
+  }
+}
+
+TEST(SetFunction, ModularFunction) {
+  SetFunction h = SetFunction::Modular(3, {1.0, 2.0, 4.0});
+  EXPECT_EQ(h[0b111], 7.0);
+  EXPECT_EQ(h[0b101], 5.0);
+  EXPECT_TRUE(IsModular(h));
+  EXPECT_TRUE(IsPolymatroid(h));
+}
+
+TEST(SetFunction, StepFunctionNotModularUnlessSingleton) {
+  EXPECT_TRUE(IsModular(SetFunction::Step(3, 0b001)));
+  EXPECT_FALSE(IsModular(SetFunction::Step(3, 0b011)));
+}
+
+TEST(SetFunction, NormalCombinationMatchesManualSum) {
+  std::vector<double> alpha(8, 0.0);
+  alpha[0b011] = 2.0;
+  alpha[0b100] = 1.5;
+  SetFunction h = SetFunction::NormalCombination(3, alpha);
+  SetFunction manual =
+      2.0 * SetFunction::Step(3, 0b011) + 1.5 * SetFunction::Step(3, 0b100);
+  EXPECT_LT(h.MaxDiff(manual), 1e-12);
+  EXPECT_TRUE(IsPolymatroid(h));
+}
+
+TEST(SetFunction, ConditionalDefinition) {
+  SetFunction h = SetFunction::Modular(2, {3.0, 4.0});
+  EXPECT_NEAR(h.Conditional(0b10, 0b01), 4.0, 1e-12);  // h(Y|X)=h(XY)-h(X)
+}
+
+TEST(Polymatroid, ViolatingSubmodularityDetected) {
+  SetFunction h(2);
+  h[0b01] = 1.0;
+  h[0b10] = 1.0;
+  h[0b11] = 3.0;  // h(XY) > h(X) + h(Y) violates submodularity
+  EXPECT_FALSE(IsPolymatroid(h));
+}
+
+TEST(Polymatroid, ViolatingMonotonicityDetected) {
+  SetFunction h(2);
+  h[0b01] = 2.0;
+  h[0b10] = 2.0;
+  h[0b11] = 1.0;  // h(XY) < h(X)
+  EXPECT_FALSE(IsPolymatroid(h));
+}
+
+TEST(Polymatroid, ModularizeLemmaB3Properties) {
+  // Random normal polymatroids: modularization must preserve h(X), lower
+  // every h(U), and lower pairwise conditionals h(Xj|Xi) for earlier i.
+  Rng rng(11);
+  const int n = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> alpha(1 << n, 0.0);
+    for (VarSet w = 1; w < (1u << n); ++w) {
+      if (rng.Bernoulli(0.4)) alpha[w] = rng.NextDouble() * 3.0;
+    }
+    SetFunction h = SetFunction::NormalCombination(n, alpha);
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    SetFunction hm = Modularize(h, order);
+    EXPECT_TRUE(IsModular(hm));
+    EXPECT_NEAR(hm[FullSet(n)], h[FullSet(n)], 1e-9);
+    for (VarSet s = 1; s < (1u << n); ++s) {
+      EXPECT_LE(hm[s], h[s] + 1e-9);
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        EXPECT_LE(hm.Conditional(VarBit(j), VarBit(i)),
+                  h.Conditional(VarBit(j), VarBit(i)) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Shannon, ElementalInequalityCount) {
+  // n + C(n,2) * 2^(n-2).
+  EXPECT_EQ(ElementalInequalities(2).size(), 2u + 1u);
+  EXPECT_EQ(ElementalInequalities(3).size(), 3u + 3u * 2u);
+  EXPECT_EQ(ElementalInequalities(4).size(), 4u + 6u * 4u);
+}
+
+TEST(Shannon, ElementalInequalitiesHoldForStepFunctions) {
+  for (VarSet w = 1; w < 16; ++w) {
+    SetFunction h = SetFunction::Step(4, w);
+    for (const LinearForm& f : ElementalInequalities(4)) {
+      EXPECT_GE(Evaluate(f, h), -1e-12);
+    }
+  }
+}
+
+TEST(Shannon, TriangleInequality10IsValid) {
+  // (h(X)+2h(Y|X)) + (h(Y)+2h(Z|Y)) + (h(Z)+2h(X|Z)) >= 3h(XYZ)  (Eq. 10).
+  const VarSet x = 1, y = 2, z = 4;
+  LinearForm f = {
+      {x, 1.0},     {x | y, 2.0}, {x, -2.0},     {y, 1.0},
+      {y | z, 2.0}, {y, -2.0},    {z, 1.0},      {x | z, 2.0},
+      {z, -2.0},    {x | y | z, -3.0},
+  };
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(Shannon, TriangleInequality11IsValid) {
+  // (h(X)+3h(Y|X)) + (h(Z)+3h(Y|Z)) + 5h(XZ) >= 6h(XYZ)  (Eq. 11).
+  const VarSet x = 1, y = 2, z = 4;
+  LinearForm f = {
+      {x, 1.0},  {x | y, 3.0}, {x, -3.0},     {z, 1.0},  {y | z, 3.0},
+      {z, -3.0}, {x | z, 5.0}, {x | y | z, -6.0},
+  };
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(Shannon, InvalidInequalityRejected) {
+  // h(X) + h(Y) >= 2h(XY) fails (take X,Y independent uniform bits).
+  const VarSet x = 1, y = 2;
+  LinearForm f = {{x, 1.0}, {y, 1.0}, {x | y, -2.0}};
+  EXPECT_FALSE(IsValidShannon(2, f));
+}
+
+TEST(Shannon, AppendixBModularOnlyInequalityRejected) {
+  // (2/3)(h(V)/2 + h(U|V)) + (2/3)(h(U)/2 + h(V|U)) >= h(UV) holds for all
+  // modular functions but fails for the step function h_{UV} (Appendix B).
+  const VarSet u = 1, v = 2;
+  LinearForm f = {
+      {v, 1.0 / 3.0}, {u | v, 2.0 / 3.0}, {v, -2.0 / 3.0},
+      {u, 1.0 / 3.0}, {u | v, 2.0 / 3.0}, {u, -2.0 / 3.0},
+      {u | v, -1.0},
+  };
+  // Check the step function counterexample directly:
+  SetFunction huv = SetFunction::Step(2, 0b11);
+  EXPECT_LT(Evaluate(f, huv), -1e-9);
+  EXPECT_FALSE(IsValidShannon(2, f));
+  // ... and that it does hold for both basic modular functions.
+  EXPECT_GE(Evaluate(f, SetFunction::Step(2, 0b01)), -1e-12);
+  EXPECT_GE(Evaluate(f, SetFunction::Step(2, 0b10)), -1e-12);
+}
+
+TEST(Shannon, ZhangYeungNotShannonButHoldsForSteps) {
+  LinearForm zy = ZhangYeungForm(4, {0, 1, 2, 3});
+  // Not a Shannon inequality: some polymatroid violates it.
+  EXPECT_FALSE(IsValidShannon(4, zy));
+  // But every step function (being entropic) satisfies it.
+  for (VarSet w = 1; w < 16; ++w) {
+    EXPECT_GE(Evaluate(zy, SetFunction::Step(4, w)), -1e-9) << "W=" << w;
+  }
+}
+
+TEST(Shannon, ZhangYeungViolatedByAppendixD2Polymatroid) {
+  // The polymatroid of Figure 2 (Appendix D.2): h(∅)=0, singletons 2,
+  // pairs 3 except h(AB)=4 (AB is not a closed set: its closure is the top
+  // element), triples and the full set 4. Variables A=0, B=1, X=2, Y=3.
+  SetFunction h(4);
+  const VarSet a = 1, b = 2;
+  for (VarSet s = 1; s < 16; ++s) {
+    switch (SetSize(s)) {
+      case 1: h[s] = 2.0; break;
+      case 2: h[s] = 3.0; break;
+      default: h[s] = 4.0; break;
+    }
+  }
+  h[a | b] = 4.0;
+  EXPECT_TRUE(IsPolymatroid(h));
+  LinearForm zy = ZhangYeungForm(4, {0, 1, 2, 3});
+  // F(h) = -1 by direct evaluation: the ZY inequality fails on Γ4.
+  EXPECT_NEAR(Evaluate(zy, h), -1.0, 1e-9);
+}
+
+TEST(RelationEntropy, UniformProductRelation) {
+  // T = [0,4) x [0,2): h(X)=2, h(Y)=1, h(XY)=3, totally uniform.
+  Relation t("T", {"X", "Y"});
+  for (Value i = 0; i < 4; ++i) {
+    for (Value j = 0; j < 2; ++j) t.AddRow({i, j});
+  }
+  SetFunction h = EntropyOfRelation(t);
+  EXPECT_NEAR(h[0b01], 2.0, 1e-9);
+  EXPECT_NEAR(h[0b10], 1.0, 1e-9);
+  EXPECT_NEAR(h[0b11], 3.0, 1e-9);
+  EXPECT_TRUE(IsTotallyUniform(t));
+}
+
+TEST(RelationEntropy, SkewedRelationNotTotallyUniform) {
+  Relation t("T", {"X", "Y"});
+  t.AddRow({0, 0});
+  t.AddRow({0, 1});
+  t.AddRow({1, 0});
+  EXPECT_FALSE(IsTotallyUniform(t));
+  SetFunction h = EntropyOfRelation(t);
+  // Marginal on X: p = (2/3, 1/3).
+  const double expected = -(2.0 / 3) * std::log2(2.0 / 3.0) -
+                          (1.0 / 3) * std::log2(1.0 / 3.0);
+  EXPECT_NEAR(h[0b01], expected, 1e-9);
+  EXPECT_NEAR(h[0b11], std::log2(3.0), 1e-9);
+}
+
+TEST(RelationEntropy, EntropyOfRelationIsPolymatroid) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation t("T", {"A", "B", "C"});
+    for (int i = 0; i < 40; ++i) {
+      t.AddRow({rng.Uniform(4), rng.Uniform(3), rng.Uniform(5)});
+    }
+    EXPECT_TRUE(IsPolymatroid(EntropyOfRelation(t), 1e-7));
+  }
+}
+
+TEST(RelationEntropy, DiagonalRelation) {
+  // T = {(k,k,k)}: every marginal is the same uniform variable.
+  Relation t("T", {"X", "Y", "Z"});
+  for (Value k = 0; k < 8; ++k) t.AddRow({k, k, k});
+  SetFunction h = EntropyOfRelation(t);
+  for (VarSet s = 1; s < 8; ++s) EXPECT_NEAR(h[s], 3.0, 1e-9);
+  EXPECT_TRUE(IsTotallyUniform(t));
+}
+
+// Lemma 4.1 sanity: for the uniform distribution over a relation,
+// (1/p) h(U) + h(V|U) <= log2 ||deg(V|U)||_p.
+TEST(RelationEntropy, Lemma41HoldsOnRandomRelations) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation t("T", {"X", "Y"});
+    for (int i = 0; i < 30; ++i) t.AddRow({rng.Uniform(6), rng.Uniform(10)});
+    t.Deduplicate();
+    SetFunction h = EntropyOfRelation(t);
+    for (double p : {0.5, 1.0, 2.0, 3.0, 7.0}) {
+      const double lhs = h[0b01] / p + (h[0b11] - h[0b01]);
+      const double rhs =
+          ComputeDegreeSequence(t, {0}, {1}).Log2NormP(p);
+      EXPECT_LE(lhs, rhs + 1e-9) << "p=" << p << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpb

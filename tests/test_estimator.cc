@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimator/dsb.h"
+#include "estimator/traditional.h"
+#include "exec/generic_join.h"
+#include "query/parser.h"
+#include "relation/catalog.h"
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+Catalog JoinDb() {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  r.AddRow({0, 0});
+  r.AddRow({1, 0});
+  r.AddRow({2, 1});
+  r.AddRow({3, 1});
+  db.Add(std::move(r));
+  Relation s("S", {"y", "z"});
+  s.AddRow({0, 5});
+  s.AddRow({0, 6});
+  s.AddRow({1, 5});
+  db.Add(std::move(s));
+  return db;
+}
+
+TEST(Traditional, MatchesFormula15OnSingleJoin) {
+  // est = |R| |S| / max(dY(R), dY(S)) = 4*3 / max(2, 2) = 6.
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  Catalog db = JoinDb();
+  EXPECT_NEAR(TraditionalEstimate(q, db), 6.0, 1e-6);
+  // True output: y=0 -> 2*2, y=1 -> 2*1: 6. (Here the estimate is exact.)
+  EXPECT_EQ(CountJoin(q, db), 6u);
+}
+
+TEST(Traditional, UnderestimatesSkewedJoin) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  Relation s("S", {"y", "z"});
+  // y=0 is a heavy hub on both sides; the uniformity assumption fails.
+  for (Value i = 0; i < 50; ++i) r.AddRow({i, 0});
+  for (Value i = 0; i < 50; ++i) r.AddRow({100 + i, 1 + i});
+  for (Value i = 0; i < 50; ++i) s.AddRow({0, i});
+  for (Value i = 0; i < 50; ++i) s.AddRow({1 + i, 100 + i});
+  db.Add(std::move(r));
+  db.Add(std::move(s));
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  const double est = TraditionalEstimate(q, db);
+  const uint64_t truth = CountJoin(q, db);
+  EXPECT_GT(static_cast<double>(truth), 4.0 * est);  // underestimates a lot
+}
+
+TEST(Traditional, TriangleDiagonalUnderestimates) {
+  // On the diagonal instance the independence assumption collapses the
+  // estimate to |E|^3 / d^3 = 1, far below the 20 real triangles.
+  Catalog db;
+  Relation e("E", {"a", "b"});
+  for (Value i = 0; i < 20; ++i) e.AddRow({i, i});
+  db.Add(std::move(e));
+  Query q = Parse("E(X,Y), E(Y,Z), E(Z,X)");
+  const double est = TraditionalEstimate(q, db);
+  const uint64_t truth = CountJoin(q, db);
+  EXPECT_EQ(truth, 20u);
+  EXPECT_NEAR(est, 1.0, 1e-6);
+}
+
+TEST(Traditional, EmptyRelationGivesZero) {
+  Catalog db = JoinDb();
+  db.Add(Relation("T", {"z", "w"}));
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,W)");
+  EXPECT_EQ(TraditionalEstimate(q, db), 0.0);
+}
+
+TEST(Traditional, CrossProductNoSharedVars) {
+  Query q = Parse("R(X,Y), T(Z,W)");
+  Catalog db = JoinDb();
+  Relation t("T", {"z", "w"});
+  t.AddRow({1, 2});
+  t.AddRow({3, 4});
+  db.Add(std::move(t));
+  EXPECT_NEAR(TraditionalEstimate(q, db), 8.0, 1e-9);
+  EXPECT_EQ(CountJoin(q, db), 8u);
+}
+
+TEST(Traditional, MultiwayVariableDividesByAllButMin) {
+  // Star on Y over three relations with distinct counts 2, 3, 4:
+  // est = Π|R| / (3 * 4).
+  Catalog db;
+  Relation a("A", {"y"});
+  for (Value i = 0; i < 2; ++i) a.AddRow({i});
+  Relation b("B", {"y", "u"});
+  for (Value i = 0; i < 3; ++i) b.AddRow({i, i});
+  Relation c("C", {"y", "v"});
+  for (Value i = 0; i < 4; ++i) c.AddRow({i, i});
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+  db.Add(std::move(c));
+  Query q = Parse("A(Y), B(Y,U), C(Y,V)");
+  EXPECT_NEAR(TraditionalEstimate(q, db), 2.0 * 3.0 * 4.0 / (3.0 * 4.0),
+              1e-9);
+}
+
+TEST(Dsb, MatchesEquation49) {
+  DegreeSequence a({3, 2, 1});
+  DegreeSequence b({4, 4, 4});
+  EXPECT_EQ(SingleJoinDsb(a, b), 3u * 4 + 2 * 4 + 1 * 4);
+}
+
+TEST(Dsb, TruncatesToCommonLength) {
+  DegreeSequence a({3, 2});
+  DegreeSequence b({5, 5, 5});
+  EXPECT_EQ(SingleJoinDsb(a, b), 15u + 10);
+}
+
+TEST(Dsb, IsAnUpperBoundOnTheJoin) {
+  Catalog db = JoinDb();
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  DegreeSequence a = ComputeDegreeSequence(db.Get("R"), {1}, {0});
+  DegreeSequence b = ComputeDegreeSequence(db.Get("S"), {0}, {1});
+  EXPECT_GE(SingleJoinDsb(a, b), CountJoin(q, db));
+}
+
+TEST(Dsb, TightOnCalibratedInstance) {
+  // Symmetric calibrated relation: join size == DSB == ℓ2-bound.
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  // Every y-value has degree 2 on both sides (a 2-regular bipartite-ish
+  // instance joined with itself).
+  for (Value y = 0; y < 5; ++y) {
+    r.AddRow({2 * y, y});
+    r.AddRow({2 * y + 1, y});
+  }
+  db.Add(std::move(r));
+  Query q = Parse("R(X,Y), R(Z,Y)");
+  DegreeSequence d = ComputeDegreeSequence(db.Get("R"), {1}, {0});
+  EXPECT_EQ(SingleJoinDsb(d, d), CountJoin(q, db));
+  EXPECT_NEAR(std::exp2(d.Log2NormP(2.0) * 2.0),
+              static_cast<double>(CountJoin(q, db)), 1e-6);
+}
+
+TEST(Dsb, BeatsCauchySchwarzWhenSequencesMisaligned) {
+  // DSB = Σ a_i b_i <= ||a||_2 ||b||_2 always (Cauchy-Schwarz), strictly
+  // when the sequences are not parallel.
+  DegreeSequence a({10, 1, 1});
+  DegreeSequence b({2, 2, 2});
+  const double dsb = static_cast<double>(SingleJoinDsb(a, b));
+  const double cs = a.NormP(2.0) * b.NormP(2.0);
+  EXPECT_LT(dsb, cs - 1e-9);
+}
+
+TEST(Dsb, Log2Form) {
+  DegreeSequence a({4}), b({4});
+  EXPECT_NEAR(SingleJoinDsbLog2(a, b), 4.0, 1e-12);
+  EXPECT_TRUE(std::isinf(SingleJoinDsbLog2(DegreeSequence(), b)));
+}
+
+}  // namespace
+}  // namespace lpb

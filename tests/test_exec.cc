@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/generic_join.h"
+#include "exec/hash_join.h"
+#include "exec/partition.h"
+#include "query/parser.h"
+#include "relation/catalog.h"
+#include "relation/degree_sequence.h"
+#include "util/random.h"
+
+namespace lpb {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.has_value());
+  return *q;
+}
+
+Catalog RandomBinaryDb(Rng& rng, const std::vector<std::string>& names,
+                       int rows, int domain) {
+  Catalog db;
+  for (const std::string& name : names) {
+    Relation r(name, {"a", "b"});
+    for (int i = 0; i < rows; ++i) {
+      r.AddRow({rng.Uniform(domain), rng.Uniform(domain)});
+    }
+    r.Deduplicate();
+    db.Add(std::move(r));
+  }
+  return db;
+}
+
+// Brute-force evaluator for cross-checks: enumerates the variable domain.
+uint64_t BruteForceCount(const Query& q, const Catalog& db, int domain) {
+  const int n = q.num_vars();
+  std::vector<Value> assignment(n, 0);
+  uint64_t count = 0;
+  while (true) {
+    bool ok = true;
+    for (const Atom& atom : q.atoms()) {
+      const Relation& rel = db.Get(atom.relation);
+      bool found = false;
+      for (size_t r = 0; r < rel.NumRows() && !found; ++r) {
+        bool match = true;
+        for (size_t j = 0; j < atom.vars.size(); ++j) {
+          if (rel.At(r, static_cast<int>(j)) != assignment[atom.vars[j]]) {
+            match = false;
+            break;
+          }
+        }
+        found = match;
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++count;
+    int i = 0;
+    for (; i < n; ++i) {
+      if (++assignment[i] < static_cast<Value>(domain)) break;
+      assignment[i] = 0;
+    }
+    if (i == n) break;
+  }
+  return count;
+}
+
+TEST(GenericJoin, SingleJoinHandChecked) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  r.AddRow({1, 10});
+  r.AddRow({2, 10});
+  r.AddRow({3, 11});
+  db.Add(std::move(r));
+  Relation s("S", {"y", "z"});
+  s.AddRow({10, 7});
+  s.AddRow({10, 8});
+  s.AddRow({12, 9});
+  db.Add(std::move(s));
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  EXPECT_EQ(CountJoin(q, db), 4u);  // y=10: 2 x 2
+}
+
+TEST(GenericJoin, TriangleHandChecked) {
+  Catalog db;
+  Relation e("E", {"a", "b"});
+  // Triangle 1-2-3 plus a dangling edge.
+  for (auto [a, b] : std::vector<std::pair<Value, Value>>{
+           {1, 2}, {2, 1}, {2, 3}, {3, 2}, {1, 3}, {3, 1}, {4, 1}}) {
+    e.AddRow({a, b});
+  }
+  db.Add(std::move(e));
+  Query q = Parse("E(X,Y), E(Y,Z), E(Z,X)");
+  EXPECT_EQ(CountJoin(q, db), 6u);  // 3! orientations of the one triangle
+}
+
+TEST(GenericJoin, MaterializeMatchesCount) {
+  Rng rng(3);
+  Catalog db = RandomBinaryDb(rng, {"R", "S"}, 60, 8);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  Relation out = MaterializeJoin(q, db);
+  EXPECT_EQ(out.NumRows(), CountJoin(q, db));
+  EXPECT_EQ(out.arity(), 3);
+  // Spot-check membership of a few output rows.
+  for (size_t i = 0; i < std::min<size_t>(out.NumRows(), 5); ++i) {
+    bool in_r = false;
+    const Relation& r = db.Get("R");
+    for (size_t j = 0; j < r.NumRows(); ++j) {
+      if (r.At(j, 0) == out.At(i, 0) && r.At(j, 1) == out.At(i, 1)) {
+        in_r = true;
+      }
+    }
+    EXPECT_TRUE(in_r);
+  }
+}
+
+TEST(GenericJoin, EmptyInputEmptyOutput) {
+  Catalog db;
+  db.Add(Relation("R", {"x", "y"}));
+  Relation s("S", {"y", "z"});
+  s.AddRow({1, 2});
+  db.Add(std::move(s));
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  EXPECT_EQ(CountJoin(q, db), 0u);
+}
+
+TEST(GenericJoin, CartesianProduct) {
+  Catalog db;
+  Relation r("R", {"x"});
+  r.AddRow({1});
+  r.AddRow({2});
+  Relation s("S", {"y"});
+  s.AddRow({5});
+  s.AddRow({6});
+  s.AddRow({7});
+  db.Add(std::move(r));
+  db.Add(std::move(s));
+  EXPECT_EQ(CountJoin(Parse("R(X), S(Y)"), db), 6u);
+}
+
+TEST(GenericJoin, RepeatedVariableSelection) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  r.AddRow({1, 1});
+  r.AddRow({1, 2});
+  r.AddRow({3, 3});
+  db.Add(std::move(r));
+  EXPECT_EQ(CountJoin(Parse("R(X,X)"), db), 2u);
+}
+
+TEST(GenericJoin, SelfJoinPath) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  r.AddRow({1, 2});
+  r.AddRow({2, 3});
+  r.AddRow({2, 4});
+  db.Add(std::move(r));
+  // Paths of length 2: (1,2,3), (1,2,4).
+  EXPECT_EQ(CountJoin(Parse("R(X,Y), R(Y,Z)"), db), 2u);
+}
+
+TEST(GenericJoin, AgreesWithBruteForceOnRandomTriangles) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 25, 5);
+    Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+    EXPECT_EQ(CountJoin(q, db), BruteForceCount(q, db, 5)) << trial;
+  }
+}
+
+TEST(GenericJoin, AgreesWithBruteForceOnRandomPaths) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 30, 6);
+    Query q = Parse("R(X,Y), S(Y,Z), T(Z,W)");
+    EXPECT_EQ(CountJoin(q, db), BruteForceCount(q, db, 6)) << trial;
+  }
+}
+
+TEST(GenericJoin, TernaryAtomsLoomisWhitney) {
+  Rng rng(7);
+  Catalog db;
+  for (const char* name : {"A", "B", "C"}) {
+    Relation r(name, {"u", "v", "w"});
+    for (int i = 0; i < 40; ++i) {
+      r.AddRow({rng.Uniform(4), rng.Uniform(4), rng.Uniform(4)});
+    }
+    r.Deduplicate();
+    db.Add(std::move(r));
+  }
+  Query q = Parse("A(X,Y,Z), B(Y,Z,W), C(Z,W,X)");
+  EXPECT_EQ(CountJoin(q, db), BruteForceCount(q, db, 4));
+}
+
+TEST(GenericJoin, CustomVariableOrderSameResult) {
+  Rng rng(8);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 40, 7);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  const uint64_t expected = CountJoin(q, db);
+  JoinOptions opt;
+  std::vector<int> order = {0, 1, 2};
+  std::sort(order.begin(), order.end());
+  do {
+    opt.var_order = order;
+    EXPECT_EQ(CountJoin(q, db, opt), expected);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(HashJoin, MatchesGenericJoin) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 40, 6);
+    for (const char* text :
+         {"R(X,Y), S(Y,Z)", "R(X,Y), S(Y,Z), T(Z,X)",
+          "R(X,Y), S(Y,Z), T(Z,W)"}) {
+      Query q = Parse(text);
+      EXPECT_EQ(CountByHashJoin(q, db).output_count, CountJoin(q, db))
+          << text;
+    }
+  }
+}
+
+TEST(HashJoin, ReportsIntermediateSizes) {
+  Catalog db;
+  Relation r("R", {"x", "y"});
+  for (Value i = 0; i < 10; ++i) r.AddRow({i, 0});
+  Relation s("S", {"y", "z"});
+  for (Value i = 0; i < 10; ++i) s.AddRow({0, i});
+  Relation t("T", {"z", "w"});
+  t.AddRow({999, 999});
+  db.Add(std::move(r));
+  db.Add(std::move(s));
+  db.Add(std::move(t));
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,W)");
+  HashJoinStats stats = CountByHashJoin(q, db);
+  EXPECT_EQ(stats.output_count, 0u);
+  // The blown-up intermediate is visible even though the output is empty.
+  ASSERT_EQ(stats.intermediate_sizes.size(), 3u);
+  EXPECT_EQ(stats.intermediate_sizes[1], 100u);
+}
+
+TEST(HashJoin, AtomOrderDoesNotChangeResult) {
+  Rng rng(10);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 35, 6);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  const uint64_t expected = CountByHashJoin(q, db).output_count;
+  EXPECT_EQ(CountByHashJoin(q, db, {2, 0, 1}).output_count, expected);
+  EXPECT_EQ(CountByHashJoin(q, db, {1, 2, 0}).output_count, expected);
+}
+
+TEST(Partition, StrongSatisfactionCheck) {
+  // deg = (4,1): ||deg||_2^2 = 17. Strong satisfaction needs
+  // |Π_U| · max^2 <= B^2: 2 * 16 = 32 > 17 -> not strong for B = sqrt(17).
+  Relation r("R", {"u", "v"});
+  for (Value j = 0; j < 4; ++j) r.AddRow({0, j});
+  r.AddRow({1, 9});
+  const double log_b = 0.5 * std::log2(17.0);
+  EXPECT_FALSE(StronglySatisfiesLog2(r, {0}, {1}, 2.0, log_b));
+  // A uniform relation strongly satisfies its own ℓp statistic.
+  Relation u("U", {"u", "v"});
+  for (Value i = 0; i < 4; ++i) {
+    for (Value j = 0; j < 3; ++j) u.AddRow({i, 100 + j});
+  }
+  const double log_b2 =
+      ComputeDegreeSequence(u, {0}, {1}).Log2NormP(2.0);
+  EXPECT_TRUE(StronglySatisfiesLog2(u, {0}, {1}, 2.0, log_b2));
+}
+
+TEST(Partition, PartsAreDisjointAndCoverRelation) {
+  Rng rng(11);
+  Relation r("R", {"u", "v"});
+  for (int i = 0; i < 200; ++i) {
+    r.AddRow({rng.Uniform(20), rng.Uniform(50)});
+  }
+  r.Deduplicate();
+  auto parts = PartitionStrong(r, {0}, {1}, 2.0);
+  size_t total = 0;
+  for (const Relation& p : parts) total += p.NumRows();
+  EXPECT_EQ(total, r.NumRows());
+}
+
+TEST(Partition, EveryPartStronglySatisfies) {
+  // Lemma 2.5's guarantee.
+  Rng rng(12);
+  for (double p : {1.0, 2.0, 3.0}) {
+    Relation r("R", {"u", "v"});
+    for (int i = 0; i < 300; ++i) {
+      // Heavy skew: u = 0 is a big hub.
+      const Value u = rng.Bernoulli(0.3) ? 0 : rng.Uniform(40);
+      r.AddRow({u, rng.Uniform(80)});
+    }
+    r.Deduplicate();
+    const double log_b = ComputeDegreeSequence(r, {0}, {1}).Log2NormP(p);
+    auto parts = PartitionStrong(r, {0}, {1}, p);
+    for (const Relation& part : parts) {
+      EXPECT_TRUE(StronglySatisfiesLog2(part, {0}, {1}, p, log_b))
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(Partition, PartitionedCountEqualsDirectCount) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    Catalog db = RandomBinaryDb(rng, {"R", "S"}, 80, 10);
+    Query q = Parse("R(X,Y), S(Y,Z)");
+    std::vector<PartitionSpec> specs = {
+        {0, {1}, {0}, 2.0},  // partition R on deg(X|Y)
+        {1, {0}, {1}, 2.0},  // partition S on deg(Z|Y)
+    };
+    auto result = CountJoinPartitioned(q, db, specs);
+    EXPECT_EQ(result.count, CountJoin(q, db)) << trial;
+    EXPECT_GE(result.subqueries, 1u);
+  }
+}
+
+TEST(Partition, PartitionedTriangleCount) {
+  Rng rng(14);
+  Catalog db = RandomBinaryDb(rng, {"E"}, 150, 15);
+  Query q = Parse("E(X,Y), E(Y,Z), E(Z,X)");
+  std::vector<PartitionSpec> specs = {{0, {0}, {1}, 2.0}};
+  auto result = CountJoinPartitioned(q, db, specs);
+  EXPECT_EQ(result.count, CountJoin(q, db));
+}
+
+TEST(Partition, NoSpecsReducesToPlainJoin) {
+  Rng rng(15);
+  Catalog db = RandomBinaryDb(rng, {"R", "S"}, 50, 8);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  auto result = CountJoinPartitioned(q, db, {});
+  EXPECT_EQ(result.count, CountJoin(q, db));
+  EXPECT_EQ(result.subqueries, 1u);
+}
+
+}  // namespace
+}  // namespace lpb

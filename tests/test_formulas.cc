@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/formulas.h"
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+namespace {
+
+TEST(Formulas, TriangleAgmIsGeometricMean) {
+  EXPECT_NEAR(TriangleAgmLog2(10, 10, 10), 15.0, 1e-12);
+  EXPECT_NEAR(TriangleAgmLog2(8, 12, 10), 15.0, 1e-12);
+}
+
+TEST(Formulas, TrianglePanda) {
+  EXPECT_NEAR(TrianglePandaLog2(10.0, 3.0), 13.0, 1e-12);
+}
+
+TEST(Formulas, TriangleL2) {
+  EXPECT_NEAR(TriangleL2Log2(6.0, 6.0, 6.0), 12.0, 1e-12);
+}
+
+TEST(Formulas, TriangleL3) {
+  // ( ||..||_3^3 ||..||_3^3 |T|^5 )^{1/6}: logs (3a + 3b + 5c)/6.
+  EXPECT_NEAR(TriangleL3Log2(4.0, 4.0, 6.0), (12.0 + 12.0 + 30.0) / 6.0,
+              1e-12);
+}
+
+TEST(Formulas, JoinPandaTakesMin) {
+  EXPECT_NEAR(JoinPandaLog2(10, 12, 3, 1), 11.0, 1e-12);
+  EXPECT_NEAR(JoinPandaLog2(10, 12, 1, 5), 13.0, 1e-12);
+}
+
+TEST(Formulas, JoinHolderSpecializesToL2AndPanda) {
+  const double lr = 4.0, ls = 5.0, lm = 6.0;
+  // p = q = 2 drops the M term: equals the Cauchy-Schwarz bound.
+  EXPECT_NEAR(JoinHolderLog2(lr, ls, lm, 2, 2), JoinL2Log2(lr, ls), 1e-12);
+  // p = 1, q = ∞: |R| · ||deg_S||_∞ (PANDA one-sided form).
+  EXPECT_NEAR(JoinHolderLog2(lr, ls, lm, 1.0, 1e18), lr + ls, 1e-9);
+}
+
+TEST(Formulas, JoinHolderOptimalOnConjugateLine) {
+  // Along fixed data, (p,q) with 1/p + 1/q = 1 dominates looser pairs:
+  // compare (2,2) against (3,3) on norms of a concrete sequence.
+  DegreeSequence d({4, 2, 1, 1});
+  const double m = std::log2(static_cast<double>(d.size()));
+  const double b22 =
+      JoinHolderLog2(d.Log2NormP(2), d.Log2NormP(2), m, 2, 2);
+  const double b33 =
+      JoinHolderLog2(d.Log2NormP(3), d.Log2NormP(3), m, 3, 3);
+  EXPECT_LE(b22, b33 + 1e-9);
+}
+
+TEST(Formulas, JoinEq19MatchesAppendixC3Specialization) {
+  // p=3, q=2: ||deg_R||_3 · |S|^{1/3} · ||deg_S||_2^{2/3}  (Eq. 50).
+  const double lr3 = 2.0, ls2 = 4.5, ls = 9.0;
+  EXPECT_NEAR(JoinEq19Log2(lr3, ls2, ls, 3, 2),
+              lr3 + (2.0 / 3.0) * ls2 + (1.0 / 3.0) * ls, 1e-12);
+}
+
+TEST(Formulas, ChainBoundPathLength3ReducesToKnownForm) {
+  // n=4 variables, 3 atoms, p=2: |Q|^2 <= ||deg_R2(X1|X2)||_2^2 ·
+  // ||deg_R3(X4|X3)||_2^2 (middle product empty, |R1|^0).
+  const double l2_back = 3.0, l2_last = 4.0;
+  EXPECT_NEAR(ChainLog2(7.0, l2_back, l2_last, {}, 2.0), l2_back + l2_last,
+              1e-12);
+}
+
+TEST(Formulas, ChainBoundGeneralP) {
+  // p=3, one middle factor with ||deg||_2 = m: log = ( (p-2)r1 + 2b + 2m +
+  // 3l ) / 3.
+  EXPECT_NEAR(ChainLog2(6.0, 3.0, 4.0, {5.0}, 3.0),
+              (1.0 * 6.0 + 2.0 * 3.0 + 2.0 * 5.0 + 3.0 * 4.0) / 3.0, 1e-12);
+}
+
+TEST(Formulas, CycleBoundEquation21) {
+  // q=2, triangle: Π ||deg||_2^{2/3}: log = (2/3) Σ.
+  EXPECT_NEAR(CycleLog2({6.0, 6.0, 6.0}, 2.0), 12.0, 1e-12);
+  // q=3, 4-cycle.
+  EXPECT_NEAR(CycleLog2({4.0, 4.0, 4.0, 4.0}, 3.0), 12.0, 1e-12);
+}
+
+TEST(Formulas, CycleBaselines) {
+  EXPECT_NEAR(CycleAgmLog2(10.0, 5), 25.0, 1e-12);
+  EXPECT_NEAR(CyclePandaLog2(10.0, 2.0, 5), 16.0, 1e-12);
+}
+
+TEST(Formulas, CycleBoundBeatsBaselinesOnAlphaBetaInstance) {
+  // Example 2.3 instance: |R| = N, ||deg||_q^q = N, ||deg||_∞ = N^{1/(p+1)}.
+  const double log_n = 20.0;
+  for (int p = 2; p <= 6; ++p) {
+    const int k = p + 1;
+    std::vector<double> logq(k, log_n / p);  // log ||deg||_p = logN/p
+    const double ours = CycleLog2(logq, p);
+    // k·(logN/p)·p/(p+1) = logN: the bound is Θ(N), asymptotically tight.
+    EXPECT_NEAR(ours, log_n, 1e-9);
+    EXPECT_LT(ours, CycleAgmLog2(log_n, k));
+    EXPECT_LT(ours, CyclePandaLog2(log_n, log_n / k, k));
+  }
+}
+
+TEST(Formulas, LoomisWhitney4) {
+  EXPECT_NEAR(LoomisWhitney4Log2(5.0, 12.0, 6.0, 10.0),
+              (10.0 + 12.0 + 12.0 + 10.0) / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lpb

@@ -1,0 +1,185 @@
+// Verifies, one by one, that every numbered information inequality the
+// paper uses is (or is not) a valid Shannon inequality, using the
+// IsValidShannon decision procedure. This pins the theory layer the bound
+// engine rests on directly to the text of the paper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "entropy/shannon.h"
+#include "util/bits.h"
+
+namespace lpb {
+namespace {
+
+// Helper: accumulate c * h(S) terms.
+class FormBuilder {
+ public:
+  FormBuilder& Add(VarSet s, double c) {
+    form_.push_back({s, c});
+    return *this;
+  }
+  // c * h(V | U) = c h(U∪V) - c h(U).
+  FormBuilder& AddCond(VarSet v, VarSet u, double c) {
+    form_.push_back({u | v, c});
+    if (u != 0) form_.push_back({u, -c});
+    return *this;
+  }
+  LinearForm Build() const { return form_; }
+
+ private:
+  LinearForm form_;
+};
+
+constexpr VarSet X = 1, Y = 2, Z = 4, W = 8;
+
+TEST(PaperInequalities, Eq10TriangleL2) {
+  // (h(X)+2h(Y|X)) + (h(Y)+2h(Z|Y)) + (h(Z)+2h(X|Z)) >= 3h(XYZ).
+  LinearForm f = FormBuilder()
+                     .Add(X, 1).AddCond(Y, X, 2)
+                     .Add(Y, 1).AddCond(Z, Y, 2)
+                     .Add(Z, 1).AddCond(X, Z, 2)
+                     .Add(X | Y | Z, -3)
+                     .Build();
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(PaperInequalities, Eq11TriangleL3L1) {
+  // (h(X)+3h(Y|X)) + (h(Z)+3h(Y|Z)) + 5h(XZ) >= 6h(XYZ).
+  LinearForm f = FormBuilder()
+                     .Add(X, 1).AddCond(Y, X, 3)
+                     .Add(Z, 1).AddCond(Y, Z, 3)
+                     .Add(X | Z, 5)
+                     .Add(X | Y | Z, -6)
+                     .Build();
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(PaperInequalities, Eq18CauchySchwarzForm) {
+  // (1/2)(h(Y)+2h(X|Y)) + (1/2)(h(Y)+2h(Z|Y)) >= h(XYZ).
+  LinearForm f = FormBuilder()
+                     .Add(Y, 0.5).AddCond(X, Y, 1.0)
+                     .Add(Y, 0.5).AddCond(Z, Y, 1.0)
+                     .Add(X | Y | Z, -1)
+                     .Build();
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(PaperInequalities, Eq48HolderFamily) {
+  // (1/p)h(Y)+h(X|Y) + (1/q)h(Y)+h(Z|Y) + (1-1/p-1/q)h(Y) >= h(XYZ)
+  // for 1/p + 1/q <= 1.
+  for (auto [p, q] : std::vector<std::pair<double, double>>{
+           {2, 2}, {3, 1.5}, {4, 2}, {1.2, 6}}) {
+    LinearForm f = FormBuilder()
+                       .Add(Y, 1.0 / p).AddCond(X, Y, 1.0)
+                       .Add(Y, 1.0 / q).AddCond(Z, Y, 1.0)
+                       .Add(Y, 1.0 - 1.0 / p - 1.0 / q)
+                       .Add(X | Y | Z, -1)
+                       .Build();
+    EXPECT_TRUE(IsValidShannon(3, f)) << "p=" << p << " q=" << q;
+  }
+}
+
+TEST(PaperInequalities, Eq19Family) {
+  // (1/p h(Y)+h(X|Y)) + (1 - q/(p(q-1))) h(YZ)
+  //   + q/(p(q-1)) (1/q h(Y)+h(Z|Y)) >= h(XYZ), for 1/p+1/q <= 1.
+  for (auto [p, q] : std::vector<std::pair<double, double>>{
+           {2, 2}, {3, 2}, {4, 3}, {6, 1.25}}) {
+    const double e = q / (p * (q - 1.0));
+    LinearForm f = FormBuilder()
+                       .Add(Y, 1.0 / p).AddCond(X, Y, 1.0)
+                       .Add(Y | Z, 1.0 - e)
+                       .Add(Y, e / q).AddCond(Z, Y, e)
+                       .Add(X | Y | Z, -1)
+                       .Build();
+    EXPECT_TRUE(IsValidShannon(3, f)) << "p=" << p << " q=" << q;
+  }
+}
+
+TEST(PaperInequalities, Eq20ChainFamily) {
+  // Chain inequality (20) for n = 4 variables, p in {2, 3, 4}:
+  // (p-2)h(X1X2) + (h(X2)+2h(X1|X2)) + (h(X2)+(p-1)h(X3|X2))
+  //   + (h(X3)+p h(X4|X3)) >= p h(X1..X4).
+  for (double p : {2.0, 3.0, 4.0}) {
+    LinearForm f = FormBuilder()
+                       .Add(X | Y, p - 2)
+                       .Add(Y, 1).AddCond(X, Y, 2)
+                       .Add(Y, 1).AddCond(Z, Y, p - 1)
+                       .Add(Z, 1).AddCond(W, Z, p)
+                       .Add(X | Y | Z | W, -p)
+                       .Build();
+    EXPECT_TRUE(IsValidShannon(4, f)) << "p=" << p;
+  }
+}
+
+TEST(PaperInequalities, Eq51CycleFamily) {
+  // Σ_i (h(X_i) + q h(X_{i+1}|X_i)) >= (q+1) h(X_0..X_{k-1}) needs
+  // q <= k - 1 (the girth condition); valid at q = k-1, invalid at q = k.
+  for (int k : {3, 4}) {
+    for (int q = 1; q <= k; ++q) {
+      FormBuilder b;
+      for (int i = 0; i < k; ++i) {
+        b.Add(VarBit(i), 1)
+            .AddCond(VarBit((i + 1) % k), VarBit(i), q);
+      }
+      b.Add(FullSet(k), -(q + 1.0));
+      const bool valid = IsValidShannon(k, b.Build());
+      EXPECT_EQ(valid, q <= k - 1) << "k=" << k << " q=" << q;
+    }
+  }
+}
+
+TEST(PaperInequalities, Eq41Example67) {
+  // h(X)+h(Y)+h(Z) + (h(X)+4h(Y|X)) + (h(Y)+4h(Z|Y)) + (h(Z)+4h(X|Z))
+  //   >= 6 h(XYZ).
+  LinearForm f = FormBuilder()
+                     .Add(X, 1).Add(Y, 1).Add(Z, 1)
+                     .Add(X, 1).AddCond(Y, X, 4)
+                     .Add(Y, 1).AddCond(Z, Y, 4)
+                     .Add(Z, 1).AddCond(X, Z, 4)
+                     .Add(X | Y | Z, -6)
+                     .Build();
+  EXPECT_TRUE(IsValidShannon(3, f));
+}
+
+TEST(PaperInequalities, LoomisWhitneyC6) {
+  // 4h(XYZW) <= (h(X)+2h(YZ|X)) + h(YZW) + (h(Z)+2h(WX|Z)) + h(WXY).
+  LinearForm f = FormBuilder()
+                     .Add(X, 1).AddCond(Y | Z, X, 2)
+                     .Add(Y | Z | W, 1)
+                     .Add(Z, 1).AddCond(W | X, Z, 2)
+                     .Add(W | X | Y, 1)
+                     .Add(X | Y | Z | W, -4)
+                     .Build();
+  EXPECT_TRUE(IsValidShannon(4, f));
+}
+
+TEST(PaperInequalities, TriangleL2WithWrongCoefficientFails) {
+  // Dropping the h(X_i) terms from (10) breaks it: 2Σh(X_{i+1}|X_i) is not
+  // >= 3h(XYZ) in general (take the diagonal distribution).
+  LinearForm f = FormBuilder()
+                     .AddCond(Y, X, 2)
+                     .AddCond(Z, Y, 2)
+                     .AddCond(X, Z, 2)
+                     .Add(X | Y | Z, -3)
+                     .Build();
+  EXPECT_FALSE(IsValidShannon(3, f));
+}
+
+TEST(PaperInequalities, SubadditivityAndShearer) {
+  // h(X)+h(Y)+h(Z) >= h(XYZ)  and the Shearer form
+  // h(XY)+h(YZ)+h(ZX) >= 2h(XYZ).
+  EXPECT_TRUE(IsValidShannon(
+      3, FormBuilder().Add(X, 1).Add(Y, 1).Add(Z, 1).Add(X | Y | Z, -1)
+             .Build()));
+  EXPECT_TRUE(IsValidShannon(
+      3, FormBuilder().Add(X | Y, 1).Add(Y | Z, 1).Add(Z | X, 1)
+             .Add(X | Y | Z, -2).Build()));
+  // ... but the AGM-style form with coefficient 2.5 fails.
+  EXPECT_FALSE(IsValidShannon(
+      3, FormBuilder().Add(X | Y, 1).Add(Y | Z, 1).Add(Z | X, 1)
+             .Add(X | Y | Z, -2.5).Build()));
+}
+
+}  // namespace
+}  // namespace lpb

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/newton.h"
+#include "relation/degree_sequence.h"
+#include "util/random.h"
+
+namespace lpb {
+namespace {
+
+TEST(Newton, PowerSumsMatchHandComputation) {
+  DegreeSequence d({3, 2, 1});
+  auto s = PowerSums(d, 3);
+  EXPECT_NEAR(s[0], 6.0, 1e-9);    // 3+2+1
+  EXPECT_NEAR(s[1], 14.0, 1e-9);   // 9+4+1
+  EXPECT_NEAR(s[2], 36.0, 1e-9);   // 27+8+1
+}
+
+TEST(Newton, ElementarySymmetricFromPowerSums) {
+  // d = (3,2,1): e1 = 6, e2 = 11, e3 = 6.
+  auto e = ElementarySymmetric({6.0, 14.0, 36.0});
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_NEAR(e[0], 6.0, 1e-9);
+  EXPECT_NEAR(e[1], 11.0, 1e-9);
+  EXPECT_NEAR(e[2], 6.0, 1e-9);
+}
+
+TEST(Newton, RoundTripSmallSequences) {
+  // Lemma A.1: the first m norms determine the sequence exactly.
+  std::vector<std::vector<uint64_t>> cases = {
+      {5}, {4, 2}, {3, 2, 1}, {7, 7, 7}, {9, 5, 2, 1}, {6, 4, 4, 2, 1},
+  };
+  for (const auto& degrees : cases) {
+    DegreeSequence d{std::vector<uint64_t>(degrees)};
+    auto sums = PowerSums(d, static_cast<int>(degrees.size()));
+    auto rec = DegreesFromPowerSums(sums);
+    ASSERT_EQ(rec.size(), degrees.size());
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      EXPECT_NEAR(rec[i], static_cast<double>(d.degrees()[i]), 1e-6)
+          << "sequence index " << i;
+    }
+  }
+}
+
+TEST(Newton, RoundTripRandomSequences) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 2 + static_cast<int>(rng.Uniform(5));
+    std::vector<uint64_t> degrees(m);
+    for (auto& deg : degrees) deg = 1 + rng.Uniform(20);
+    DegreeSequence d{std::vector<uint64_t>(degrees)};
+    auto rec = DegreesFromPowerSums(PowerSums(d, m));
+    ASSERT_EQ(rec.size(), static_cast<size_t>(m)) << "trial " << trial;
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(rec[i], static_cast<double>(d.degrees()[i]), 1e-4)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Newton, MonotoneDirectionOfTheCorrespondence) {
+  // Appendix C.3's caveat: norm-domination does NOT imply degree-sequence
+  // domination. d' = (a, a) has smaller or equal ℓ1/ℓ2 than d = (a+e, a-e)
+  // yet d'_2 > d_2.
+  DegreeSequence d({6, 2});   // a=4, e=2
+  DegreeSequence dp({4, 4});
+  EXPECT_LE(dp.NormP(1.0), d.NormP(1.0) + 1e-12);
+  EXPECT_LE(dp.NormP(2.0), d.NormP(2.0) + 1e-12);
+  EXPECT_FALSE(dp.DominatedBy(d));  // 4 > 2 in the second position
+}
+
+TEST(Newton, EmptyInput) {
+  EXPECT_TRUE(DegreesFromPowerSums({}).empty());
+}
+
+TEST(Newton, SingleElement) {
+  auto rec = DegreesFromPowerSums({42.0});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_NEAR(rec[0], 42.0, 1e-9);
+}
+
+TEST(Newton, NormsDetermineSequenceUniquely) {
+  // Two different sequences of equal length must differ in some norm p<=m.
+  DegreeSequence a({5, 3, 2});
+  DegreeSequence b({5, 4, 1});
+  auto sa = PowerSums(a, 3), sb = PowerSums(b, 3);
+  bool differ = false;
+  for (int p = 0; p < 3; ++p) {
+    if (std::abs(sa[p] - sb[p]) > 1e-9) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace lpb

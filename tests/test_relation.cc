@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relation/catalog.h"
+#include "relation/degree_sequence.h"
+#include "relation/relation.h"
+
+namespace lpb {
+namespace {
+
+Relation EdgeRelation() {
+  Relation r("R", {"X", "Y"});
+  // X=0 has partners {10,11,12}; X=1 has {10}; X=2 has {11,12}.
+  r.AddRow({0, 10});
+  r.AddRow({0, 11});
+  r.AddRow({0, 12});
+  r.AddRow({1, 10});
+  r.AddRow({2, 11});
+  r.AddRow({2, 12});
+  return r;
+}
+
+TEST(Relation, BasicAccessors) {
+  Relation r = EdgeRelation();
+  EXPECT_EQ(r.name(), "R");
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_EQ(r.NumRows(), 6u);
+  EXPECT_EQ(r.AttrIndex("Y"), 1);
+  EXPECT_EQ(r.AttrIndex("Z"), -1);
+  EXPECT_EQ(r.At(2, 1), 12u);
+}
+
+TEST(Relation, DistinctCount) {
+  Relation r = EdgeRelation();
+  EXPECT_EQ(r.DistinctCount({0}), 3u);
+  EXPECT_EQ(r.DistinctCount({1}), 3u);
+  EXPECT_EQ(r.DistinctCount({0, 1}), 6u);
+}
+
+TEST(Relation, DistinctCountWithDuplicates) {
+  Relation r("R", {"X"});
+  r.AddRow({1});
+  r.AddRow({1});
+  r.AddRow({2});
+  EXPECT_EQ(r.DistinctCount({0}), 2u);
+}
+
+TEST(Relation, ProjectDeduplicates) {
+  Relation r = EdgeRelation();
+  Relation p = r.Project({0});
+  EXPECT_EQ(p.NumRows(), 3u);
+  EXPECT_EQ(p.arity(), 1);
+  EXPECT_EQ(p.attr(0), "X");
+}
+
+TEST(Relation, ProjectAllowsRepeatedColumns) {
+  Relation r = EdgeRelation();
+  Relation p = r.Project({1, 1});
+  EXPECT_EQ(p.NumRows(), 3u);
+  EXPECT_EQ(p.At(0, 0), p.At(0, 1));
+}
+
+TEST(Relation, DeduplicateRemovesFullRowDupes) {
+  Relation r("R", {"X", "Y"});
+  r.AddRow({1, 2});
+  r.AddRow({1, 2});
+  r.AddRow({1, 3});
+  r.Deduplicate();
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST(Relation, SortedOrderIsLexicographic) {
+  Relation r("R", {"X", "Y"});
+  r.AddRow({2, 1});
+  r.AddRow({1, 9});
+  r.AddRow({1, 3});
+  auto order = r.SortedOrder({0, 1});
+  EXPECT_EQ(r.At(order[0], 0), 1u);
+  EXPECT_EQ(r.At(order[0], 1), 3u);
+  EXPECT_EQ(r.At(order[2], 0), 2u);
+}
+
+TEST(Relation, EmptyRelation) {
+  Relation r("R", {"X", "Y"});
+  EXPECT_EQ(r.NumRows(), 0u);
+  EXPECT_EQ(r.DistinctCount({0}), 0u);
+  EXPECT_EQ(r.Project({0}).NumRows(), 0u);
+}
+
+TEST(DegreeSequence, SortsDescendingAndDropsZeros) {
+  DegreeSequence d({1, 5, 0, 3, 0});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{5, 3, 1}));
+  EXPECT_EQ(d.MaxDegree(), 5u);
+  EXPECT_EQ(d.Total(), 9u);
+}
+
+TEST(DegreeSequence, NormsMatchHandComputation) {
+  DegreeSequence d({3, 2, 1});
+  EXPECT_NEAR(d.NormP(1.0), 6.0, 1e-9);
+  EXPECT_NEAR(d.NormP(2.0), std::sqrt(14.0), 1e-9);
+  EXPECT_NEAR(d.NormP(3.0), std::cbrt(36.0), 1e-9);
+  EXPECT_NEAR(d.NormP(kInfNorm), 3.0, 1e-9);
+}
+
+TEST(DegreeSequence, Log2NormConsistentWithNormP) {
+  DegreeSequence d({7, 7, 2, 1});
+  for (double p : {1.0, 2.0, 3.5, 10.0}) {
+    EXPECT_NEAR(std::exp2(d.Log2NormP(p)), d.NormP(p), 1e-6);
+  }
+}
+
+TEST(DegreeSequence, LargePNoOverflow) {
+  DegreeSequence d({1000000, 999999, 2});
+  double log30 = d.Log2NormP(30.0);
+  // ||d||_30 is slightly above the max degree.
+  EXPECT_GT(log30, std::log2(1e6) - 1e-9);
+  EXPECT_LT(log30, std::log2(1e6) + 0.1);
+  EXPECT_TRUE(std::isfinite(log30));
+}
+
+TEST(DegreeSequence, NormMonotoneDecreasingInP) {
+  DegreeSequence d({9, 4, 4, 1, 1, 1});
+  double prev = d.NormP(0.5);
+  for (double p : {1.0, 1.5, 2.0, 3.0, 5.0, 10.0, kInfNorm}) {
+    double cur = d.NormP(p);
+    EXPECT_LE(cur, prev + 1e-9) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(DegreeSequence, DominatedBy) {
+  DegreeSequence a({3, 2, 1}), b({3, 3, 2}), c({4, 1});
+  EXPECT_TRUE(a.DominatedBy(b));
+  EXPECT_FALSE(b.DominatedBy(a));
+  EXPECT_FALSE(a.DominatedBy(c));  // shorter but first entry larger? 4>3 ok, but len
+  EXPECT_TRUE(DegreeSequence({2, 1}).DominatedBy(a));
+}
+
+TEST(ComputeDegreeSequence, SimpleBinary) {
+  Relation r = EdgeRelation();
+  DegreeSequence d = ComputeDegreeSequence(r, {0}, {1});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{3, 2, 1}));
+  DegreeSequence d2 = ComputeDegreeSequence(r, {1}, {0});
+  EXPECT_EQ(d2.degrees(), (std::vector<uint64_t>{2, 2, 2}));
+}
+
+TEST(ComputeDegreeSequence, DuplicateEdgesCountedOnce) {
+  Relation r("R", {"X", "Y"});
+  r.AddRow({0, 1});
+  r.AddRow({0, 1});
+  r.AddRow({0, 2});
+  DegreeSequence d = ComputeDegreeSequence(r, {0}, {1});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{2}));
+}
+
+TEST(ComputeDegreeSequence, EmptyUGivesSingleGroup) {
+  Relation r = EdgeRelation();
+  DegreeSequence d = ComputeDegreeSequence(r, {}, {1});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{3}));  // |Π_Y(R)| = 3
+}
+
+TEST(ComputeDegreeSequence, EmptyVGivesAllOnes) {
+  Relation r = EdgeRelation();
+  DegreeSequence d = ComputeDegreeSequence(r, {0}, {});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(ComputeDegreeSequence, TernaryRelationPairConditional) {
+  Relation r("R", {"A", "B", "C"});
+  r.AddRow({0, 0, 1});
+  r.AddRow({0, 0, 2});
+  r.AddRow({0, 1, 1});
+  r.AddRow({1, 0, 5});
+  DegreeSequence d = ComputeDegreeSequence(r, {0, 1}, {2});
+  EXPECT_EQ(d.degrees(), (std::vector<uint64_t>{2, 1, 1}));
+}
+
+TEST(DegreeSequence, SubUnitNormIndex) {
+  // p in (0, 1) is legal in the paper's framework; ||d||_p is then larger
+  // than ||d||_1.
+  DegreeSequence d({3, 2, 1});
+  EXPECT_GT(d.NormP(0.5), d.NormP(1.0));
+  EXPECT_TRUE(std::isfinite(d.Log2NormP(0.5)));
+}
+
+TEST(DegreeSequence, SingleEntrySequenceAllNormsEqual) {
+  DegreeSequence d({7});
+  for (double p : {0.5, 1.0, 2.0, 30.0, kInfNorm}) {
+    EXPECT_NEAR(d.NormP(p), 7.0, 1e-9) << p;
+  }
+}
+
+TEST(DegreeSequence, EmptySequence) {
+  DegreeSequence d;
+  EXPECT_EQ(d.MaxDegree(), 0u);
+  EXPECT_EQ(d.Total(), 0u);
+  EXPECT_EQ(d.NormP(2.0), 0.0);
+  EXPECT_TRUE(std::isinf(d.Log2NormP(2.0)));
+}
+
+TEST(ComputeDegreeSequence, EmptyRelation) {
+  Relation r("R", {"X", "Y"});
+  EXPECT_TRUE(ComputeDegreeSequence(r, {0}, {1}).empty());
+}
+
+TEST(Catalog, AddGetHas) {
+  Catalog c;
+  c.Add(EdgeRelation());
+  EXPECT_TRUE(c.Has("R"));
+  EXPECT_FALSE(c.Has("S"));
+  EXPECT_EQ(c.Get("R").NumRows(), 6u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Catalog, AddReplaces) {
+  Catalog c;
+  c.Add(EdgeRelation());
+  Relation r2("R", {"X", "Y"});
+  r2.AddRow({9, 9});
+  c.Add(std::move(r2));
+  EXPECT_EQ(c.Get("R").NumRows(), 1u);
+}
+
+TEST(Catalog, Names) {
+  Catalog c;
+  c.Add(Relation("B", {"x"}));
+  c.Add(Relation("A", {"x"}));
+  EXPECT_EQ(c.Names(), (std::vector<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace lpb

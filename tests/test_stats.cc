@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/parser.h"
+#include "relation/catalog.h"
+#include "stats/collector.h"
+#include "stats/statistic.h"
+
+namespace lpb {
+namespace {
+
+Query Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.has_value()) << text;
+  return *q;
+}
+
+Catalog TwoTableDb() {
+  Catalog db;
+  Relation r("R", {"a", "b"});
+  r.AddRow({0, 10});
+  r.AddRow({0, 11});
+  r.AddRow({1, 10});
+  db.Add(std::move(r));
+  Relation s("S", {"a", "b"});
+  s.AddRow({10, 7});
+  s.AddRow({11, 7});
+  s.AddRow({11, 8});
+  s.AddRow({12, 9});
+  db.Add(std::move(s));
+  return db;
+}
+
+TEST(Statistic, LhsFormForFiniteP) {
+  // (1/2) h(Y) + h(XY) - h(Y) for sigma = (X|Y), p = 2.
+  ConcreteStatistic stat;
+  stat.sigma = {0b10, 0b01};
+  stat.p = 2.0;
+  LinearForm f = stat.Lhs();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].set, 0b11u);
+  EXPECT_NEAR(f[0].coef, 1.0, 1e-12);
+  EXPECT_EQ(f[1].set, 0b10u);
+  EXPECT_NEAR(f[1].coef, -0.5, 1e-12);
+}
+
+TEST(Statistic, LhsFormForInfinity) {
+  ConcreteStatistic stat;
+  stat.sigma = {0b10, 0b01};
+  stat.p = kInfNorm;
+  LinearForm f = stat.Lhs();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_NEAR(f[1].coef, -1.0, 1e-12);  // pure conditional h(XY) - h(Y)
+}
+
+TEST(Statistic, LhsFormForCardinality) {
+  // U = ∅, p = 1: just h(V).
+  ConcreteStatistic stat;
+  stat.sigma = {0, 0b11};
+  stat.p = 1.0;
+  LinearForm f = stat.Lhs();
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].set, 0b11u);
+  EXPECT_NEAR(f[0].coef, 1.0, 1e-12);
+}
+
+TEST(Statistic, NormalizeRemovesOverlap) {
+  Conditional c = Normalize({0b011, 0b110});
+  EXPECT_EQ(c.u, 0b011u);
+  EXPECT_EQ(c.v, 0b100u);
+}
+
+TEST(Statistic, SimplePredicate) {
+  EXPECT_TRUE((Conditional{0, 0b11}).IsSimple());
+  EXPECT_TRUE((Conditional{0b1, 0b10}).IsSimple());
+  EXPECT_FALSE((Conditional{0b11, 0b100}).IsSimple());
+}
+
+TEST(Collector, MeasuresKnownNorms) {
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  Catalog db = TwoTableDb();
+  // deg_R(X|Y): Y=10 -> 2, Y=11 -> 1.
+  EXPECT_NEAR(MeasureLog2Norm(q, 0, db, {0b010, 0b001}, 1.0),
+              std::log2(3.0), 1e-9);
+  EXPECT_NEAR(MeasureLog2Norm(q, 0, db, {0b010, 0b001}, 2.0),
+              std::log2(std::sqrt(5.0)), 1e-9);
+  EXPECT_NEAR(MeasureLog2Norm(q, 0, db, {0b010, 0b001}, kInfNorm),
+              1.0, 1e-9);
+  // deg_S(Z|Y): degrees (1,2,1) over Y=10,11,12.
+  EXPECT_NEAR(MeasureLog2Norm(q, 1, db, {0b010, 0b100}, kInfNorm),
+              1.0, 1e-9);
+}
+
+TEST(Collector, CardinalityStatisticsPresent) {
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  Catalog db = TwoTableDb();
+  CollectorOptions opt;
+  opt.norms = {};
+  opt.include_cardinalities = true;
+  auto stats = CollectStatistics(q, db, opt);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_NEAR(stats[0].log_b, std::log2(3.0), 1e-9);
+  EXPECT_NEAR(stats[1].log_b, std::log2(4.0), 1e-9);
+  EXPECT_EQ(stats[0].guard_atom, 0);
+  EXPECT_EQ(stats[1].guard_atom, 1);
+}
+
+TEST(Collector, SimpleStatsCountAndGuards) {
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  Catalog db = TwoTableDb();
+  CollectorOptions opt;
+  opt.norms = {1.0, 2.0, kInfNorm};
+  opt.max_u_size = 1;
+  auto stats = CollectStatistics(q, db, opt);
+  // Per atom: 1 cardinality + 2 single-var conditionals x 3 norms = 7.
+  EXPECT_EQ(stats.size(), 14u);
+  EXPECT_TRUE(AllSimple(stats));
+}
+
+TEST(Collector, MaxUSizeTwoEmitsPairConditionals) {
+  Query q = Parse("T(A,B,C)");
+  Catalog db;
+  Relation t("T", {"a", "b", "c"});
+  t.AddRow({0, 0, 1});
+  t.AddRow({0, 1, 2});
+  db.Add(std::move(t));
+  CollectorOptions opt;
+  opt.norms = {2.0};
+  opt.max_u_size = 2;
+  opt.include_cardinalities = false;
+  auto stats = CollectStatistics(q, db, opt);
+  // U of size 1: 3 choices; size 2: 3 choices -> 6 statistics.
+  EXPECT_EQ(stats.size(), 6u);
+  EXPECT_FALSE(AllSimple(stats));
+}
+
+TEST(Collector, SelfJoinUsesPerAtomGuards) {
+  Query q = Parse("R(X,Y), R(Y,Z)");
+  Catalog db = TwoTableDb();
+  CollectorOptions opt;
+  opt.norms = {kInfNorm};
+  opt.include_cardinalities = false;
+  auto stats = CollectStatistics(q, db, opt);
+  EXPECT_EQ(stats.size(), 4u);
+  // Both atoms guard statistics over their own variable sets.
+  EXPECT_EQ(stats[0].guard_atom, 0);
+  EXPECT_EQ(stats[2].guard_atom, 1);
+}
+
+TEST(Collector, LabelsAreHumanReadable) {
+  Query q = Parse("R(X,Y)");
+  Catalog db = TwoTableDb();
+  CollectorOptions opt;
+  opt.norms = {2.0};
+  opt.include_cardinalities = false;
+  auto stats = CollectStatistics(q, db, opt);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_NE(stats[0].label.find("R:"), std::string::npos);
+  EXPECT_NE(stats[0].label.find("p=2"), std::string::npos);
+}
+
+TEST(Collector, RepeatedVariableAtom) {
+  // R(X,X): statistics must still be collectable (first column is used).
+  Query q = Parse("R(X,X)");
+  Catalog db = TwoTableDb();
+  CollectorOptions opt;
+  opt.norms = {1.0};
+  auto stats = CollectStatistics(q, db, opt);
+  ASSERT_FALSE(stats.empty());
+  // Cardinality = |Π_X(R)| = 2 distinct values in column a.
+  EXPECT_NEAR(stats[0].log_b, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lpb

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lpb {
+namespace {
+
+TEST(Bits, VarBitAndContains) {
+  EXPECT_EQ(VarBit(0), 1u);
+  EXPECT_EQ(VarBit(3), 8u);
+  EXPECT_TRUE(Contains(0b1010, 1));
+  EXPECT_FALSE(Contains(0b1010, 0));
+}
+
+TEST(Bits, FullSet) {
+  EXPECT_EQ(FullSet(0), 0u);
+  EXPECT_EQ(FullSet(1), 1u);
+  EXPECT_EQ(FullSet(4), 0b1111u);
+}
+
+TEST(Bits, SubsetPredicates) {
+  EXPECT_TRUE(IsSubset(0b0101, 0b1101));
+  EXPECT_FALSE(IsSubset(0b0101, 0b1001));
+  EXPECT_TRUE(IsSubset(0, 0b1001));
+  EXPECT_TRUE(Intersects(0b0110, 0b0010));
+  EXPECT_FALSE(Intersects(0b0110, 0b1001));
+}
+
+TEST(Bits, SetSizeAndLowestVar) {
+  EXPECT_EQ(SetSize(0), 0);
+  EXPECT_EQ(SetSize(0b1011), 3);
+  EXPECT_EQ(LowestVar(0b1000), 3);
+  EXPECT_EQ(LowestVar(0b0110), 1);
+}
+
+TEST(Bits, VarRangeIteratesSetBits) {
+  std::vector<int> vars;
+  for (int v : VarRange(0b101101)) vars.push_back(v);
+  EXPECT_EQ(vars, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(Bits, VarRangeEmpty) {
+  int count = 0;
+  for (int v : VarRange(0)) {
+    (void)v;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Bits, SubsetRangeEnumeratesAllSubsets) {
+  std::set<VarSet> subsets;
+  for (VarSet s : SubsetRange(0b1010)) subsets.insert(s);
+  EXPECT_EQ(subsets, (std::set<VarSet>{0b0000, 0b0010, 0b1000, 0b1010}));
+}
+
+TEST(Bits, SubsetRangeOfEmptySet) {
+  std::vector<VarSet> subsets;
+  for (VarSet s : SubsetRange(0)) subsets.push_back(s);
+  EXPECT_EQ(subsets, std::vector<VarSet>{0});
+}
+
+TEST(Bits, SubsetRangeCountIsPowerOfTwo) {
+  int count = 0;
+  for (VarSet s : SubsetRange(0b11111)) {
+    (void)s;
+    ++count;
+  }
+  EXPECT_EQ(count, 32);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(Zipf, SkewFavorsSmallIds) {
+  Rng rng(6);
+  ZipfSampler zipf(1000, 1.2);
+  int zeros = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Sample(rng);
+    if (v == 0) ++zeros;
+    if (v >= 500) ++high;
+  }
+  EXPECT_GT(zeros, high);  // head dominates tail under heavy skew
+  EXPECT_GT(zeros, 1000);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(7);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+}  // namespace
+}  // namespace lpb
