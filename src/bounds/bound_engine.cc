@@ -1,0 +1,444 @@
+#include "bounds/bound_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "bounds/normal_engine.h"
+#include "bounds/shannon_cuts.h"
+#include "entropy/shannon.h"
+#include "lp/lp_problem.h"
+#include "lp/tableau.h"
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+bool BoundStructure::AllShapesSimple() const {
+  for (const StatisticShape& shape : shapes) {
+    if (!shape.sigma.IsSimple()) return false;
+  }
+  return true;
+}
+
+BoundStructure StructureOf(int n, const std::vector<ConcreteStatistic>& stats) {
+  BoundStructure structure;
+  structure.n = n;
+  structure.shapes.reserve(stats.size());
+  for (const ConcreteStatistic& s : stats) {
+    structure.shapes.push_back({s.sigma, s.p});
+  }
+  return structure;
+}
+
+std::vector<double> ValuesOf(const std::vector<ConcreteStatistic>& stats) {
+  std::vector<double> values;
+  values.reserve(stats.size());
+  for (const ConcreteStatistic& s : stats) values.push_back(s.log_b);
+  return values;
+}
+
+std::string StructureKey(const BoundStructure& structure) {
+  std::string key;
+  key.reserve(1 + structure.shapes.size() * 16);
+  key.push_back(static_cast<char>(structure.n));
+  for (const StatisticShape& shape : structure.shapes) {
+    char buf[16];
+    std::memcpy(buf, &shape.sigma.u, 4);
+    std::memcpy(buf + 4, &shape.sigma.v, 4);
+    std::memcpy(buf + 8, &shape.p, 8);
+    key.append(buf, sizeof(buf));
+  }
+  return key;
+}
+
+BoundResult CompiledBound::Evaluate(const std::vector<double>& log_b,
+                                    bool want_h_opt) {
+  assert(log_b.size() == structure_.shapes.size());
+  BoundResult result = EvaluateImpl(log_b, want_h_opt);
+  ++counters_.evaluations;
+  switch (result.eval_path) {
+    case LpEvalPath::kWitness:
+      ++counters_.witness_hits;
+      break;
+    case LpEvalPath::kWarm:
+      ++counters_.warm_resolves;
+      break;
+    case LpEvalPath::kCold:
+      ++counters_.cold_solves;
+      break;
+  }
+  return result;
+}
+
+namespace {
+
+bool AllNonNegative(const std::vector<double>& values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](double v) { return v >= 0.0; });
+}
+
+// An unbounded verdict is structural: the certifying ray lives in the
+// recession cone {h feasible-direction : stats-lhs(h) <= 0}, which does not
+// depend on the RHS. Any later value vector with log_b >= 0 keeps the
+// origin feasible, so the LP stays unbounded — no solve needed.
+BoundResult StructurallyUnboundedResult() {
+  BoundResult out;
+  out.status = LpStatus::kUnbounded;
+  out.log2_bound = kInfNorm;
+  out.eval_path = LpEvalPath::kWitness;
+  return out;
+}
+
+BoundResult MakeGammaResult(const LpResult& lp, int n, int num_stats,
+                            int cut_rounds, bool want_h_opt) {
+  BoundResult result;
+  result.status = lp.status;
+  result.cut_rounds = cut_rounds;
+  result.lp_iterations = lp.iterations;
+  result.eval_path = lp.path;
+  if (lp.status == LpStatus::kUnbounded) {
+    result.log2_bound = kInfNorm;
+    return result;
+  }
+  if (lp.status != LpStatus::kOptimal) return result;
+  result.log2_bound = lp.objective;
+  result.weights.assign(lp.duals.begin(), lp.duals.begin() + num_stats);
+  if (want_h_opt) {
+    result.h_opt = SetFunction(n);
+    const VarSet full = FullSet(n);
+    for (VarSet s = 1; s <= full; ++s) result.h_opt[s] = lp.x[s - 1];
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Γn engine: full elemental lattice for small n, cutting-plane beyond. The
+// compiled cut set persists across evaluations — cuts separating one value
+// vector usually separate its neighbors too, so later Evaluates converge
+// in zero or few extra rounds.
+
+class CompiledGammaBound : public CompiledBound {
+ public:
+  CompiledGammaBound(BoundStructure structure, const EngineOptions& options)
+      : CompiledBound(std::move(structure)),
+        options_(options),
+        num_stats_(static_cast<int>(structure_.shapes.size())),
+        full_mode_(structure_.n <= options_.full_lattice_max_n),
+        lp_((1 << structure_.n) - 1) {
+    const int n = structure_.n;
+    assert(n >= 1 && n <= kMaxVars);
+    const VarSet full = FullSet(n);
+    lp_.SetObjective(static_cast<int>(full) - 1, 1.0);
+    // Statistics rows come first so duals[i] is the weight of shapes[i];
+    // their RHS is a per-evaluation parameter.
+    for (const StatisticShape& shape : structure_.shapes) {
+      ConcreteStatistic stat;
+      stat.sigma = shape.sigma;
+      stat.p = shape.p;
+      lp_.AddConstraint(FormToTerms(stat.Lhs()), LpSense::kLe, 0.0);
+      ps_.push_back(shape.p);
+    }
+    if (full_mode_) {
+      for (const LinearForm& ineq : ElementalInequalities(n)) {
+        lp_.AddConstraint(FormToTerms(ineq), LpSense::kGe, 0.0);
+      }
+    } else {
+      box_row_ = lp_.AddConstraint({{static_cast<int>(full) - 1, 1.0}},
+                                   LpSense::kLe, 0.0);
+      for (const ShannonCut& cut : SeedShannonCuts(n)) AddCut(cut);
+    }
+    tableau_.emplace(lp_);
+  }
+
+ protected:
+  BoundResult EvaluateImpl(const std::vector<double>& log_b,
+                           bool want_h_opt) override {
+    const int n = structure_.n;
+    if (structurally_unbounded_ && AllNonNegative(log_b)) {
+      return StructurallyUnboundedResult();
+    }
+
+    std::vector<double> rhs(lp_.num_constraints(), 0.0);
+    std::copy(log_b.begin(), log_b.end(), rhs.begin());
+    double box = 0.0;
+    if (!full_mode_) {
+      box = GammaBoxBound(n, ps_, log_b);
+      rhs[box_row_] = box;
+    }
+
+    LpResult lp_result = tableau_->ResolveWithRhs(rhs);
+    int rounds = 0;
+    bool grew = false;
+    bool cut_converged = full_mode_;
+    if (!full_mode_) {
+      // Cut loop: the new optimum may violate elemental inequalities that
+      // no earlier evaluation needed. Growing the matrix invalidates the
+      // basis, so each growth round re-solves cold.
+      while (rounds < options_.max_cut_rounds &&
+             lp_result.status == LpStatus::kOptimal) {
+        std::vector<ShannonCut> cuts = FindViolatedShannonCuts(
+            n, lp_result.x, present_, options_.cuts_per_round,
+            options_.feasibility_eps);
+        if (cuts.empty()) {
+          cut_converged = true;
+          break;
+        }
+        for (const ShannonCut& cut : cuts) {
+          AddCut(cut);
+          rhs.push_back(0.0);
+        }
+        tableau_.emplace(lp_);
+        lp_result = tableau_->Solve(rhs);
+        grew = true;
+        ++rounds;
+      }
+    }
+
+    BoundResult result =
+        MakeGammaResult(lp_result, n, num_stats_, rounds, want_h_opt);
+    if (grew) result.eval_path = LpEvalPath::kCold;
+    if (!full_mode_ && result.ok() &&
+        result.log2_bound >= box * (1.0 - 1e-9)) {
+      // Shannon-feasible optimum pinned at the box: genuinely unbounded.
+      result.status = LpStatus::kUnbounded;
+      result.log2_bound = kInfNorm;
+    }
+    // Cache the verdict only when it is structural: a Shannon-converged
+    // box pin (or, in full mode, a solver ray) certifies a recession ray
+    // that outlives any RHS. A round-limit exit pinned at the box is an
+    // approximation failure for *these* values, not a property of the
+    // structure — later values must get a fresh chance to converge.
+    if (result.unbounded() && cut_converged) structurally_unbounded_ = true;
+    return result;
+  }
+
+ private:
+  void AddCut(const ShannonCut& cut) {
+    present_.insert(cut.Key());
+    lp_.AddConstraint(FormToTerms(cut.Form(structure_.n)), LpSense::kGe, 0.0);
+  }
+
+  EngineOptions options_;
+  int num_stats_;
+  bool full_mode_;
+  LpProblem lp_;
+  std::optional<SimplexTableau> tableau_;
+  std::vector<double> ps_;
+  std::set<uint64_t> present_;
+  int box_row_ = -1;
+  bool structurally_unbounded_ = false;
+};
+
+class GammaEngine : public BoundEngine {
+ public:
+  std::string_view name() const override { return "gamma"; }
+  bool Supports(const BoundStructure& structure) const override {
+    return structure.n >= 1 && structure.n <= kMaxVars;
+  }
+  std::unique_ptr<CompiledBound> Compile(
+      const BoundStructure& structure,
+      const EngineOptions& options) const override {
+    return std::make_unique<CompiledGammaBound>(structure, options);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Nn engine: exact for simple shapes (Theorem 6.1) with a far smaller LP —
+// only the statistics are rows, so witness re-pricing is O(stats²).
+
+class CompiledNormalBound : public CompiledBound {
+ public:
+  explicit CompiledNormalBound(BoundStructure structure)
+      : CompiledBound(std::move(structure)),
+        tableau_(BuildNormalBoundLp(structure_.n, PlaceholderStats())) {}
+
+ protected:
+  BoundResult EvaluateImpl(const std::vector<double>& log_b,
+                           bool want_h_opt) override {
+    if (structurally_unbounded_ && AllNonNegative(log_b)) {
+      return StructurallyUnboundedResult();
+    }
+    LpResult lp = tableau_.ResolveWithRhs(log_b);
+    BoundResult result;
+    result.status = lp.status;
+    result.lp_iterations = lp.iterations;
+    result.eval_path = lp.path;
+    if (lp.status == LpStatus::kUnbounded) {
+      result.log2_bound = kInfNorm;
+      structurally_unbounded_ = true;
+      return result;
+    }
+    if (lp.status != LpStatus::kOptimal) return result;
+    result.log2_bound = lp.objective;
+    result.weights = lp.duals;
+    if (want_h_opt) {
+      const int num_vars = static_cast<int>(FullSet(structure_.n));
+      std::vector<double> alpha(num_vars + 1, 0.0);
+      for (int w = 0; w < num_vars; ++w) alpha[w + 1] = lp.x[w];
+      result.h_opt = SetFunction::NormalCombination(structure_.n, alpha);
+    }
+    return result;
+  }
+
+ private:
+  // Shape-only statistics (log_b = 0) for the matrix builder; the real
+  // values arrive per evaluation as the RHS vector.
+  std::vector<ConcreteStatistic> PlaceholderStats() const {
+    std::vector<ConcreteStatistic> stats;
+    stats.reserve(structure_.shapes.size());
+    for (const StatisticShape& shape : structure_.shapes) {
+      ConcreteStatistic stat;
+      stat.sigma = shape.sigma;
+      stat.p = shape.p;
+      stats.push_back(stat);
+    }
+    return stats;
+  }
+
+  SimplexTableau tableau_;
+  bool structurally_unbounded_ = false;
+};
+
+class NormalEngine : public BoundEngine {
+ public:
+  std::string_view name() const override { return "normal"; }
+  bool Supports(const BoundStructure& structure) const override {
+    return structure.n >= 1 && structure.n <= kMaxVars &&
+           structure.AllShapesSimple();
+  }
+  std::unique_ptr<CompiledBound> Compile(
+      const BoundStructure& structure,
+      const EngineOptions& options) const override {
+    (void)options;
+    assert(Supports(structure));
+    return std::make_unique<CompiledNormalBound>(structure);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// "auto": dispatch at compile time, mirroring LpNormBound's dispatch.
+
+class AutoEngine : public BoundEngine {
+ public:
+  std::string_view name() const override { return "auto"; }
+  bool Supports(const BoundStructure& structure) const override {
+    return structure.n >= 1 && structure.n <= kMaxVars;
+  }
+  std::unique_ptr<CompiledBound> Compile(
+      const BoundStructure& structure,
+      const EngineOptions& options) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Shape-filtered engines (AGM, PANDA): compile the surviving sub-structure
+// with the auto engine and remap witness weights back to the full shape
+// list, so Σ w_i log_b_i still certifies against the caller's statistics.
+
+class FilteredBound : public CompiledBound {
+ public:
+  FilteredBound(BoundStructure structure, std::vector<int> keep,
+                std::unique_ptr<CompiledBound> inner)
+      : CompiledBound(std::move(structure)),
+        keep_(std::move(keep)),
+        inner_(std::move(inner)) {}
+
+ protected:
+  BoundResult EvaluateImpl(const std::vector<double>& log_b,
+                           bool want_h_opt) override {
+    std::vector<double> sub(keep_.size());
+    for (size_t k = 0; k < keep_.size(); ++k) sub[k] = log_b[keep_[k]];
+    BoundResult result = inner_->Evaluate(sub, want_h_opt);
+    std::vector<double> weights(structure_.shapes.size(), 0.0);
+    for (size_t k = 0; k < keep_.size() && k < result.weights.size(); ++k) {
+      weights[keep_[k]] = result.weights[k];
+    }
+    result.weights = std::move(weights);
+    return result;
+  }
+
+ private:
+  std::vector<int> keep_;
+  std::unique_ptr<CompiledBound> inner_;
+};
+
+class FilteredEngine : public BoundEngine {
+ public:
+  using Predicate = bool (*)(const StatisticShape&);
+  FilteredEngine(std::string_view name, Predicate pred)
+      : name_(name), pred_(pred) {}
+
+  std::string_view name() const override { return name_; }
+  bool Supports(const BoundStructure& structure) const override {
+    return structure.n >= 1 && structure.n <= kMaxVars;
+  }
+  std::unique_ptr<CompiledBound> Compile(
+      const BoundStructure& structure,
+      const EngineOptions& options) const override;
+
+ private:
+  std::string_view name_;
+  Predicate pred_;
+};
+
+const GammaEngine& Gamma() {
+  static const GammaEngine engine;
+  return engine;
+}
+const NormalEngine& Normal() {
+  static const NormalEngine engine;
+  return engine;
+}
+const AutoEngine& Auto() {
+  static const AutoEngine engine;
+  return engine;
+}
+
+std::unique_ptr<CompiledBound> AutoEngine::Compile(
+    const BoundStructure& structure, const EngineOptions& options) const {
+  if (Normal().Supports(structure)) return Normal().Compile(structure, options);
+  return Gamma().Compile(structure, options);
+}
+
+std::unique_ptr<CompiledBound> FilteredEngine::Compile(
+    const BoundStructure& structure, const EngineOptions& options) const {
+  BoundStructure sub;
+  sub.n = structure.n;
+  std::vector<int> keep;
+  for (size_t i = 0; i < structure.shapes.size(); ++i) {
+    if (pred_(structure.shapes[i])) {
+      keep.push_back(static_cast<int>(i));
+      sub.shapes.push_back(structure.shapes[i]);
+    }
+  }
+  return std::make_unique<FilteredBound>(structure, std::move(keep),
+                                         Auto().Compile(sub, options));
+}
+
+}  // namespace
+
+bool IsAgmShape(const StatisticShape& shape) {
+  return shape.p == 1.0 && shape.sigma.u == 0;
+}
+bool IsPandaShape(const StatisticShape& shape) {
+  return shape.p == 1.0 || shape.p >= kInfNorm / 2;
+}
+
+const BoundEngine* FindBoundEngine(std::string_view name) {
+  static const FilteredEngine agm("agm", &IsAgmShape);
+  static const FilteredEngine panda("panda", &IsPandaShape);
+  static const BoundEngine* const engines[] = {&Gamma(), &Normal(), &Auto(),
+                                               &agm, &panda};
+  for (const BoundEngine* engine : engines) {
+    if (engine->name() == name) return engine;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> BoundEngineNames() {
+  return {"gamma", "normal", "auto", "agm", "panda"};
+}
+
+}  // namespace lpb

@@ -1,11 +1,11 @@
 #include "bounds/engine.h"
 
-#include <algorithm>
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <set>
 
+#include "bounds/bound_engine.h"
+#include "bounds/shannon_cuts.h"
 #include "entropy/shannon.h"
 #include "lp/lp_problem.h"
 #include "relation/degree_sequence.h"
@@ -13,96 +13,15 @@
 namespace lpb {
 namespace {
 
-// Box bound on h(X) used during cutting-plane solves keeps the relaxation
-// bounded; a converged optimum at the box means the statistics genuinely do
-// not bound the query. The box is derived from the statistics (sum of
-// p-weighted budgets) rather than a huge constant: any witness inequality
-// (8) certifying a finite bound uses weight at most p_i on statistic i once
-// the h(U_i) side must also be covered, so the box dominates every finite
-// bound, while staying small enough that the simplex does not grind across
-// an enormous degenerate face at the box.
 double BoxBound(int n, const std::vector<ConcreteStatistic>& stats) {
-  double box = 10.0;
+  std::vector<double> ps, log_bs;
+  ps.reserve(stats.size());
+  log_bs.reserve(stats.size());
   for (const ConcreteStatistic& s : stats) {
-    const double p_factor =
-        (s.p >= kInfNorm / 2) ? 1.0 : std::min<double>(s.p, n);
-    box += std::max(s.log_b, 0.0) * std::max(1.0, p_factor);
+    ps.push_back(s.p);
+    log_bs.push_back(s.log_b);
   }
-  return box;
-}
-
-std::vector<LpTerm> FormToTerms(const LinearForm& form) {
-  std::vector<LpTerm> terms;
-  for (const EntropyTerm& t : form) {
-    if (t.set == 0 || t.coef == 0.0) continue;  // h(∅) is pinned to 0
-    terms.push_back({static_cast<int>(t.set) - 1, t.coef});
-  }
-  return terms;
-}
-
-// An elemental Shannon cut, identified for dedup purposes.
-struct Cut {
-  int i;     // first variable
-  int j;     // second variable, or -1 for monotonicity
-  VarSet s;  // conditioning set (submodularity only)
-
-  uint64_t Key() const {
-    return (static_cast<uint64_t>(i) << 40) |
-           (static_cast<uint64_t>(j + 1) << 32) | s;
-  }
-  LinearForm Form(int n) const {
-    if (j < 0) {
-      const VarSet full = FullSet(n);
-      return {{full, 1.0}, {full & ~VarBit(i), -1.0}};
-    }
-    const VarSet bi = VarBit(i), bj = VarBit(j);
-    LinearForm f = {{s | bi, 1.0}, {s | bj, 1.0}, {s | bi | bj, -1.0}};
-    if (s != 0) f.push_back({s, -1.0});
-    return f;
-  }
-};
-
-// Violation of the cut at the point h (negative = violated).
-double CutValue(const Cut& cut, int n, const std::vector<double>& x) {
-  auto h = [&](VarSet set) { return set == 0 ? 0.0 : x[set - 1]; };
-  if (cut.j < 0) {
-    const VarSet full = FullSet(n);
-    return h(full) - h(full & ~VarBit(cut.i));
-  }
-  const VarSet bi = VarBit(cut.i), bj = VarBit(cut.j);
-  return h(cut.s | bi) + h(cut.s | bj) - h(cut.s | bi | bj) - h(cut.s);
-}
-
-// Scans every elemental inequality and returns the most violated ones.
-std::vector<Cut> FindViolatedCuts(int n, const std::vector<double>& x,
-                                  const std::set<uint64_t>& present,
-                                  int max_cuts, double eps) {
-  std::vector<std::pair<double, Cut>> violated;
-  const VarSet full = FullSet(n);
-  for (int i = 0; i < n; ++i) {
-    Cut cut{i, -1, 0};
-    double v = CutValue(cut, n, x);
-    if (v < -eps && !present.count(cut.Key())) violated.push_back({v, cut});
-  }
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      const VarSet rest = full & ~(VarBit(i) | VarBit(j));
-      for (VarSet s : SubsetRange(rest)) {
-        Cut cut{i, j, s};
-        double v = CutValue(cut, n, x);
-        if (v < -eps && !present.count(cut.Key())) {
-          violated.push_back({v, cut});
-        }
-      }
-    }
-  }
-  std::sort(violated.begin(), violated.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (static_cast<int>(violated.size()) > max_cuts) violated.resize(max_cuts);
-  std::vector<Cut> cuts;
-  cuts.reserve(violated.size());
-  for (const auto& [v, cut] : violated) cuts.push_back(cut);
-  return cuts;
+  return GammaBoxBound(n, ps, log_bs);
 }
 
 BoundResult MakeResult(const LpResult& lp, int n, int num_stats,
@@ -148,38 +67,27 @@ BoundResult PolymatroidBound(int n, const std::vector<ConcreteStatistic>& stats,
   }
 
   // Cutting-plane mode. Box the objective so the relaxation stays bounded,
-  // then seed with the monotonicity cuts and the submodularities whose
-  // conditioning set is small (|S| <= 1) or maximal — the cuts that drive
-  // chain-style bounds — so the first relaxations are already close to
-  // bounded and the solver does not grind on the box face.
+  // then seed with the cuts that drive chain-style bounds (see
+  // SeedShannonCuts).
   const double box = BoxBound(n, stats);
   lp.AddConstraint({{static_cast<int>(full) - 1, 1.0}}, LpSense::kLe, box);
   std::set<uint64_t> present;
-  auto add_cut = [&](const Cut& cut) {
+  auto add_cut = [&](const ShannonCut& cut) {
     present.insert(cut.Key());
     lp.AddConstraint(FormToTerms(cut.Form(n)), LpSense::kGe, 0.0);
   };
-  for (int i = 0; i < n; ++i) add_cut(Cut{i, -1, 0});
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      const VarSet ij = VarBit(i) | VarBit(j);
-      add_cut(Cut{i, j, 0});
-      add_cut(Cut{i, j, full & ~ij});
-      const VarSet rest = full & ~ij;
-      for (int k : VarRange(rest)) add_cut(Cut{i, j, VarBit(k)});
-    }
-  }
+  for (const ShannonCut& cut : SeedShannonCuts(n)) add_cut(cut);
 
   LpResult lp_result;
   int round = 0;
   for (; round < options.max_cut_rounds; ++round) {
     lp_result = SolveLp(lp);
     if (lp_result.status != LpStatus::kOptimal) break;
-    std::vector<Cut> cuts =
-        FindViolatedCuts(n, lp_result.x, present, options.cuts_per_round,
-                         options.feasibility_eps);
+    std::vector<ShannonCut> cuts =
+        FindViolatedShannonCuts(n, lp_result.x, present, options.cuts_per_round,
+                                options.feasibility_eps);
     if (cuts.empty()) break;
-    for (const Cut& cut : cuts) add_cut(cut);
+    for (const ShannonCut& cut : cuts) add_cut(cut);
   }
 
   BoundResult result = MakeResult(lp_result, n, num_stats, round);
@@ -195,7 +103,7 @@ std::vector<ConcreteStatistic> FilterAgmStatistics(
     const std::vector<ConcreteStatistic>& stats) {
   std::vector<ConcreteStatistic> out;
   for (const ConcreteStatistic& s : stats) {
-    if (s.p == 1.0 && s.sigma.u == 0) out.push_back(s);
+    if (IsAgmShape({s.sigma, s.p})) out.push_back(s);
   }
   return out;
 }
@@ -204,7 +112,7 @@ std::vector<ConcreteStatistic> FilterPandaStatistics(
     const std::vector<ConcreteStatistic>& stats) {
   std::vector<ConcreteStatistic> out;
   for (const ConcreteStatistic& s : stats) {
-    if (s.p == 1.0 || s.p >= kInfNorm / 2) out.push_back(s);
+    if (IsPandaShape({s.sigma, s.p})) out.push_back(s);
   }
   return out;
 }

@@ -8,6 +8,39 @@
 // materialized (small n) or generated lazily by a cutting-plane loop that
 // adds the most violated elemental inequalities until the optimum is
 // Shannon-feasible.
+//
+// == Compile/evaluate architecture ==
+//
+// The bound LP factors cleanly into structure and values: the constraint
+// matrix depends only on the query's variable count and the statistic
+// *shapes* (σ = (V|U), p), while the concrete ℓp-norm values log_b enter
+// solely through the right-hand side. Two evaluation styles exploit this:
+//
+//   * One-shot (this header): PolymatroidBound / NormalPolymatroidBound /
+//     LpNormBound build and solve a fresh LP per call. Use these for
+//     single bounds, for the worst-case-database α* coefficients, and in
+//     tests as the reference the compiled path must reproduce.
+//   * Compile-once / evaluate-many (bounds/bound_engine.h): a BoundEngine
+//     compiles a structure into a CompiledBound whose Evaluate(log_b)
+//     first tries the cached dual witness (the previous optimal basis,
+//     re-priced with one matrix-vector product and a dot product), then a
+//     warm dual-simplex re-solve, then a cold solve. Use this — via
+//     CardinalityAdvisor — whenever the same query template is estimated
+//     against many statistics snapshots.
+//
+// == Engine selection ==
+//
+//   * "normal" (Nn, bounds/normal_engine.h): exact and fast whenever every
+//     statistic is simple (|U| <= 1, Theorem 6.1) — the common case of
+//     per-join-column degree sequences; scales to n = 20. Unsound for
+//     non-simple statistics.
+//   * "gamma" (Γn, this header): the general engine. Full elemental
+//     lattice for n <= full_lattice_max_n, cutting-plane beyond that
+//     (experimental past n ≈ 7; see EngineOptions).
+//   * "auto": normal when all shapes are simple, gamma otherwise — what
+//     the advisor uses.
+//   * "agm" / "panda": the classic special cases, as shape filters on top
+//     of "auto" ({1}: cardinalities only; {1,∞}).
 #ifndef LPB_BOUNDS_ENGINE_H_
 #define LPB_BOUNDS_ENGINE_H_
 
@@ -46,6 +79,9 @@ struct BoundResult {
   SetFunction h_opt;
   int cut_rounds = 0;
   int lp_iterations = 0;
+  // How the underlying LP was evaluated. Always kCold for the one-shot
+  // entry points; CompiledBound::Evaluate reports witness/warm reuse here.
+  LpEvalPath eval_path = LpEvalPath::kCold;
 
   bool ok() const { return status == LpStatus::kOptimal; }
   bool unbounded() const { return status == LpStatus::kUnbounded; }

@@ -8,10 +8,8 @@
 
 namespace lpb {
 
-NormalBoundResult NormalPolymatroidBound(
-    int n, const std::vector<ConcreteStatistic>& stats, bool require_simple) {
-  assert(n >= 1 && n <= kMaxVars);
-  if (require_simple) assert(AllSimple(stats));
+LpProblem BuildNormalBoundLp(int n,
+                             const std::vector<ConcreteStatistic>& stats) {
   const VarSet full = FullSet(n);
   const int num_vars = static_cast<int>(full);  // α_W for W = 1 .. full
 
@@ -34,8 +32,17 @@ NormalBoundResult NormalPolymatroidBound(
     }
     lp.AddConstraint(std::move(terms), LpSense::kLe, stat.log_b);
   }
+  return lp;
+}
 
-  LpResult lp_result = SolveLp(lp);
+NormalBoundResult NormalPolymatroidBound(
+    int n, const std::vector<ConcreteStatistic>& stats, bool require_simple) {
+  assert(n >= 1 && n <= kMaxVars);
+  if (require_simple) assert(AllSimple(stats));
+  const VarSet full = FullSet(n);
+  const int num_vars = static_cast<int>(full);  // α_W for W = 1 .. full
+
+  LpResult lp_result = SolveLp(BuildNormalBoundLp(n, stats));
   NormalBoundResult result;
   result.base.status = lp_result.status;
   result.base.lp_iterations = lp_result.iterations;

@@ -35,6 +35,14 @@ NormalBoundResult NormalPolymatroidBound(
     int n, const std::vector<ConcreteStatistic>& stats,
     bool require_simple = true);
 
+// Builds the Nn LP: maximize Σ_W α_W over α >= 0 with one <= row per
+// statistic (rhs = stat.log_b), in statistics order. The matrix depends
+// only on the statistic *shapes* (σ, p), never on the values — the
+// compiled-bound pipeline (bounds/bound_engine.h) builds it once per
+// structure and re-solves per log_b vector.
+LpProblem BuildNormalBoundLp(int n,
+                             const std::vector<ConcreteStatistic>& stats);
+
 // Convenience dispatcher: uses the normal engine when all statistics are
 // simple (valid and fast, Theorem 6.1), otherwise the Γn cutting-plane
 // engine.

@@ -1,0 +1,99 @@
+#include "bounds/shannon_cuts.h"
+
+#include <algorithm>
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+LinearForm ShannonCut::Form(int n) const {
+  if (j < 0) {
+    const VarSet full = FullSet(n);
+    return {{full, 1.0}, {full & ~VarBit(i), -1.0}};
+  }
+  const VarSet bi = VarBit(i), bj = VarBit(j);
+  LinearForm f = {{s | bi, 1.0}, {s | bj, 1.0}, {s | bi | bj, -1.0}};
+  if (s != 0) f.push_back({s, -1.0});
+  return f;
+}
+
+double ShannonCutValue(const ShannonCut& cut, int n,
+                       const std::vector<double>& x) {
+  auto h = [&](VarSet set) { return set == 0 ? 0.0 : x[set - 1]; };
+  if (cut.j < 0) {
+    const VarSet full = FullSet(n);
+    return h(full) - h(full & ~VarBit(cut.i));
+  }
+  const VarSet bi = VarBit(cut.i), bj = VarBit(cut.j);
+  return h(cut.s | bi) + h(cut.s | bj) - h(cut.s | bi | bj) - h(cut.s);
+}
+
+std::vector<ShannonCut> FindViolatedShannonCuts(int n,
+                                                const std::vector<double>& x,
+                                                const std::set<uint64_t>& present,
+                                                int max_cuts, double eps) {
+  std::vector<std::pair<double, ShannonCut>> violated;
+  const VarSet full = FullSet(n);
+  for (int i = 0; i < n; ++i) {
+    ShannonCut cut{i, -1, 0};
+    double v = ShannonCutValue(cut, n, x);
+    if (v < -eps && !present.count(cut.Key())) violated.push_back({v, cut});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const VarSet rest = full & ~(VarBit(i) | VarBit(j));
+      for (VarSet s : SubsetRange(rest)) {
+        ShannonCut cut{i, j, s};
+        double v = ShannonCutValue(cut, n, x);
+        if (v < -eps && !present.count(cut.Key())) {
+          violated.push_back({v, cut});
+        }
+      }
+    }
+  }
+  std::sort(violated.begin(), violated.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (static_cast<int>(violated.size()) > max_cuts) violated.resize(max_cuts);
+  std::vector<ShannonCut> cuts;
+  cuts.reserve(violated.size());
+  for (const auto& [v, cut] : violated) cuts.push_back(cut);
+  return cuts;
+}
+
+std::vector<ShannonCut> SeedShannonCuts(int n) {
+  const VarSet full = FullSet(n);
+  std::vector<ShannonCut> cuts;
+  for (int i = 0; i < n; ++i) cuts.push_back(ShannonCut{i, -1, 0});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const VarSet ij = VarBit(i) | VarBit(j);
+      cuts.push_back(ShannonCut{i, j, 0});
+      cuts.push_back(ShannonCut{i, j, full & ~ij});
+      const VarSet rest = full & ~ij;
+      for (int k : VarRange(rest)) cuts.push_back(ShannonCut{i, j, VarBit(k)});
+    }
+  }
+  return cuts;
+}
+
+double GammaBoxBound(int n, const std::vector<double>& ps,
+                     const std::vector<double>& log_bs) {
+  double box = 10.0;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    const double p_factor =
+        (ps[i] >= kInfNorm / 2) ? 1.0 : std::min<double>(ps[i], n);
+    box += std::max(log_bs[i], 0.0) * std::max(1.0, p_factor);
+  }
+  return box;
+}
+
+std::vector<LpTerm> FormToTerms(const LinearForm& form) {
+  std::vector<LpTerm> terms;
+  for (const EntropyTerm& t : form) {
+    if (t.set == 0 || t.coef == 0.0) continue;  // h(∅) is pinned to 0
+    terms.push_back({static_cast<int>(t.set) - 1, t.coef});
+  }
+  return terms;
+}
+
+}  // namespace lpb

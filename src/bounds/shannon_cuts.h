@@ -1,0 +1,71 @@
+// Elemental-inequality cut oracle shared by the Γn bound engines.
+//
+// The cutting-plane mode of the polymatroid bound (bounds/engine.cc) and
+// its compiled counterpart (bounds/bound_engine.cc) relax Γn to a growing
+// set of elemental Shannon inequalities. This header holds the pieces both
+// need: the cut representation, the violation scan, the seed cut set, and
+// the statistics-derived box that keeps the relaxation bounded.
+#ifndef LPB_BOUNDS_SHANNON_CUTS_H_
+#define LPB_BOUNDS_SHANNON_CUTS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "entropy/shannon.h"
+#include "lp/lp_problem.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+// An elemental Shannon cut, identified for dedup purposes.
+struct ShannonCut {
+  int i = 0;     // first variable
+  int j = -1;    // second variable, or -1 for monotonicity
+  VarSet s = 0;  // conditioning set (submodularity only)
+
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(i) << 40) |
+           (static_cast<uint64_t>(j + 1) << 32) | s;
+  }
+  LinearForm Form(int n) const;
+};
+
+// Violation of the cut at the point h = x (negative = violated); x is the
+// LP solution vector indexed by VarSet - 1.
+double ShannonCutValue(const ShannonCut& cut, int n,
+                       const std::vector<double>& x);
+
+// Scans every elemental inequality and returns the most violated ones not
+// already in `present` (keyed by ShannonCut::Key), at most `max_cuts`.
+std::vector<ShannonCut> FindViolatedShannonCuts(int n,
+                                                const std::vector<double>& x,
+                                                const std::set<uint64_t>& present,
+                                                int max_cuts, double eps);
+
+// The seed cut set for a fresh cutting-plane solve: the monotonicity cuts
+// and the submodularities whose conditioning set is small (|S| <= 1) or
+// maximal — the cuts that drive chain-style bounds — so the first
+// relaxations are already close to bounded and the solver does not grind
+// on the box face.
+std::vector<ShannonCut> SeedShannonCuts(int n);
+
+// Box bound on h(X) used during cutting-plane solves: keeps the relaxation
+// bounded; a converged optimum at the box means the statistics genuinely do
+// not bound the query. The box is derived from the statistics (sum of
+// p-weighted budgets) rather than a huge constant: any witness inequality
+// (8) certifying a finite bound uses weight at most p_i on statistic i once
+// the h(U_i) side must also be covered, so the box dominates every finite
+// bound, while staying small enough that the simplex does not grind across
+// an enormous degenerate face at the box. `ps` and `log_bs` are the per-
+// statistic norm indices and values.
+double GammaBoxBound(int n, const std::vector<double>& ps,
+                     const std::vector<double>& log_bs);
+
+// Lowers a sparse entropy linear form to LP terms over the h-variable
+// layout (variable h(S) lives at column S - 1; h(∅) is pinned to 0).
+std::vector<LpTerm> FormToTerms(const LinearForm& form);
+
+}  // namespace lpb
+
+#endif  // LPB_BOUNDS_SHANNON_CUTS_H_

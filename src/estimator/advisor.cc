@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "bounds/normal_engine.h"
 
@@ -27,20 +28,33 @@ CardinalityAdvisor::CardinalityAdvisor(const Catalog& catalog,
                                        AdvisorOptions options)
     : catalog_(catalog), options_(std::move(options)) {}
 
-const std::vector<double>& CardinalityAdvisor::CachedNorms(
+std::vector<double> CardinalityAdvisor::CachedNorms(
     const std::string& relation, const std::vector<int>& u_cols,
     const std::vector<int>& v_cols) {
   Key key{relation, u_cols, v_cols};
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    const DegreeSequence deg =
-        ComputeDegreeSequence(catalog_.Get(relation), u_cols, v_cols);
-    std::vector<double> norms;
-    norms.reserve(options_.norms.size());
-    for (double p : options_.norms) norms.push_back(deg.Log2NormP(p));
-    it = cache_.emplace(std::move(key), std::move(norms)).first;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(norms_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    generation = norms_generation_;
   }
-  return it->second;
+  // Compute outside the lock: degree-sequence extraction is O(N log N) and
+  // must not serialize concurrent estimators. A racing thread may compute
+  // the same entry; both arrive at identical values, so last-write-wins is
+  // harmless.
+  const DegreeSequence deg =
+      ComputeDegreeSequence(catalog_.Get(relation), u_cols, v_cols);
+  std::vector<double> norms;
+  norms.reserve(options_.norms.size());
+  for (double p : options_.norms) norms.push_back(deg.Log2NormP(p));
+  std::lock_guard<std::mutex> lock(norms_mu_);
+  if (generation != norms_generation_) {
+    // An Invalidate ran while we computed: these norms may reflect
+    // pre-update data. Serve them for this call but do not cache.
+    return norms;
+  }
+  return cache_.emplace(std::move(key), std::move(norms)).first->second;
 }
 
 std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
@@ -55,8 +69,7 @@ std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
       const std::vector<int> v_cols = ColumnsOf(atom, atom_vars);
       // ℓ1 of deg(V|∅) = |Π_V(R)|; reuse the cache with p = 1 position if
       // present, otherwise compute through the same path with norms[0].
-      const std::vector<double>& norms =
-          CachedNorms(atom.relation, {}, v_cols);
+      const std::vector<double> norms = CachedNorms(atom.relation, {}, v_cols);
       for (size_t k = 0; k < options_.norms.size(); ++k) {
         if (options_.norms[k] == 1.0) {
           ConcreteStatistic s;
@@ -75,7 +88,7 @@ std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
       const VarSet u = VarBit(v);
       const VarSet rest = atom_vars & ~u;
       if (rest == 0) continue;
-      const std::vector<double>& norms = CachedNorms(
+      const std::vector<double> norms = CachedNorms(
           atom.relation, ColumnsOf(atom, u), ColumnsOf(atom, rest));
       for (size_t k = 0; k < options_.norms.size(); ++k) {
         ConcreteStatistic s;
@@ -90,9 +103,61 @@ std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
   return stats;
 }
 
+BoundResult CardinalityAdvisor::EvaluateCompiled(
+    int n, const std::vector<ConcreteStatistic>& stats, bool want_h_opt) {
+  const BoundStructure structure = StructureOf(n, stats);
+  const std::string key = StructureKey(structure);
+
+  std::shared_ptr<CompiledEntry> entry;
+  {
+    std::shared_lock<std::shared_mutex> lock(compiled_mu_);
+    auto it = compiled_.find(key);
+    if (it != compiled_.end()) entry = it->second;
+  }
+  if (entry) {
+    compiled_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Compile outside the map lock — Γn compilation materializes the
+    // elemental lattice. If another thread compiled the same structure
+    // meanwhile, its entry wins and ours is dropped.
+    const BoundEngine* engine = FindBoundEngine(options_.bound_engine);
+    if (engine == nullptr) engine = FindBoundEngine("auto");
+    auto fresh = std::make_shared<CompiledEntry>();
+    fresh->bound = engine->Compile(structure, options_.engine);
+    std::unique_lock<std::shared_mutex> lock(compiled_mu_);
+    auto [it, inserted] = compiled_.emplace(key, std::move(fresh));
+    entry = it->second;
+    if (inserted) {
+      compiled_misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      compiled_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  BoundResult result;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    result = entry->bound->Evaluate(ValuesOf(stats), want_h_opt);
+  }
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  switch (result.eval_path) {
+    case LpEvalPath::kWitness:
+      witness_hits_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case LpEvalPath::kWarm:
+      warm_resolves_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case LpEvalPath::kCold:
+      cold_solves_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return result;
+}
+
 double CardinalityAdvisor::EstimateLog2(const Query& query) {
   auto stats = AssembleStatistics(query);
-  return LpNormBound(query.num_vars(), stats, options_.engine).log2_bound;
+  return EvaluateCompiled(query.num_vars(), stats, /*want_h_opt=*/false)
+      .log2_bound;
 }
 
 double CardinalityAdvisor::Estimate(const Query& query) {
@@ -104,11 +169,36 @@ CardinalityAdvisor::Explanation CardinalityAdvisor::Explain(
   Explanation out;
   out.stats = AssembleStatistics(query);
   for (ConcreteStatistic& s : out.stats) s.label = ToString(s, query);
-  out.bound = LpNormBound(query.num_vars(), out.stats, options_.engine);
+  out.bound =
+      EvaluateCompiled(query.num_vars(), out.stats, /*want_h_opt=*/true);
+  out.metrics = metrics();
   return out;
 }
 
+size_t CardinalityAdvisor::CacheSize() const {
+  std::lock_guard<std::mutex> lock(norms_mu_);
+  return cache_.size();
+}
+
+size_t CardinalityAdvisor::CompiledCacheSize() const {
+  std::shared_lock<std::shared_mutex> lock(compiled_mu_);
+  return compiled_.size();
+}
+
+AdvisorMetrics CardinalityAdvisor::metrics() const {
+  AdvisorMetrics m;
+  m.estimates = estimates_.load(std::memory_order_relaxed);
+  m.compiled_hits = compiled_hits_.load(std::memory_order_relaxed);
+  m.compiled_misses = compiled_misses_.load(std::memory_order_relaxed);
+  m.witness_hits = witness_hits_.load(std::memory_order_relaxed);
+  m.warm_resolves = warm_resolves_.load(std::memory_order_relaxed);
+  m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
+  return m;
+}
+
 void CardinalityAdvisor::Invalidate(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(norms_mu_);
+  ++norms_generation_;  // in-flight CachedNorms computations must not cache
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (std::get<0>(it->first) == relation) {
       it = cache_.erase(it);

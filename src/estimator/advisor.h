@@ -1,19 +1,36 @@
 // CardinalityAdvisor: the paper's "future work" packaged as an API —
 // a pessimistic cardinality estimation service for query optimizers.
 //
-// The advisor precomputes ℓp-norm statistics per (relation, conditional)
-// once, caches them, and then answers EstimateLog2(query) by assembling the
-// cached statistics into the bound LP. This mirrors how a real system would
-// deploy the paper: statistics maintenance is offline (O(N log N) per
-// degree sequence, footnote 1), estimation is a small LP per query.
+// Two caches make the hot path cheap enough for optimizer traffic:
+//   * statistics cache — ℓp norms per (relation, conditional), computed
+//     lazily (O(N log N) per degree sequence, footnote 1) and reused across
+//     queries;
+//   * compiled-bound cache — the bound LP compiled once per *structure*
+//     (variable count + statistic shapes; the query hypergraph enters the
+//     LP only through those shapes) via bounds/bound_engine.h and
+//     re-evaluated per statistics. For a repeated query template the
+//     estimate is a statistics lookup plus a dual-witness dot product; the
+//     LP is re-solved (warm, then cold) only when the cached basis stops
+//     being optimal.
+//
+// Thread safety: Estimate/EstimateLog2/Explain may be called concurrently.
+// The compiled cache takes a shared lock on the hot (hit) path; each
+// compiled bound carries its own mutex because Evaluate mutates the cached
+// basis. Invalidate may run concurrently with estimates.
 #ifndef LPB_ESTIMATOR_ADVISOR_H_
 #define LPB_ESTIMATOR_ADVISOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "bounds/bound_engine.h"
 #include "bounds/engine.h"
 #include "query/query.h"
 #include "relation/catalog.h"
@@ -27,12 +44,26 @@ struct AdvisorOptions {
   std::vector<double> norms = {1.0, 2.0, 3.0, 4.0, kInfNorm};
   // Engine options for the occasional non-simple statistics set.
   EngineOptions engine;
+  // Bound engine used for compiled bounds (see FindBoundEngine); "auto"
+  // picks the normal engine when sound, the Γn engine otherwise.
+  std::string bound_engine = "auto";
+};
+
+// Cumulative counters; every estimate falls into exactly one of hit/miss
+// and, below that, exactly one of witness/warm/cold.
+struct AdvisorMetrics {
+  uint64_t estimates = 0;        // bound evaluations served
+  uint64_t compiled_hits = 0;    // structure found in the compiled cache
+  uint64_t compiled_misses = 0;  // structure compiled on this call
+  uint64_t witness_hits = 0;     // cached dual witness reused (dot product)
+  uint64_t warm_resolves = 0;    // dual-simplex pivots from the cached basis
+  uint64_t cold_solves = 0;      // full LP solve
 };
 
 class CardinalityAdvisor {
  public:
   // The advisor keeps a reference to the catalog; it must outlive the
-  // advisor. Statistics are computed lazily and cached.
+  // advisor. Statistics and compiled bounds are built lazily and cached.
   CardinalityAdvisor(const Catalog& catalog, AdvisorOptions options = {});
 
   // log2 upper bound on |Q(D)|; +infinity if the statistics cannot bound
@@ -43,34 +74,75 @@ class CardinalityAdvisor {
   double Estimate(const Query& query);
 
   // Full result (certificate weights, optimal polymatroid) plus the
-  // statistics it was computed from.
+  // statistics it was computed from and a metrics snapshot taken after the
+  // call — bound.eval_path says whether this particular estimate reused
+  // the cached witness, warm-resolved, or solved cold.
   struct Explanation {
     BoundResult bound;
     std::vector<ConcreteStatistic> stats;
+    AdvisorMetrics metrics;
   };
   Explanation Explain(const Query& query);
 
   // Number of distinct cached degree sequences (statistics maintenance
   // footprint).
-  size_t CacheSize() const { return cache_.size(); }
+  size_t CacheSize() const;
+  // Number of distinct compiled bound structures.
+  size_t CompiledCacheSize() const;
+
+  // Snapshot of the cumulative evaluation counters.
+  AdvisorMetrics metrics() const;
 
   // Drops cached statistics for one relation (call after updates).
+  // Compiled bounds survive: they depend only on structure, never on
+  // statistic values, so the next estimate re-reads fresh norms and
+  // re-prices the cached basis against them.
   void Invalidate(const std::string& relation);
 
  private:
   // Cache key: relation name + U column list + V column list.
   using Key = std::tuple<std::string, std::vector<int>, std::vector<int>>;
 
+  // A compiled bound plus the mutex serializing Evaluate on it (Evaluate
+  // mutates the cached basis and, for Γn, the cut set).
+  struct CompiledEntry {
+    std::mutex mu;
+    std::unique_ptr<CompiledBound> bound;
+  };
+
   // Cached log2 norms for one degree sequence, aligned with options_.norms.
-  const std::vector<double>& CachedNorms(const std::string& relation,
-                                         const std::vector<int>& u_cols,
-                                         const std::vector<int>& v_cols);
+  // Returns by value: map references are stable, but the copy keeps the
+  // caller independent of concurrent Invalidate calls.
+  std::vector<double> CachedNorms(const std::string& relation,
+                                  const std::vector<int>& u_cols,
+                                  const std::vector<int>& v_cols);
 
   std::vector<ConcreteStatistic> AssembleStatistics(const Query& query);
 
+  // Looks up or compiles the bound for this statistics structure, then
+  // evaluates it at the statistics' values, updating metrics.
+  BoundResult EvaluateCompiled(int n,
+                               const std::vector<ConcreteStatistic>& stats,
+                               bool want_h_opt);
+
   const Catalog& catalog_;
   AdvisorOptions options_;
+
+  mutable std::mutex norms_mu_;  // guards cache_ and norms_generation_
   std::map<Key, std::vector<double>> cache_;
+  // Bumped by Invalidate so norm computations that started before the
+  // invalidation cannot re-insert stale entries afterwards.
+  uint64_t norms_generation_ = 0;
+
+  mutable std::shared_mutex compiled_mu_;  // guards compiled_ (the map only)
+  std::map<std::string, std::shared_ptr<CompiledEntry>> compiled_;
+
+  std::atomic<uint64_t> estimates_{0};
+  std::atomic<uint64_t> compiled_hits_{0};
+  std::atomic<uint64_t> compiled_misses_{0};
+  std::atomic<uint64_t> witness_hits_{0};
+  std::atomic<uint64_t> warm_resolves_{0};
+  std::atomic<uint64_t> cold_solves_{0};
 };
 
 }  // namespace lpb

@@ -1,326 +1,15 @@
 #include "lp/simplex.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
-#include <vector>
+#include "lp/tableau.h"
 
 namespace lpb {
-namespace {
 
-using Scalar = long double;
-constexpr Scalar kLexEps = 1e-12L;
-
-// Dense simplex tableau. Columns are laid out as:
-//   [0, n)                 structural variables
-//   [n, n + #slack)        slack (LE) / surplus (GE) columns
-//   [n + #slack, total)    artificial variables (GE and EQ rows)
-// plus one trailing right-hand-side column per row.
-class Tableau {
- public:
-  Tableau(const LpProblem& problem, const SimplexOptions& options)
-      : problem_(problem), options_(options) {}
-
-  LpResult Solve();
-
- private:
-  static constexpr int kNoCol = -1;
-
-  void Build();
-  // Runs one simplex phase on `cost`; returns false on iteration limit.
-  // Sets unbounded_ if a ray is detected (only meaningful in phase 2).
-  bool RunPhase(const std::vector<double>& cost, bool phase_two);
-  void ComputeReducedCosts(const std::vector<double>& cost);
-  void Pivot(int row, int col);
-  // After phase 1: pivot basic artificials out where possible.
-  void EvictArtificials();
-
-  const LpProblem& problem_;
-  const SimplexOptions& options_;
-
-  int rows_ = 0;
-  int cols_ = 0;        // total variable columns (structural+slack+artificial)
-  int first_art_ = 0;   // first artificial column index
-  std::vector<std::vector<Scalar>> t_;  // rows_ x (cols_ + 1)
-  std::vector<int> basis_;              // basic column per row
-  std::vector<Scalar> reduced_;         // reduced costs, size cols_
-  // For each original constraint: the column whose original A-column is
-  // +e_i (slack for LE, artificial for GE/EQ) and the row sign applied
-  // during normalization. Used to recover duals.
-  std::vector<int> dual_col_;
-  std::vector<double> row_sign_;
-
-  int iterations_ = 0;
-  int max_iterations_ = 0;
-  bool unbounded_ = false;
-  // Columns disabled for the current phase (numerically dead, see RunPhase).
-  std::vector<bool> frozen_;
-};
-
-void Tableau::Build() {
-  const int n = problem_.num_vars();
-  rows_ = problem_.num_constraints();
-
-  // First pass: normalized sense per row so we know how many slack and
-  // artificial columns we need. Rows are flipped when the rhs is negative,
-  // and also when a >= row has rhs 0 — the flipped row is a <= row whose
-  // slack gives a feasible basis, avoiding an artificial variable entirely
-  // (the common case for the engines' homogeneous Shannon cuts).
-  std::vector<LpSense> sense(rows_);
-  row_sign_.assign(rows_, 1.0);
-  int num_slack = 0;
-  int num_art = 0;
-  for (int i = 0; i < rows_; ++i) {
-    const LpConstraint& c = problem_.constraint(i);
-    LpSense s = c.sense;
-    if (c.rhs < 0.0 || (s == LpSense::kGe && c.rhs == 0.0)) {
-      row_sign_[i] = -1.0;
-      if (s == LpSense::kLe) {
-        s = LpSense::kGe;
-      } else if (s == LpSense::kGe) {
-        s = LpSense::kLe;
-      }
-    }
-    sense[i] = s;
-    if (s != LpSense::kEq) ++num_slack;
-    if (s != LpSense::kLe) ++num_art;
-  }
-
-  first_art_ = n + num_slack;
-  cols_ = first_art_ + num_art;
-  t_.assign(rows_, std::vector<Scalar>(cols_ + 1, 0.0));
-  basis_.assign(rows_, kNoCol);
-  dual_col_.assign(rows_, kNoCol);
-
-  int next_slack = n;
-  int next_art = first_art_;
-  for (int i = 0; i < rows_; ++i) {
-    const LpConstraint& c = problem_.constraint(i);
-    std::vector<Scalar>& row = t_[i];
-    for (const LpTerm& term : c.terms) row[term.var] += row_sign_[i] * term.coef;
-    row[cols_] = row_sign_[i] * c.rhs;
-    // Lexicographic-style degeneracy breaking (see SimplexOptions).
-    row[cols_] += options_.perturb * (1 + i % 101);
-
-    switch (sense[i]) {
-      case LpSense::kLe: {
-        int slack = next_slack++;
-        row[slack] = 1.0;
-        basis_[i] = slack;
-        dual_col_[i] = slack;
-        break;
-      }
-      case LpSense::kGe: {
-        int surplus = next_slack++;
-        int art = next_art++;
-        row[surplus] = -1.0;
-        row[art] = 1.0;
-        basis_[i] = art;
-        dual_col_[i] = art;
-        break;
-      }
-      case LpSense::kEq: {
-        int art = next_art++;
-        row[art] = 1.0;
-        basis_[i] = art;
-        dual_col_[i] = art;
-        break;
-      }
-    }
-  }
-}
-
-void Tableau::ComputeReducedCosts(const std::vector<double>& cost) {
-  reduced_.assign(cols_, 0.0);
-  // reduced = cost - cB' * T. Accumulate row-wise for cache friendliness.
-  for (int i = 0; i < rows_; ++i) {
-    const Scalar cb = cost[basis_[i]];
-    if (cb == 0.0) continue;
-    const std::vector<Scalar>& row = t_[i];
-    for (int j = 0; j < cols_; ++j) reduced_[j] -= cb * row[j];
-  }
-  for (int j = 0; j < cols_; ++j) reduced_[j] += cost[j];
-}
-
-void Tableau::Pivot(int row, int col) {
-  std::vector<Scalar>& prow = t_[row];
-  const Scalar p = prow[col];
-  const Scalar inv = 1.0L / p;
-  for (Scalar& v : prow) v *= inv;
-  prow[col] = 1.0;  // exact
-  for (int i = 0; i < rows_; ++i) {
-    if (i == row) continue;
-    std::vector<Scalar>& r = t_[i];
-    const Scalar f = r[col];
-    if (f == 0.0) continue;
-    for (int j = 0; j <= cols_; ++j) r[j] -= f * prow[j];
-    r[col] = 0.0;  // exact
-  }
-  basis_[row] = col;
-}
-
-bool Tableau::RunPhase(const std::vector<double>& cost, bool phase_two) {
-  const double eps = options_.eps;
-  frozen_.assign(cols_, false);
-  while (true) {
-    if (iterations_ >= max_iterations_) return false;
-    // Recompute reduced costs from scratch each iteration: same asymptotic
-    // cost as the pivot itself and immune to incremental drift (which
-    // produced false unbounded verdicts on the engine's cutting-plane LPs).
-    ComputeReducedCosts(cost);
-
-    // Dantzig pricing.
-    int enter = kNoCol;
-    double best = eps;
-    for (int j = 0; j < cols_; ++j) {
-      if (phase_two && j >= first_art_) break;  // artificials may not re-enter
-      if (frozen_[j]) continue;
-      if (reduced_[j] > best) {
-        enter = j;
-        best = reduced_[j];
-      }
-    }
-    if (enter == kNoCol) return true;  // optimal for this phase
-
-    // Ratio test with lexicographic tie-breaking: guarantees termination
-    // on the heavily degenerate cutting-plane LPs (Dantzig/Harris
-    // tie-breaks stall for 100k+ iterations there). The tableau is kept in
-    // long double because lexicographic pivoting occasionally selects
-    // small pivot elements, whose reciprocals amplify rounding error.
-    int leave = -1;
-    Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
-    for (int i = 0; i < rows_; ++i) {
-      const Scalar a = t_[i][enter];
-      if (a <= eps) continue;
-      const Scalar ratio = t_[i][cols_] / a;
-      if (leave == -1 || ratio < best_ratio - kLexEps) {
-        best_ratio = ratio;
-        leave = i;
-        continue;
-      }
-      if (ratio > best_ratio + kLexEps) continue;
-      // Tie: lexicographic comparison of the rows scaled by their pivot
-      // entries, over the slack/artificial block (initially the identity,
-      // so rows are lexicographically positive and the classic termination
-      // argument applies).
-      const Scalar a_leave = t_[leave][enter];
-      for (int j = problem_.num_vars(); j < cols_; ++j) {
-        const Scalar d = t_[i][j] / a - t_[leave][j] / a_leave;
-        if (d < -kLexEps) {
-          leave = i;
-          best_ratio = ratio;
-          break;
-        }
-        if (d > kLexEps) break;
-      }
-    }
-    if (leave == -1) {
-      // Guard against numerically dead columns: all entries ~0 yet a barely
-      // positive reduced cost is noise, not a certificate of
-      // unboundedness. Freeze the column and move on.
-      if (reduced_[enter] <= 1e-6) {
-        frozen_[enter] = true;
-        continue;
-      }
-      unbounded_ = true;
-      return true;
-    }
-    Pivot(leave, enter);
-    ++iterations_;
-  }
-}
-
-void Tableau::EvictArtificials() {
-  for (int i = 0; i < rows_; ++i) {
-    if (basis_[i] < first_art_) continue;
-    // Basic artificial (at value ~0 after a feasible phase 1). Pivot in any
-    // non-artificial column with a nonzero entry; if none exists the row is
-    // redundant and the artificial stays basic at zero, which is harmless.
-    for (int j = 0; j < first_art_; ++j) {
-      if (std::abs(t_[i][j]) > options_.eps) {
-        Pivot(i, j);
-        ++iterations_;
-        break;
-      }
-    }
-  }
-}
-
-LpResult Tableau::Solve() {
-  Build();
-  LpResult result;
-  max_iterations_ = options_.max_iterations > 0
-                        ? options_.max_iterations
-                        : 50 * (rows_ + cols_) + 1000;
-
-  // Phase 1: maximize -sum(artificials), feasible iff optimum is 0.
-  if (first_art_ < cols_) {
-    std::vector<double> cost(cols_, 0.0);
-    for (int j = first_art_; j < cols_; ++j) cost[j] = -1.0;
-    if (!RunPhase(cost, /*phase_two=*/false)) {
-      result.status = LpStatus::kIterationLimit;
-      result.iterations = iterations_;
-      return result;
-    }
-    Scalar infeas = 0.0;
-    for (int i = 0; i < rows_; ++i) {
-      if (basis_[i] >= first_art_) infeas += t_[i][cols_];
-    }
-    if (infeas > 1e-7) {
-      result.status = LpStatus::kInfeasible;
-      result.iterations = iterations_;
-      return result;
-    }
-    EvictArtificials();
-  }
-
-  // Phase 2: real objective (artificial costs are zero and they are barred
-  // from entering the basis).
-  std::vector<double> cost(cols_, 0.0);
-  for (int j = 0; j < problem_.num_vars(); ++j) {
-    cost[j] = problem_.objective_coef(j);
-  }
-  unbounded_ = false;
-  if (!RunPhase(cost, /*phase_two=*/true)) {
-    result.status = LpStatus::kIterationLimit;
-    result.iterations = iterations_;
-    return result;
-  }
-  if (unbounded_) {
-    result.status = LpStatus::kUnbounded;
-    result.iterations = iterations_;
-    return result;
-  }
-
-  result.status = LpStatus::kOptimal;
-  result.iterations = iterations_;
-  result.x.assign(problem_.num_vars(), 0.0);
-  double obj = 0.0;
-  for (int i = 0; i < rows_; ++i) {
-    if (basis_[i] < problem_.num_vars()) {
-      result.x[basis_[i]] = t_[i][cols_];
-    }
-  }
-  for (int j = 0; j < problem_.num_vars(); ++j) {
-    obj += cost[j] * result.x[j];
-  }
-  result.objective = obj;
-
-  // Duals: the reduced cost under the +e_i column of constraint i is -y_i
-  // (phase-2 reduced costs are current after the final ComputeReducedCosts).
-  ComputeReducedCosts(cost);
-  result.duals.assign(rows_, 0.0);
-  for (int i = 0; i < rows_; ++i) {
-    result.duals[i] = static_cast<double>(-reduced_[dual_col_[i]]) * row_sign_[i];
-  }
-  return result;
-}
-
-}  // namespace
-
+// The one-shot entry point: compile a tableau, run the two-phase primal
+// simplex, throw the tableau away. Callers that re-solve the same matrix
+// with different right-hand sides should hold a SimplexTableau instead
+// (lp/tableau.h) and use ResolveWithRhs.
 LpResult SolveLp(const LpProblem& problem, const SimplexOptions& options) {
-  Tableau tableau(problem, options);
+  SimplexTableau tableau(problem, options);
   return tableau.Solve();
 }
 

@@ -23,6 +23,11 @@ enum class LpStatus {
   kIterationLimit,
 };
 
+// How a result was obtained (see lp/tableau.h): a full two-phase solve
+// (kCold), dual-simplex pivots from a cached optimal basis (kWarm), or a
+// pure read-off of the still-optimal cached basis (kWitness).
+enum class LpEvalPath { kCold, kWarm, kWitness };
+
 struct LpResult {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;
@@ -33,6 +38,8 @@ struct LpResult {
   // is >= 0, for >= it is <= 0; duals satisfy sum_i y_i b_i = objective.
   std::vector<double> duals;
   int iterations = 0;
+  // Which evaluation path produced this result (always kCold for SolveLp).
+  LpEvalPath path = LpEvalPath::kCold;
 };
 
 struct SimplexOptions {

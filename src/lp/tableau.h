@@ -1,0 +1,111 @@
+// Compile-once / solve-many simplex tableau.
+//
+// SimplexTableau splits the LP lifecycle that SolveLp() fuses: the
+// constraint *matrix* and objective are fixed at construction ("compile"),
+// while the right-hand side is a parameter of each solve. This matches the
+// bound LPs of the paper exactly — Eq. (36)'s matrix depends only on the
+// query structure and the statistic shapes, and the concrete ℓp-norm values
+// log_b enter solely through the RHS — so a query template is compiled once
+// and re-evaluated per statistics snapshot.
+//
+// Three evaluation paths, cheapest first (LpResult::path reports which ran):
+//   * kWitness — the optimal basis cached by the previous solve is still
+//     primal-feasible at the new RHS. Since the matrix and objective are
+//     unchanged, the basis is still dual-feasible by construction, so the
+//     result is read off the cached factorization with zero pivots: the new
+//     basic solution is B⁻¹b' (only the nonzero RHS entries contribute) and
+//     the duals — the paper's witness weights w_i — are unchanged.
+//   * kWarm — the cached basis went primal-infeasible; dual-simplex pivots
+//     restore feasibility starting from the still-dual-feasible basis,
+//     typically in a handful of iterations for small RHS perturbations.
+//   * kCold — no cached basis (first solve, or the previous solve did not
+//     end optimal), or the warm path failed; full two-phase primal simplex.
+#ifndef LPB_LP_TABLEAU_H_
+#define LPB_LP_TABLEAU_H_
+
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace lpb {
+
+class SimplexTableau {
+ public:
+  // Compiles the column layout and row normalization from `problem`. The
+  // problem is copied; the tableau owns everything it needs.
+  explicit SimplexTableau(const LpProblem& problem,
+                          const SimplexOptions& options = {});
+
+  int num_constraints() const { return problem_.num_constraints(); }
+
+  // Cold two-phase solve. `rhs` (size num_constraints) overrides the
+  // problem's right-hand sides; empty uses the problem's own. On an optimal
+  // finish the final basis is cached for ResolveWithRhs.
+  LpResult Solve(const std::vector<double>& rhs = {});
+
+  // Warm re-solve against a new RHS, reusing the cached optimal basis (see
+  // file comment for the witness / warm / cold cascade). Behaves like
+  // Solve(rhs) when no basis is cached.
+  LpResult ResolveWithRhs(const std::vector<double>& rhs);
+
+  // True after a solve that ended kOptimal: ResolveWithRhs can warm-start.
+  bool has_optimal_basis() const { return has_basis_; }
+  // Basic column index per row of the cached basis (internal column ids:
+  // structural columns first, then slack/surplus, then artificial).
+  const std::vector<int>& basis() const { return basis_; }
+
+ private:
+  using Scalar = long double;
+
+  static constexpr int kNoCol = -1;
+
+  void Build(const std::vector<double>& rhs);
+  // Runs one primal simplex phase on `cost`; returns false on iteration
+  // limit. Sets unbounded_ if a ray is detected (meaningful in phase 2).
+  bool RunPhase(const std::vector<double>& cost, bool phase_two);
+  // Dual simplex from a dual-feasible basis toward primal feasibility.
+  enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
+  DualOutcome RunDualSimplex();
+  void ComputeReducedCosts(const std::vector<double>& cost);
+  void Pivot(int row, int col);
+  // After phase 1: pivot basic artificials out where possible.
+  void EvictArtificials();
+  // Normalized RHS entry for row i (row sign + optional perturbation).
+  Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
+  // Reads the optimal result off the current tableau.
+  LpResult ExtractOptimal(LpEvalPath path);
+
+  LpProblem problem_;
+  SimplexOptions options_;
+
+  int rows_ = 0;
+  int cols_ = 0;        // total variable columns (structural+slack+artificial)
+  int first_art_ = 0;   // first artificial column index
+  std::vector<std::vector<Scalar>> t_;  // rows_ x (cols_ + 1)
+  std::vector<int> basis_;              // basic column per row
+  std::vector<Scalar> reduced_;         // reduced costs, size cols_
+  // For each original constraint: the column whose original A-column is
+  // +e_i (slack for LE, artificial for GE/EQ) and the row sign applied
+  // during normalization. Column dual_col_[i] of the current tableau is
+  // therefore the i-th column of B⁻¹ — used both to recover duals and to
+  // re-price a new RHS without rebuilding.
+  std::vector<int> dual_col_;
+  std::vector<double> row_sign_;
+  std::vector<double> phase2_cost_;     // structural objective, padded to cols_
+
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+  bool unbounded_ = false;
+  bool has_basis_ = false;
+  // Duals of the cached basis. The witness path reuses them verbatim —
+  // duals depend only on (basis, cost), both unchanged there — skipping
+  // the O(rows × cols) reduced-cost recomputation on the hot path.
+  std::vector<double> cached_duals_;
+  // Columns disabled for the current phase (numerically dead, see RunPhase).
+  std::vector<bool> frozen_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_LP_TABLEAU_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "datagen/job_gen.h"
 #include "exec/generic_join.h"
@@ -132,6 +134,94 @@ TEST(Advisor, JobWorkloadThroughput) {
   // The cache holds one entry per (relation, column split), far fewer than
   // 33 x per-query statistics.
   EXPECT_LT(advisor.CacheSize(), 100u);
+}
+
+TEST(Advisor, RepeatedTemplatesReuseCompiledWitness) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  const double first = advisor.EstimateLog2(q);
+  AdvisorMetrics m = advisor.metrics();
+  EXPECT_EQ(m.estimates, 1u);
+  EXPECT_EQ(m.compiled_misses, 1u);
+  EXPECT_EQ(m.cold_solves, 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(advisor.EstimateLog2(q), first, 1e-9);
+  }
+  m = advisor.metrics();
+  EXPECT_EQ(m.estimates, 6u);
+  EXPECT_EQ(m.compiled_hits, 5u);
+  // Unchanged statistics keep the cached basis optimal: pure witness reuse.
+  EXPECT_EQ(m.witness_hits, 5u);
+  EXPECT_EQ(advisor.CompiledCacheSize(), 1u);
+}
+
+TEST(Advisor, SameStructureDifferentRelationsSharesCompiledBound) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  // Same hypergraph + statistic shapes over different relations: one
+  // compiled structure, two statistics snapshots.
+  advisor.EstimateLog2(Parse("R(X,Y), S(Y,Z)"));
+  advisor.EstimateLog2(Parse("S(X,Y), T(Y,Z)"));
+  EXPECT_EQ(advisor.CompiledCacheSize(), 1u);
+  const AdvisorMetrics m = advisor.metrics();
+  EXPECT_EQ(m.compiled_misses, 1u);
+  EXPECT_EQ(m.compiled_hits, 1u);
+}
+
+TEST(Advisor, ExplainReportsEvalPathAndMetrics) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  auto cold = advisor.Explain(q);
+  EXPECT_EQ(cold.bound.eval_path, LpEvalPath::kCold);
+  EXPECT_EQ(cold.metrics.compiled_misses, 1u);
+  auto warm = advisor.Explain(q);
+  EXPECT_EQ(warm.bound.eval_path, LpEvalPath::kWitness);
+  EXPECT_EQ(warm.metrics.witness_hits, 1u);
+  EXPECT_NEAR(warm.bound.log2_bound, cold.bound.log2_bound, 1e-9);
+}
+
+TEST(Advisor, InvalidateRefreshesValuesButKeepsCompiledBounds) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  Query q = Parse("R(X,Y), S(Y,Z)");
+  const double before = advisor.EstimateLog2(q);
+  advisor.Invalidate("R");
+  EXPECT_EQ(advisor.CompiledCacheSize(), 1u);  // structure cache survives
+  EXPECT_NEAR(advisor.EstimateLog2(q), before, 1e-9);  // same data: same bound
+}
+
+TEST(Advisor, ConcurrentEstimatesAreConsistent) {
+  Catalog db = SmallDb();
+  CardinalityAdvisor advisor(db);
+  const std::vector<std::string> texts = {
+      "R(X,Y), S(Y,Z)", "R(X,Y), S(Y,Z), T(Z,X)", "R(X,Y), R(Y,Z)",
+      "S(X,Y), T(Y,Z)"};
+  std::vector<double> expected;
+  for (const auto& text : texts) expected.push_back(
+      advisor.EstimateLog2(Parse(text)));
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const size_t qi = (t + i) % texts.size();
+        const double est = advisor.EstimateLog2(Parse(texts[qi]));
+        if (std::abs(est - expected[qi]) > 1e-9) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+  const AdvisorMetrics m = advisor.metrics();
+  EXPECT_EQ(m.estimates,
+            static_cast<uint64_t>(kThreads * kIters + texts.size()));
+  EXPECT_EQ(m.compiled_hits + m.compiled_misses, m.estimates);
+  EXPECT_GT(m.witness_hits, 0u);
 }
 
 TEST(Advisor, EstimateLinearSpace) {
