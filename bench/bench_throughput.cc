@@ -11,11 +11,21 @@
 //              evaluation re-prices (and occasionally re-solves) rather
 //              than hitting an unchanged optimum.
 // The table reports the speedup and the advisor's witness/warm/cold
-// counters, making the pipeline's cache behavior observable.
+// counters, making the pipeline's cache behavior observable. The warm
+// regime runs once per LP backend (dense tableau vs revised simplex, see
+// lp/tableau.h), so the table doubles as the perf gate on the revised
+// backend's witness path.
+//
+// Set LPB_BENCH_JSON=<path> to also dump the table as JSON — CI uploads
+// it as an artifact so future PRs get a throughput trajectory.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -39,6 +49,49 @@ JobWorkload& Workload() {
 double Seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+struct WarmRun {
+  const char* backend;  // short name, reused by the JSON artifact
+  const char* label;
+  double est_per_s = 0.0;
+  double speedup = 0.0;
+  uint64_t witness = 0, warm = 0, cold = 0;
+};
+
+// Warm regime for one LP backend: full advisor path (statistics lookup +
+// compiled evaluate) over the whole template workload.
+WarmRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
+                    const std::vector<double>& expected) {
+  JobWorkload& wl = Workload();
+  AdvisorOptions opt;
+  opt.engine.simplex.backend = backend;
+  CardinalityAdvisor advisor(wl.catalog, opt);
+  const size_t m = wl.queries.size();
+  for (const Query& q : wl.queries) advisor.EstimateLog2(q);  // compile
+
+  const AdvisorMetrics before = advisor.metrics();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (size_t i = 0; i < m; ++i) {
+      const double est = advisor.EstimateLog2(wl.queries[i]);
+      benchmark::DoNotOptimize(est);
+      if (std::abs(est - expected[i]) > 1e-6) {
+        std::printf("MISMATCH on %s (%s): %f vs %f\n",
+                    wl.queries[i].name().c_str(), label, est, expected[i]);
+      }
+    }
+  }
+  const double secs = Seconds(t0);
+  const AdvisorMetrics after = advisor.metrics();
+  WarmRun run;
+  run.backend = LpBackendName(backend);
+  run.label = label;
+  run.est_per_s = static_cast<double>(repeats * m) / secs;
+  run.witness = after.witness_hits - before.witness_hits;
+  run.warm = after.warm_resolves - before.warm_resolves;
+  run.cold = after.cold_solves - before.cold_solves;
+  return run;
 }
 
 void PrintTable() {
@@ -68,38 +121,54 @@ void PrintTable() {
     }
   }
   const double cold_s = Seconds(t0);
-
-  // Warm: full advisor path (statistics lookup + compiled evaluate).
-  const AdvisorMetrics before = advisor.metrics();
-  t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < kRepeats; ++r) {
-    for (size_t i = 0; i < m; ++i) {
-      const double est = advisor.EstimateLog2(wl.queries[i]);
-      benchmark::DoNotOptimize(est);
-      if (std::abs(est - expected[i]) > 1e-6) {
-        std::printf("MISMATCH on %s: %f vs %f\n",
-                    wl.queries[i].name().c_str(), est, expected[i]);
-      }
-    }
-  }
-  const double warm_s = Seconds(t0);
-  const AdvisorMetrics after = advisor.metrics();
-
   const double n_est = static_cast<double>(kRepeats * m);
+  const double cold_rate = n_est / cold_s;
+
+  WarmRun runs[] = {
+      MeasureWarm(LpBackendKind::kDense, "warm dense", kRepeats, expected),
+      MeasureWarm(LpBackendKind::kRevised, "warm revised", kRepeats,
+                  expected),
+  };
+  for (WarmRun& run : runs) run.speedup = run.est_per_s / cold_rate;
+
   std::printf("== Estimator throughput, %zu JOB templates x %d repeats ==\n",
               m, kRepeats);
-  std::printf("%-28s %14.0f est/s\n", "cold (LP per estimate)", n_est / cold_s);
-  std::printf("%-28s %14.0f est/s   (%.1fx)\n", "warm (compiled + witness)",
-              n_est / warm_s, cold_s / warm_s);
-  std::printf(
-      "advisor counters for the warm run: witness=%llu warm=%llu cold=%llu "
-      "(compiled structures: %zu)\n\n",
-      static_cast<unsigned long long>(after.witness_hits -
-                                      before.witness_hits),
-      static_cast<unsigned long long>(after.warm_resolves -
-                                      before.warm_resolves),
-      static_cast<unsigned long long>(after.cold_solves - before.cold_solves),
-      advisor.CompiledCacheSize());
+  std::printf("%-28s %14.0f est/s\n", "cold (LP per estimate)", cold_rate);
+  for (const WarmRun& run : runs) {
+    std::printf(
+        "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu\n",
+        run.label, run.est_per_s, run.speedup,
+        static_cast<unsigned long long>(run.witness),
+        static_cast<unsigned long long>(run.warm),
+        static_cast<unsigned long long>(run.cold));
+  }
+  std::printf("\n");
+
+  if (const char* json_path = std::getenv("LPB_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fprintf(f,
+                   "{\n  \"workload\": \"job-templates\",\n"
+                   "  \"templates\": %zu,\n  \"repeats\": %d,\n"
+                   "  \"cold_est_per_s\": %.1f,\n  \"warm\": [\n",
+                   m, kRepeats, cold_rate);
+      const size_t num_runs = std::size(runs);
+      for (size_t i = 0; i < num_runs; ++i) {
+        const WarmRun& run = runs[i];
+        std::fprintf(f,
+                     "    {\"backend\": \"%s\", \"est_per_s\": %.1f, "
+                     "\"speedup\": %.2f, \"witness\": %llu, \"warm\": %llu, "
+                     "\"cold\": %llu}%s\n",
+                     run.backend, run.est_per_s, run.speedup,
+                     static_cast<unsigned long long>(run.witness),
+                     static_cast<unsigned long long>(run.warm),
+                     static_cast<unsigned long long>(run.cold),
+                     i + 1 < num_runs ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n\n", json_path);
+    }
+  }
 }
 
 void BM_ColdEstimate(benchmark::State& state) {

@@ -106,17 +106,20 @@ int main() {
               TraditionalEstimate(q, wl.catalog),
               static_cast<unsigned long long>(advised.output_count));
 
+  // One Explain for the backend name, *before* the metrics snapshot so the
+  // counters printed below include it.
+  const std::string lp_backend = advisor.Explain(q).lp_backend;
   const AdvisorMetrics m = advisor.metrics();
   std::printf(
       "\nadvisor: %llu prefix estimates over %zu compiled structures "
       "(hits %llu / misses %llu); eval paths: witness=%llu warm=%llu "
-      "cold=%llu\n",
+      "cold=%llu; lp backend: %s\n",
       static_cast<unsigned long long>(m.estimates),
       advisor.CompiledCacheSize(),
       static_cast<unsigned long long>(m.compiled_hits),
       static_cast<unsigned long long>(m.compiled_misses),
       static_cast<unsigned long long>(m.witness_hits),
       static_cast<unsigned long long>(m.warm_resolves),
-      static_cast<unsigned long long>(m.cold_solves));
+      static_cast<unsigned long long>(m.cold_solves), lp_backend.c_str());
   return 0;
 }

@@ -84,11 +84,12 @@ bool AllNonNegative(const std::vector<double>& values) {
 // recession cone {h feasible-direction : stats-lhs(h) <= 0}, which does not
 // depend on the RHS. Any later value vector with log_b >= 0 keeps the
 // origin feasible, so the LP stays unbounded — no solve needed.
-BoundResult StructurallyUnboundedResult() {
+BoundResult StructurallyUnboundedResult(LpBackendKind backend) {
   BoundResult out;
   out.status = LpStatus::kUnbounded;
   out.log2_bound = kInfNorm;
   out.eval_path = LpEvalPath::kWitness;
+  out.lp_backend = backend;
   return out;
 }
 
@@ -99,6 +100,7 @@ BoundResult MakeGammaResult(const LpResult& lp, int n, int num_stats,
   result.cut_rounds = cut_rounds;
   result.lp_iterations = lp.iterations;
   result.eval_path = lp.path;
+  result.lp_backend = lp.backend;
   if (lp.status == LpStatus::kUnbounded) {
     result.log2_bound = kInfNorm;
     return result;
@@ -150,7 +152,12 @@ class CompiledGammaBound : public CompiledBound {
                                    LpSense::kLe, 0.0);
       for (const ShannonCut& cut : SeedShannonCuts(n)) AddCut(cut);
     }
-    tableau_.emplace(lp_);
+    // The tableau owns the factorized basis that witness re-pricing and
+    // warm dual-simplex re-solves run against; with the revised backend
+    // that is the LU factorization plus eta file of lp/lu_basis.h, so a
+    // witness evaluation is one FTRAN (BTRAN only on basis changes), not a
+    // dense objective-row read.
+    tableau_.emplace(lp_, options_.simplex);
   }
 
  protected:
@@ -158,7 +165,7 @@ class CompiledGammaBound : public CompiledBound {
                            bool want_h_opt) override {
     const int n = structure_.n;
     if (structurally_unbounded_ && AllNonNegative(log_b)) {
-      return StructurallyUnboundedResult();
+      return StructurallyUnboundedResult(tableau_->backend());
     }
 
     std::vector<double> rhs(lp_.num_constraints(), 0.0);
@@ -190,7 +197,7 @@ class CompiledGammaBound : public CompiledBound {
           AddCut(cut);
           rhs.push_back(0.0);
         }
-        tableau_.emplace(lp_);
+        tableau_.emplace(lp_, options_.simplex);
         lp_result = tableau_->Solve(rhs);
         grew = true;
         ++rounds;
@@ -251,21 +258,23 @@ class GammaEngine : public BoundEngine {
 
 class CompiledNormalBound : public CompiledBound {
  public:
-  explicit CompiledNormalBound(BoundStructure structure)
+  CompiledNormalBound(BoundStructure structure, const EngineOptions& options)
       : CompiledBound(std::move(structure)),
-        tableau_(BuildNormalBoundLp(structure_.n, PlaceholderStats())) {}
+        tableau_(BuildNormalBoundLp(structure_.n, PlaceholderStats()),
+                 options.simplex) {}
 
  protected:
   BoundResult EvaluateImpl(const std::vector<double>& log_b,
                            bool want_h_opt) override {
     if (structurally_unbounded_ && AllNonNegative(log_b)) {
-      return StructurallyUnboundedResult();
+      return StructurallyUnboundedResult(tableau_.backend());
     }
     LpResult lp = tableau_.ResolveWithRhs(log_b);
     BoundResult result;
     result.status = lp.status;
     result.lp_iterations = lp.iterations;
     result.eval_path = lp.path;
+    result.lp_backend = lp.backend;
     if (lp.status == LpStatus::kUnbounded) {
       result.log2_bound = kInfNorm;
       structurally_unbounded_ = true;
@@ -312,9 +321,8 @@ class NormalEngine : public BoundEngine {
   std::unique_ptr<CompiledBound> Compile(
       const BoundStructure& structure,
       const EngineOptions& options) const override {
-    (void)options;
     assert(Supports(structure));
-    return std::make_unique<CompiledNormalBound>(structure);
+    return std::make_unique<CompiledNormalBound>(structure, options);
   }
 };
 

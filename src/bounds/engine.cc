@@ -30,6 +30,7 @@ BoundResult MakeResult(const LpResult& lp, int n, int num_stats,
   result.status = lp.status;
   result.cut_rounds = cut_rounds;
   result.lp_iterations = lp.iterations;
+  result.lp_backend = lp.backend;
   if (lp.status == LpStatus::kUnbounded) {
     result.log2_bound = kInfNorm;
     return result;
@@ -63,7 +64,8 @@ BoundResult PolymatroidBound(int n, const std::vector<ConcreteStatistic>& stats,
     for (const LinearForm& ineq : ElementalInequalities(n)) {
       lp.AddConstraint(FormToTerms(ineq), LpSense::kGe, 0.0);
     }
-    return MakeResult(SolveLp(lp), n, num_stats, /*cut_rounds=*/0);
+    return MakeResult(SolveLp(lp, options.simplex), n, num_stats,
+                      /*cut_rounds=*/0);
   }
 
   // Cutting-plane mode. Box the objective so the relaxation stays bounded,
@@ -81,7 +83,7 @@ BoundResult PolymatroidBound(int n, const std::vector<ConcreteStatistic>& stats,
   LpResult lp_result;
   int round = 0;
   for (; round < options.max_cut_rounds; ++round) {
-    lp_result = SolveLp(lp);
+    lp_result = SolveLp(lp, options.simplex);
     if (lp_result.status != LpStatus::kOptimal) break;
     std::vector<ShannonCut> cuts =
         FindViolatedShannonCuts(n, lp_result.x, present, options.cuts_per_round,

@@ -64,6 +64,10 @@ struct EngineOptions {
   int max_cut_rounds = 500;
   int cuts_per_round = 256;
   double feasibility_eps = 1e-7;
+  // LP solver configuration, including the backend (dense tableau vs
+  // sparse revised simplex; see lp/tableau.h). The revised backend is what
+  // makes cutting-plane Γn compiles tractable past n ≈ 7.
+  SimplexOptions simplex;
 };
 
 struct BoundResult {
@@ -82,6 +86,9 @@ struct BoundResult {
   // How the underlying LP was evaluated. Always kCold for the one-shot
   // entry points; CompiledBound::Evaluate reports witness/warm reuse here.
   LpEvalPath eval_path = LpEvalPath::kCold;
+  // Which LP backend served this bound (dense tableau or revised simplex);
+  // surfaced through CardinalityAdvisor::Explain.
+  LpBackendKind lp_backend = LpBackendKind::kDense;
 
   bool ok() const { return status == LpStatus::kOptimal; }
   bool unbounded() const { return status == LpStatus::kUnbounded; }

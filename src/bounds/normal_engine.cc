@@ -36,16 +36,18 @@ LpProblem BuildNormalBoundLp(int n,
 }
 
 NormalBoundResult NormalPolymatroidBound(
-    int n, const std::vector<ConcreteStatistic>& stats, bool require_simple) {
+    int n, const std::vector<ConcreteStatistic>& stats, bool require_simple,
+    const SimplexOptions& simplex) {
   assert(n >= 1 && n <= kMaxVars);
   if (require_simple) assert(AllSimple(stats));
   const VarSet full = FullSet(n);
   const int num_vars = static_cast<int>(full);  // α_W for W = 1 .. full
 
-  LpResult lp_result = SolveLp(BuildNormalBoundLp(n, stats));
+  LpResult lp_result = SolveLp(BuildNormalBoundLp(n, stats), simplex);
   NormalBoundResult result;
   result.base.status = lp_result.status;
   result.base.lp_iterations = lp_result.iterations;
+  result.base.lp_backend = lp_result.backend;
   if (lp_result.status == LpStatus::kUnbounded) {
     result.base.log2_bound = kInfNorm;
     return result;
@@ -63,7 +65,9 @@ NormalBoundResult NormalPolymatroidBound(
 BoundResult LpNormBound(int n, const std::vector<ConcreteStatistic>& stats,
                         const EngineOptions& options) {
   if (AllSimple(stats)) {
-    return NormalPolymatroidBound(n, stats).base;
+    return NormalPolymatroidBound(n, stats, /*require_simple=*/true,
+                                  options.simplex)
+        .base;
   }
   return PolymatroidBound(n, stats, options);
 }

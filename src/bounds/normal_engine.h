@@ -30,10 +30,11 @@ struct NormalBoundResult {
 };
 
 // Computes max h(X) over normal polymatroids satisfying the statistics.
-// If `require_simple` (default), asserts AllSimple(stats).
+// If `require_simple` (default), asserts AllSimple(stats). `simplex`
+// selects the LP solver configuration/backend (lp/simplex.h).
 NormalBoundResult NormalPolymatroidBound(
     int n, const std::vector<ConcreteStatistic>& stats,
-    bool require_simple = true);
+    bool require_simple = true, const SimplexOptions& simplex = {});
 
 // Builds the Nn LP: maximize Σ_W α_W over α >= 0 with one <= row per
 // statistic (rhs = stat.log_b), in statistics order. The matrix depends

@@ -172,6 +172,7 @@ CardinalityAdvisor::Explanation CardinalityAdvisor::Explain(
   out.bound =
       EvaluateCompiled(query.num_vars(), out.stats, /*want_h_opt=*/true);
   out.metrics = metrics();
+  out.lp_backend = LpBackendName(out.bound.lp_backend);
   return out;
 }
 

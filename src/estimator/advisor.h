@@ -76,11 +76,15 @@ class CardinalityAdvisor {
   // Full result (certificate weights, optimal polymatroid) plus the
   // statistics it was computed from and a metrics snapshot taken after the
   // call — bound.eval_path says whether this particular estimate reused
-  // the cached witness, warm-resolved, or solved cold.
+  // the cached witness, warm-resolved, or solved cold, and lp_backend
+  // names the LP solver backend ("dense" or "revised", lp/tableau.h;
+  // selected via AdvisorOptions::engine.simplex.backend or
+  // LPB_LP_BACKEND) that served it.
   struct Explanation {
     BoundResult bound;
     std::vector<ConcreteStatistic> stats;
     AdvisorMetrics metrics;
+    std::string lp_backend;
   };
   Explanation Explain(const Query& query);
 

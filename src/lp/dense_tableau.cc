@@ -1,0 +1,365 @@
+#include "lp/dense_tableau.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lpb {
+namespace {
+
+constexpr long double kLexEps = 1e-12L;
+
+}  // namespace
+
+DenseTableau::DenseTableau(const LpProblem& problem,
+                           const SimplexOptions& options)
+    : problem_(problem), options_(options) {}
+
+DenseTableau::Scalar DenseTableau::NormalizedRhs(
+    int i, const std::vector<double>& rhs) const {
+  return NormalizedRhsEntry(problem_, row_sign_, options_.perturb, i, rhs);
+}
+
+void DenseTableau::Build(const std::vector<double>& rhs) {
+  const int n = problem_.num_vars();
+  rows_ = problem_.num_constraints();
+  has_basis_ = false;
+  cached_duals_.clear();
+
+  // Row normalization shared with the revised backend (lp/lp_backend.h):
+  // from it we know how many slack and artificial columns are needed.
+  NormalizedRows normalized = NormalizeRows(problem_, rhs);
+  const std::vector<LpSense>& sense = normalized.sense;
+  row_sign_ = std::move(normalized.row_sign);
+
+  first_art_ = n + normalized.num_slack;
+  cols_ = first_art_ + normalized.num_art;
+  t_.assign(rows_, std::vector<Scalar>(cols_ + 1, 0.0));
+  basis_.assign(rows_, kNoCol);
+  dual_col_.assign(rows_, kNoCol);
+
+  int next_slack = n;
+  int next_art = first_art_;
+  for (int i = 0; i < rows_; ++i) {
+    const LpConstraint& c = problem_.constraint(i);
+    std::vector<Scalar>& row = t_[i];
+    for (const LpTerm& term : c.terms) row[term.var] += row_sign_[i] * term.coef;
+    row[cols_] = NormalizedRhs(i, rhs);
+
+    switch (sense[i]) {
+      case LpSense::kLe: {
+        int slack = next_slack++;
+        row[slack] = 1.0;
+        basis_[i] = slack;
+        dual_col_[i] = slack;
+        break;
+      }
+      case LpSense::kGe: {
+        int surplus = next_slack++;
+        int art = next_art++;
+        row[surplus] = -1.0;
+        row[art] = 1.0;
+        basis_[i] = art;
+        dual_col_[i] = art;
+        break;
+      }
+      case LpSense::kEq: {
+        int art = next_art++;
+        row[art] = 1.0;
+        basis_[i] = art;
+        dual_col_[i] = art;
+        break;
+      }
+    }
+  }
+
+  phase2_cost_.assign(cols_, 0.0);
+  for (int j = 0; j < n; ++j) phase2_cost_[j] = problem_.objective_coef(j);
+}
+
+void DenseTableau::ComputeReducedCosts(const std::vector<double>& cost) {
+  reduced_.assign(cols_, 0.0);
+  // reduced = cost - cB' * T. Accumulate row-wise for cache friendliness.
+  for (int i = 0; i < rows_; ++i) {
+    const Scalar cb = cost[basis_[i]];
+    if (cb == 0.0) continue;
+    const std::vector<Scalar>& row = t_[i];
+    for (int j = 0; j < cols_; ++j) reduced_[j] -= cb * row[j];
+  }
+  for (int j = 0; j < cols_; ++j) reduced_[j] += cost[j];
+}
+
+void DenseTableau::Pivot(int row, int col) {
+  std::vector<Scalar>& prow = t_[row];
+  const Scalar p = prow[col];
+  const Scalar inv = 1.0L / p;
+  for (Scalar& v : prow) v *= inv;
+  prow[col] = 1.0;  // exact
+  for (int i = 0; i < rows_; ++i) {
+    if (i == row) continue;
+    std::vector<Scalar>& r = t_[i];
+    const Scalar f = r[col];
+    if (f == 0.0) continue;
+    for (int j = 0; j <= cols_; ++j) r[j] -= f * prow[j];
+    r[col] = 0.0;  // exact
+  }
+  basis_[row] = col;
+}
+
+bool DenseTableau::RunPhase(const std::vector<double>& cost, bool phase_two) {
+  const double eps = options_.eps;
+  frozen_.assign(cols_, false);
+  while (true) {
+    if (iterations_ >= max_iterations_) return false;
+    // Recompute reduced costs from scratch each iteration: same asymptotic
+    // cost as the pivot itself and immune to incremental drift (which
+    // produced false unbounded verdicts on the engine's cutting-plane LPs).
+    ComputeReducedCosts(cost);
+
+    // Dantzig pricing.
+    int enter = kNoCol;
+    double best = eps;
+    for (int j = 0; j < cols_; ++j) {
+      if (phase_two && j >= first_art_) break;  // artificials may not re-enter
+      if (frozen_[j]) continue;
+      if (reduced_[j] > best) {
+        enter = j;
+        best = static_cast<double>(reduced_[j]);
+      }
+    }
+    if (enter == kNoCol) return true;  // optimal for this phase
+
+    // Ratio test with lexicographic tie-breaking: guarantees termination
+    // on the heavily degenerate cutting-plane LPs (Dantzig/Harris
+    // tie-breaks stall for 100k+ iterations there). The tableau is kept in
+    // long double because lexicographic pivoting occasionally selects
+    // small pivot elements, whose reciprocals amplify rounding error.
+    int leave = -1;
+    Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
+    for (int i = 0; i < rows_; ++i) {
+      const Scalar a = t_[i][enter];
+      if (a <= eps) continue;
+      const Scalar ratio = t_[i][cols_] / a;
+      if (leave == -1 || ratio < best_ratio - kLexEps) {
+        best_ratio = ratio;
+        leave = i;
+        continue;
+      }
+      if (ratio > best_ratio + kLexEps) continue;
+      // Tie: lexicographic comparison of the rows scaled by their pivot
+      // entries, over the slack/artificial block (initially the identity,
+      // so rows are lexicographically positive and the classic termination
+      // argument applies).
+      const Scalar a_leave = t_[leave][enter];
+      for (int j = problem_.num_vars(); j < cols_; ++j) {
+        const Scalar d = t_[i][j] / a - t_[leave][j] / a_leave;
+        if (d < -kLexEps) {
+          leave = i;
+          best_ratio = ratio;
+          break;
+        }
+        if (d > kLexEps) break;
+      }
+    }
+    if (leave == -1) {
+      // Guard against numerically dead columns: all entries ~0 yet a barely
+      // positive reduced cost is noise, not a certificate of
+      // unboundedness. Freeze the column and move on.
+      if (reduced_[enter] <= 1e-6) {
+        frozen_[enter] = true;
+        continue;
+      }
+      unbounded_ = true;
+      return true;
+    }
+    Pivot(leave, enter);
+    ++iterations_;
+  }
+}
+
+DenseTableau::DualOutcome DenseTableau::RunDualSimplex() {
+  const double eps = options_.eps;
+  while (true) {
+    if (iterations_ >= max_iterations_) return DualOutcome::kIterationLimit;
+
+    // Leaving row: most negative basic value.
+    int leave = -1;
+    Scalar most = -eps;
+    for (int i = 0; i < rows_; ++i) {
+      if (t_[i][cols_] < most) {
+        most = t_[i][cols_];
+        leave = i;
+      }
+    }
+    if (leave == -1) return DualOutcome::kOptimal;  // primal feasible
+
+    // Entering column: dual ratio test over eligible (negative) entries of
+    // the leaving row. Reduced costs are <= 0 at a dual-feasible basis, so
+    // the ratio reduced/a is >= 0; the minimum keeps dual feasibility.
+    // Artificial columns may not (re-)enter, matching phase 2.
+    ComputeReducedCosts(phase2_cost_);
+    int enter = kNoCol;
+    Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
+    for (int j = 0; j < first_art_; ++j) {
+      const Scalar a = t_[leave][j];
+      if (a >= -eps) continue;
+      const Scalar ratio = reduced_[j] / a;
+      if (ratio < best_ratio - kLexEps) {
+        best_ratio = ratio;
+        enter = j;
+      }
+    }
+    if (enter == kNoCol) return DualOutcome::kInfeasible;  // dual ray
+    Pivot(leave, enter);
+    ++iterations_;
+  }
+}
+
+void DenseTableau::EvictArtificials() {
+  for (int i = 0; i < rows_; ++i) {
+    if (basis_[i] < first_art_) continue;
+    // Basic artificial (at value ~0 after a feasible phase 1). Pivot in any
+    // non-artificial column with a nonzero entry; if none exists the row is
+    // redundant and the artificial stays basic at zero, which is harmless.
+    for (int j = 0; j < first_art_; ++j) {
+      if (std::abs(static_cast<double>(t_[i][j])) > options_.eps) {
+        Pivot(i, j);
+        ++iterations_;
+        break;
+      }
+    }
+  }
+}
+
+LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.iterations = iterations_;
+  result.path = path;
+  result.x.assign(problem_.num_vars(), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    if (basis_[i] < problem_.num_vars()) {
+      result.x[basis_[i]] = static_cast<double>(t_[i][cols_]);
+    }
+  }
+  double obj = 0.0;
+  for (int j = 0; j < problem_.num_vars(); ++j) {
+    obj += phase2_cost_[j] * result.x[j];
+  }
+  result.objective = obj;
+
+  if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
+    // Same basis, same cost: the duals are the previous solve's.
+    result.duals = cached_duals_;
+  } else {
+    // Duals: the reduced cost under the +e_i column of constraint i is -y_i.
+    ComputeReducedCosts(phase2_cost_);
+    result.duals.assign(rows_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      result.duals[i] =
+          static_cast<double>(-reduced_[dual_col_[i]]) * row_sign_[i];
+    }
+    cached_duals_ = result.duals;
+  }
+  has_basis_ = true;
+  return result;
+}
+
+LpResult DenseTableau::Failure(LpStatus status) const {
+  LpResult result;
+  result.status = status;
+  result.iterations = iterations_;
+  // The LpResult contract: x/duals are sized (zeros) even on failure so
+  // callers indexing them unconditionally never read stale data.
+  result.x.assign(problem_.num_vars(), 0.0);
+  result.duals.assign(problem_.num_constraints(), 0.0);
+  return result;
+}
+
+LpResult DenseTableau::Solve(const std::vector<double>& rhs) {
+  iterations_ = 0;
+  Build(rhs);
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+
+  // Phase 1: maximize -sum(artificials), feasible iff optimum is 0.
+  if (first_art_ < cols_) {
+    std::vector<double> cost(cols_, 0.0);
+    for (int j = first_art_; j < cols_; ++j) cost[j] = -1.0;
+    if (!RunPhase(cost, /*phase_two=*/false)) {
+      return Failure(LpStatus::kIterationLimit);
+    }
+    Scalar infeas = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[i] >= first_art_) infeas += t_[i][cols_];
+    }
+    if (infeas > 1e-7) {
+      return Failure(LpStatus::kInfeasible);
+    }
+    EvictArtificials();
+  }
+
+  // Phase 2: real objective (artificial costs are zero and they are barred
+  // from entering the basis).
+  unbounded_ = false;
+  if (!RunPhase(phase2_cost_, /*phase_two=*/true)) {
+    return Failure(LpStatus::kIterationLimit);
+  }
+  if (unbounded_) {
+    return Failure(LpStatus::kUnbounded);
+  }
+  return ExtractOptimal(LpEvalPath::kCold);
+}
+
+LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
+  if (!has_basis_) return Solve(rhs);
+  iterations_ = 0;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+
+  // Re-price the RHS column under the cached basis: the new basic solution
+  // is B⁻¹ b'_norm, and column dual_col_[j] of the current tableau is the
+  // j-th column of B⁻¹. Only rows with a nonzero normalized RHS contribute
+  // — in the bound LPs that is just the statistics rows, so this is a
+  // (rows × num_stats) multiply, not (rows × rows).
+  std::vector<Scalar> fresh(rows_, 0.0);
+  for (int j = 0; j < rows_; ++j) {
+    const Scalar b = NormalizedRhs(j, rhs);
+    if (b == 0.0) continue;
+    const int col = dual_col_[j];
+    for (int i = 0; i < rows_; ++i) fresh[i] += t_[i][col] * b;
+  }
+  bool feasible = true;
+  for (int i = 0; i < rows_; ++i) {
+    t_[i][cols_] = fresh[i];
+    if (fresh[i] < -options_.eps) feasible = false;
+    // A basic artificial forced away from zero means the cached basis
+    // cannot represent this RHS at all (a previously-redundant row became
+    // inconsistent); only a cold solve can decide feasibility.
+    if (basis_[i] >= first_art_ &&
+        std::abs(static_cast<double>(fresh[i])) > 1e-7) {
+      return Solve(rhs);
+    }
+  }
+  if (feasible) {
+    // Witness reuse: the basis is still optimal; zero pivots needed.
+    return ExtractOptimal(LpEvalPath::kWitness);
+  }
+
+  switch (RunDualSimplex()) {
+    case DualOutcome::kOptimal:
+      return ExtractOptimal(LpEvalPath::kWarm);
+    case DualOutcome::kInfeasible:
+    case DualOutcome::kIterationLimit:
+      // A dual ray certifies primal infeasibility in exact arithmetic, but
+      // re-deriving it from a cold two-phase solve is cheap insurance
+      // against numerical drift in the warmed tableau — and the fallback
+      // also covers the (rare) dual-simplex stall.
+      return Solve(rhs);
+  }
+  return Solve(rhs);  // unreachable
+}
+
+}  // namespace lpb

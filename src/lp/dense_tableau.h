@@ -1,0 +1,86 @@
+// Dense long-double tableau backend (the original solver).
+//
+// Implements the full SimplexTableau contract — two-phase primal simplex
+// with Dantzig pricing and a lexicographic ratio test, dual-simplex warm
+// re-solves, witness reuse — on an explicit rows x cols tableau kept in
+// long double (lexicographic pivoting occasionally selects tiny pivot
+// elements whose reciprocals amplify rounding error). Every pivot sweeps
+// the whole tableau, so cost per iteration is O(rows x cols); see
+// lp/revised_simplex.h for the sparse backend that avoids that sweep.
+#ifndef LPB_LP_DENSE_TABLEAU_H_
+#define LPB_LP_DENSE_TABLEAU_H_
+
+#include <vector>
+
+#include "lp/lp_backend.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace lpb {
+
+class DenseTableau : public LpBackendImpl {
+ public:
+  explicit DenseTableau(const LpProblem& problem,
+                        const SimplexOptions& options = {});
+
+  LpResult Solve(const std::vector<double>& rhs) override;
+  LpResult ResolveWithRhs(const std::vector<double>& rhs) override;
+  bool has_optimal_basis() const override { return has_basis_; }
+  const std::vector<int>& basis() const override { return basis_; }
+
+ private:
+  using Scalar = long double;
+
+  static constexpr int kNoCol = -1;
+
+  void Build(const std::vector<double>& rhs);
+  // Runs one primal simplex phase on `cost`; returns false on iteration
+  // limit. Sets unbounded_ if a ray is detected (meaningful in phase 2).
+  bool RunPhase(const std::vector<double>& cost, bool phase_two);
+  // Dual simplex from a dual-feasible basis toward primal feasibility.
+  enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
+  DualOutcome RunDualSimplex();
+  void ComputeReducedCosts(const std::vector<double>& cost);
+  void Pivot(int row, int col);
+  // After phase 1: pivot basic artificials out where possible.
+  void EvictArtificials();
+  // Normalized RHS entry for row i (row sign + optional perturbation).
+  Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
+  // Reads the optimal result off the current tableau.
+  LpResult ExtractOptimal(LpEvalPath path);
+  // Non-optimal result with x/duals sized per the LpResult contract.
+  LpResult Failure(LpStatus status) const;
+
+  LpProblem problem_;
+  SimplexOptions options_;
+
+  int rows_ = 0;
+  int cols_ = 0;        // total variable columns (structural+slack+artificial)
+  int first_art_ = 0;   // first artificial column index
+  std::vector<std::vector<Scalar>> t_;  // rows_ x (cols_ + 1)
+  std::vector<int> basis_;              // basic column per row
+  std::vector<Scalar> reduced_;         // reduced costs, size cols_
+  // For each original constraint: the column whose original A-column is
+  // +e_i (slack for LE, artificial for GE/EQ) and the row sign applied
+  // during normalization. Column dual_col_[i] of the current tableau is
+  // therefore the i-th column of B⁻¹ — used both to recover duals and to
+  // re-price a new RHS without rebuilding.
+  std::vector<int> dual_col_;
+  std::vector<double> row_sign_;
+  std::vector<double> phase2_cost_;     // structural objective, padded to cols_
+
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+  bool unbounded_ = false;
+  bool has_basis_ = false;
+  // Duals of the cached basis. The witness path reuses them verbatim —
+  // duals depend only on (basis, cost), both unchanged there — skipping
+  // the O(rows × cols) reduced-cost recomputation on the hot path.
+  std::vector<double> cached_duals_;
+  // Columns disabled for the current phase (numerically dead, see RunPhase).
+  std::vector<bool> frozen_;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_LP_DENSE_TABLEAU_H_

@@ -1,0 +1,77 @@
+#include "lp/lp_backend.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "lp/dense_tableau.h"
+#include "lp/revised_simplex.h"
+
+namespace lpb {
+
+NormalizedRows NormalizeRows(const LpProblem& problem,
+                             const std::vector<double>& rhs) {
+  const int rows = problem.num_constraints();
+  NormalizedRows out;
+  out.sense.resize(rows);
+  out.row_sign.assign(rows, 1.0);
+  for (int i = 0; i < rows; ++i) {
+    const LpConstraint& c = problem.constraint(i);
+    const double b = rhs.empty() ? c.rhs : rhs[i];
+    LpSense s = c.sense;
+    if (b < 0.0 || (s == LpSense::kGe && b == 0.0)) {
+      out.row_sign[i] = -1.0;
+      if (s == LpSense::kLe) {
+        s = LpSense::kGe;
+      } else if (s == LpSense::kGe) {
+        s = LpSense::kLe;
+      }
+    }
+    out.sense[i] = s;
+    if (s != LpSense::kEq) ++out.num_slack;
+    if (s != LpSense::kLe) ++out.num_art;
+  }
+  return out;
+}
+
+double NormalizedRhsEntry(const LpProblem& problem,
+                          const std::vector<double>& row_sign, double perturb,
+                          int i, const std::vector<double>& rhs) {
+  const double b = rhs.empty() ? problem.constraint(i).rhs : rhs[i];
+  // Graded degeneracy breaking (see SimplexOptions::perturb).
+  return row_sign[i] * b + perturb * (1 + i % 101);
+}
+
+const char* LpBackendName(LpBackendKind kind) {
+  switch (kind) {
+    case LpBackendKind::kDefault:
+      return "default";
+    case LpBackendKind::kDense:
+      return "dense";
+    case LpBackendKind::kRevised:
+      return "revised";
+  }
+  return "unknown";
+}
+
+LpBackendKind ResolveLpBackend(const SimplexOptions& options) {
+  if (options.backend != LpBackendKind::kDefault) return options.backend;
+  // Read the environment on every resolution (not a cached static): tests
+  // and experiment drivers flip LPB_LP_BACKEND within one process.
+  const char* env = std::getenv("LPB_LP_BACKEND");
+  if (env != nullptr && std::strcmp(env, "revised") == 0) {
+    return LpBackendKind::kRevised;
+  }
+  // Dense remains the default until revised-backend parity is proven on a
+  // workload (see src/lp/README.md); unknown values also fall back here.
+  return LpBackendKind::kDense;
+}
+
+std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,
+                                             const SimplexOptions& options) {
+  if (ResolveLpBackend(options) == LpBackendKind::kRevised) {
+    return std::make_unique<RevisedSimplex>(problem, options);
+  }
+  return std::make_unique<DenseTableau>(problem, options);
+}
+
+}  // namespace lpb

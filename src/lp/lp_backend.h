@@ -1,0 +1,81 @@
+// Internal solver-backend interface behind SimplexTableau.
+//
+// SimplexTableau (lp/tableau.h) is the public compile-once/solve-many
+// handle; the actual pivoting lives in one of two interchangeable
+// implementations selected per SimplexOptions::backend (or the
+// LPB_LP_BACKEND environment variable when the option is kDefault):
+//
+//   * DenseTableau (lp/dense_tableau.h) — the original long-double dense
+//     tableau. Simple, numerically forgiving, O(rows x cols) per pivot.
+//   * RevisedSimplex (lp/revised_simplex.h) — sparse revised simplex over
+//     an LU-factorized basis; pivots cost O(nnz) solves instead of a full
+//     tableau sweep, which is what makes cutting-plane Gamma_n bounds
+//     tractable past n ~ 7.
+//
+// Both implement the identical contract documented on SimplexTableau
+// (two-phase cold solve, witness/warm/cold RHS re-solve cascade, dual
+// extraction sign conventions, lexicographic anti-cycling), so results are
+// interchangeable up to floating-point noise — a property enforced by the
+// randomized differential harness (tests/test_simplex_differential.cc).
+#ifndef LPB_LP_LP_BACKEND_H_
+#define LPB_LP_LP_BACKEND_H_
+
+#include <memory>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace lpb {
+
+class LpBackendImpl {
+ public:
+  virtual ~LpBackendImpl() = default;
+
+  // Cold two-phase solve; empty `rhs` uses the problem's own right-hand
+  // sides. Caches the final basis on an optimal finish.
+  virtual LpResult Solve(const std::vector<double>& rhs) = 0;
+  // Warm re-solve against a new RHS (witness / dual-simplex / cold
+  // cascade); behaves like Solve(rhs) when no basis is cached.
+  virtual LpResult ResolveWithRhs(const std::vector<double>& rhs) = 0;
+
+  virtual bool has_optimal_basis() const = 0;
+  // Basic column per row, internal column ids (structural, then
+  // slack/surplus, then artificial).
+  virtual const std::vector<int>& basis() const = 0;
+};
+
+// Row normalization shared by both backends — backend parity (enforced by
+// the differential harness) depends on them applying the *identical*
+// transformation, so it lives here rather than being duplicated. Rows are
+// flipped when the RHS is negative, and also when a >= row has RHS 0: the
+// flipped row is a <= row whose slack gives a feasible basis, avoiding an
+// artificial variable entirely (the common case for the engines'
+// homogeneous Shannon cuts).
+struct NormalizedRows {
+  std::vector<LpSense> sense;     // per row, post-flip
+  std::vector<double> row_sign;   // +1 / -1 per row
+  int num_slack = 0;              // slack/surplus columns needed
+  int num_art = 0;                // artificial columns needed
+};
+NormalizedRows NormalizeRows(const LpProblem& problem,
+                             const std::vector<double>& rhs);
+
+// The normalized RHS entry of row i: the row sign applied to the caller's
+// value (empty `rhs` = the problem's own) plus the graded perturbation.
+double NormalizedRhsEntry(const LpProblem& problem,
+                          const std::vector<double>& row_sign, double perturb,
+                          int i, const std::vector<double>& rhs);
+
+// Resolves kDefault against the LPB_LP_BACKEND environment variable
+// ("dense" / "revised"; anything else falls back to dense). Never returns
+// kDefault.
+LpBackendKind ResolveLpBackend(const SimplexOptions& options);
+
+// Constructs the backend selected by `options` for `problem`.
+std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,
+                                             const SimplexOptions& options);
+
+}  // namespace lpb
+
+#endif  // LPB_LP_LP_BACKEND_H_

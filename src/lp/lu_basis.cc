@@ -1,0 +1,246 @@
+#include "lp/lu_basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace lpb {
+
+bool LuBasis::Factorize(const SparseMatrix& a, const std::vector<int>& basis) {
+  m_ = static_cast<int>(basis.size());
+  factorized_ = false;
+  etas_.clear();
+  pivot_row_.assign(m_, -1);
+  row_pos_.assign(m_, -1);
+  col_slot_.assign(m_, -1);
+  slot_pos_.assign(m_, -1);
+  l_cols_.assign(m_, {});
+  u_cols_.assign(m_, {});
+  diag_.assign(m_, 0.0);
+  work_.assign(m_, 0.0);
+  pos_work_.assign(m_, 0.0);
+  visited_.assign(m_, 0);
+  row_mark_.assign(m_, -1);
+
+  // Static Markowitz row degrees: nonzeros per row across the basis
+  // columns. A dynamic count over the active submatrix would be tighter
+  // but needs linked row/column structures; the static count already
+  // steers pivots away from dense rows, which is what keeps fill low on
+  // the bound LPs.
+  std::vector<int> row_degree(m_, 0);
+  for (int s = 0; s < m_; ++s) {
+    for (const SparseEntry* e = a.ColBegin(basis[s]); e != a.ColEnd(basis[s]);
+         ++e) {
+      ++row_degree[e->row];
+    }
+  }
+
+  // Markowitz-style column pre-ordering: factor sparse columns first, so
+  // the unit slack/artificial columns of a fresh basis contribute zero
+  // fill before any structural column is touched.
+  std::vector<int> order(m_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return a.ColNnz(basis[x]) < a.ColNnz(basis[y]);
+  });
+
+  // DFS over the partially built L: edge t -> row_pos_[row] for every
+  // pivotal row of l_cols_[t]. Reverse post-order is a topological order,
+  // so processing topo_ back-to-front applies updates before reads.
+  auto dfs = [&](int root) {
+    if (visited_[root]) return;
+    dfs_stack_.clear();
+    dfs_stack_.emplace_back(root, 0);
+    visited_[root] = 1;
+    while (!dfs_stack_.empty()) {
+      const int t = dfs_stack_.back().first;
+      int& edge = dfs_stack_.back().second;
+      const std::vector<LuEntry>& lcol = l_cols_[t];
+      bool descended = false;
+      while (edge < static_cast<int>(lcol.size())) {
+        const int pos = row_pos_[lcol[edge].row];
+        ++edge;
+        if (pos >= 0 && !visited_[pos]) {
+          visited_[pos] = 1;
+          dfs_stack_.emplace_back(pos, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        topo_.push_back(t);
+        dfs_stack_.pop_back();
+      }
+    }
+  };
+
+  auto add_candidate = [&](int row, int stamp) {
+    if (row_mark_[row] != stamp) {
+      row_mark_[row] = stamp;
+      cand_.push_back(row);
+    }
+  };
+
+  for (int k = 0; k < m_; ++k) {
+    const int slot = order[k];
+    const int col = basis[slot];
+    topo_.clear();
+    cand_.clear();
+
+    // Reach + scatter of the column to factor.
+    for (const SparseEntry* e = a.ColBegin(col); e != a.ColEnd(col); ++e) {
+      if (row_pos_[e->row] >= 0) {
+        dfs(row_pos_[e->row]);
+      } else {
+        add_candidate(e->row, k);
+      }
+    }
+    for (const SparseEntry* e = a.ColBegin(col); e != a.ColEnd(col); ++e) {
+      work_[e->row] += e->value;
+    }
+
+    // Sparse triangular solve x = L⁻¹ (P b), visiting only reached
+    // positions; fill lands on non-pivotal rows and joins the pivot
+    // candidates.
+    for (size_t idx = topo_.size(); idx-- > 0;) {
+      const int t = topo_[idx];
+      const Scalar xt = work_[pivot_row_[t]];
+      if (xt == 0.0) continue;
+      for (const LuEntry& e : l_cols_[t]) {
+        if (row_pos_[e.row] < 0) add_candidate(e.row, k);
+        work_[e.row] -= e.value * xt;
+      }
+    }
+
+    // Markowitz threshold pivoting over the non-pivotal candidates.
+    Scalar max_abs = 0.0;
+    for (int row : cand_) {
+      max_abs = std::max(max_abs, std::abs(work_[row]));
+    }
+    if (max_abs < options_.abs_pivot_tol) {
+      if (std::getenv("LPB_LU_DEBUG")) {
+        std::fprintf(stderr,
+                     "LU singular: k=%d/%d col=%d cand=%zu max_abs=%.3e "
+                     "topo=%zu\n",
+                     k, m_, col, cand_.size(), static_cast<double>(max_abs),
+                     topo_.size());
+      }
+      // Numerically singular basis: clean scratch state and bail.
+      for (int row : cand_) work_[row] = 0.0;
+      for (int t : topo_) {
+        work_[pivot_row_[t]] = 0.0;
+        visited_[t] = 0;
+      }
+      return false;
+    }
+    int pivot = -1;
+    for (int row : cand_) {
+      if (std::abs(work_[row]) < options_.rel_pivot_tol * max_abs) continue;
+      if (pivot == -1 || row_degree[row] < row_degree[pivot] ||
+          (row_degree[row] == row_degree[pivot] &&
+           std::abs(work_[row]) > std::abs(work_[pivot]))) {
+        pivot = row;
+      }
+    }
+
+    pivot_row_[k] = pivot;
+    row_pos_[pivot] = k;
+    col_slot_[k] = slot;
+    slot_pos_[slot] = k;
+    diag_[k] = work_[pivot];
+    for (int t : topo_) {
+      const Scalar v = work_[pivot_row_[t]];
+      if (v != 0.0) u_cols_[k].emplace_back(t, v);
+      work_[pivot_row_[t]] = 0.0;
+      visited_[t] = 0;
+    }
+    const Scalar inv = 1.0L / diag_[k];
+    for (int row : cand_) {
+      if (row != pivot && work_[row] != 0.0) {
+        l_cols_[k].push_back({row, work_[row] * inv});
+      }
+      work_[row] = 0.0;
+    }
+  }
+
+  factorized_ = true;
+  return true;
+}
+
+void LuBasis::Ftran(std::vector<Scalar>& x) const {
+  // Forward solve with L (unit diagonal), consuming x row by pivot order.
+  for (int k = 0; k < m_; ++k) {
+    const Scalar xt = x[pivot_row_[k]];
+    pos_work_[k] = xt;
+    if (xt == 0.0) continue;
+    for (const LuEntry& e : l_cols_[k]) x[e.row] -= e.value * xt;
+  }
+  // Backward solve with U.
+  for (int k = m_; k-- > 0;) {
+    const Scalar zk = pos_work_[k] / diag_[k];
+    pos_work_[k] = zk;
+    if (zk == 0.0) continue;
+    for (const auto& [t, v] : u_cols_[k]) pos_work_[t] -= v * zk;
+  }
+  // Positions back to basis slots (x is dead after the L pass).
+  for (int k = 0; k < m_; ++k) x[col_slot_[k]] = pos_work_[k];
+  // Product-form etas, oldest first: x := E⁻¹ x per basis change.
+  for (const Eta& eta : etas_) {
+    const Scalar v = x[eta.slot] / eta.diag;
+    x[eta.slot] = v;
+    if (v == 0.0) continue;
+    for (const LuEntry& e : eta.off) x[e.row] -= e.value * v;
+  }
+}
+
+void LuBasis::Btran(std::vector<Scalar>& y) const {
+  // Etas transpose-inverted, newest first.
+  for (size_t idx = etas_.size(); idx-- > 0;) {
+    const Eta& eta = etas_[idx];
+    Scalar s = 0.0;
+    for (const LuEntry& e : eta.off) s += e.value * y[e.row];
+    y[eta.slot] = (y[eta.slot] - s) / eta.diag;
+  }
+  // Slots to positions.
+  for (int k = 0; k < m_; ++k) pos_work_[k] = y[col_slot_[k]];
+  // Forward solve with Uᵀ.
+  for (int k = 0; k < m_; ++k) {
+    Scalar s = pos_work_[k];
+    for (const auto& [t, v] : u_cols_[k]) s -= v * pos_work_[t];
+    pos_work_[k] = s / diag_[k];
+  }
+  // Backward solve with Lᵀ (rows referenced by L are pivotal at positions
+  // greater than k, so their entries are already final).
+  for (int k = m_; k-- > 0;) {
+    Scalar s = pos_work_[k];
+    for (const LuEntry& e : l_cols_[k]) {
+      s -= e.value * pos_work_[row_pos_[e.row]];
+    }
+    pos_work_[k] = s;
+  }
+  // Positions back to constraint rows.
+  for (int k = 0; k < m_; ++k) y[pivot_row_[k]] = pos_work_[k];
+}
+
+bool LuBasis::Update(const std::vector<Scalar>& w, int r) {
+  Scalar max_abs = 0.0;
+  for (Scalar v : w) max_abs = std::max(max_abs, std::abs(v));
+  // A tiny eta pivot relative to the spike magnifies every later solve;
+  // refuse and let the caller refactorize against the new basis header.
+  if (std::abs(w[r]) < options_.abs_pivot_tol ||
+      std::abs(w[r]) < options_.eta_rel_tol * max_abs) {
+    return false;
+  }
+  Eta eta;
+  eta.slot = r;
+  eta.diag = w[r];
+  for (int i = 0; i < m_; ++i) {
+    if (i != r && w[i] != 0.0) eta.off.push_back({i, w[i]});
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+}  // namespace lpb

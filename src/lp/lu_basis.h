@@ -1,0 +1,132 @@
+// LU-factorized simplex basis with product-form updates.
+//
+// Maintains B = [A[:, basis[0]], ..., A[:, basis[m-1]]] as P' L U Q' plus a
+// short eta file, supporting the two solves every revised-simplex iteration
+// needs:
+//   FTRAN  x = B⁻¹ b   (entering-column transform, basic values)
+//   BTRAN  y = B⁻ᵀ c   (duals / pricing, B⁻¹ rows for the ratio test)
+//
+// Factorization is Gilbert–Peierls left-looking sparse LU: each basis
+// column is transformed by a sparse triangular solve whose nonzero pattern
+// comes from a DFS over the partially built L, so work is proportional to
+// arithmetic actually performed. Pivoting is Markowitz-style threshold
+// pivoting — among candidate rows whose magnitude is within rel_pivot_tol
+// of the column max, prefer the row with the smallest static Markowitz
+// degree (its nonzero count in the basis matrix) — and columns are
+// pre-ordered by increasing nonzero count, so unit slack/artificial
+// columns (the bulk of early bases) factor in O(1) with zero fill.
+//
+// All factors and solves are kept in long double, for the same reason the
+// dense tableau is (lp/dense_tableau.h): the lexicographic ratio test
+// legitimately pivots on tiny elements, and in plain double the FTRAN
+// image of a *true zero* (noise ~ cond(B)·u) becomes indistinguishable
+// from such a pivot — which is how degenerate solves go off the rails.
+//
+// Basis changes apply a product-form (eta) update: B_new = B_old · E with E
+// the identity except column r = w = B_old⁻¹ a_enter, so FTRAN/BTRAN gain
+// one sparse rank-1 transform per pivot. When the eta file reaches
+// max_etas, or an update pivot w_r is too small to be stable, the caller
+// refactorizes from scratch (refactorize-on-threshold; a Forrest–Tomlin
+// update that rewrites U in place is a possible follow-on, see
+// src/lp/README.md).
+#ifndef LPB_LP_LU_BASIS_H_
+#define LPB_LP_LU_BASIS_H_
+
+#include <utility>
+#include <vector>
+
+#include "lp/sparse_matrix.h"
+
+namespace lpb {
+
+struct LuOptions {
+  double abs_pivot_tol = 1e-11;  // reject pivots below this outright
+  double rel_pivot_tol = 0.1;    // threshold for Markowitz tie candidates
+  int max_etas = 32;             // refactorize after this many updates
+  // Minimum |w_r| / ||w||_inf for an eta pivot. The simplex's
+  // lexicographic ratio test legitimately pivots on tiny elements, but an
+  // eta file dividing by them amplifies noise in every later solve.
+  // Rejecting them forces a refactorization, whose internal threshold
+  // pivoting picks a stable elimination order regardless of which element
+  // the simplex pivoted on.
+  double eta_rel_tol = 1e-4;
+};
+
+class LuBasis {
+ public:
+  // Working precision of factors and solves (see file comment).
+  using Scalar = long double;
+
+  explicit LuBasis(LuOptions options = {}) : options_(options) {}
+
+  // Factorizes the basis columns of `a`. Returns false if the basis is
+  // numerically singular (no acceptable pivot in some column); the
+  // factorization is then unusable until the next successful Factorize.
+  bool Factorize(const SparseMatrix& a, const std::vector<int>& basis);
+
+  bool factorized() const { return factorized_; }
+  int m() const { return m_; }
+  int eta_count() const { return static_cast<int>(etas_.size()); }
+  bool NeedsRefactorize() const { return eta_count() >= options_.max_etas; }
+
+  // x := B⁻¹ x. In: x indexed by constraint row. Out: x indexed by basis
+  // slot (x[i] is the value of basic variable basis[i]).
+  void Ftran(std::vector<Scalar>& x) const;
+
+  // y := B⁻ᵀ y. In: y indexed by basis slot (e.g. the basic costs).
+  // Out: y indexed by constraint row (e.g. the duals). Btran(e_slot)
+  // yields row `slot` of B⁻¹ — the ratio test's lexicographic tie-break.
+  void Btran(std::vector<Scalar>& y) const;
+
+  // Records the basis change "column of slot r replaced by the column whose
+  // FTRAN image is w" as an eta transform. Returns false (leaving the
+  // factorization unchanged) when |w[r]| is too small to pivot on — the
+  // caller must refactorize against the updated basis header instead.
+  bool Update(const std::vector<Scalar>& w, int r);
+
+ private:
+  struct LuEntry {
+    int row = 0;
+    Scalar value = 0.0;
+  };
+
+  LuOptions options_;
+  bool factorized_ = false;
+  int m_ = 0;
+
+  // Row permutation: pivot_row_[k] = original row pivotal at position k;
+  // row_pos_ is its inverse. Column permutation: col_slot_[k] = basis slot
+  // factored at position k; slot_pos_ its inverse.
+  std::vector<int> pivot_row_;
+  std::vector<int> row_pos_;
+  std::vector<int> col_slot_;
+  std::vector<int> slot_pos_;
+
+  // L (unit diagonal) stored by column: entries (original row, multiplier)
+  // strictly below the pivot. U stored by column: off-diagonal entries
+  // (position t < k, value) plus the diagonal diag_[k].
+  std::vector<std::vector<LuEntry>> l_cols_;
+  std::vector<std::vector<std::pair<int, Scalar>>> u_cols_;
+  std::vector<Scalar> diag_;
+
+  struct Eta {
+    int slot = 0;
+    Scalar diag = 0.0;
+    std::vector<LuEntry> off;  // (slot, w) entries, slot != this->slot
+  };
+  std::vector<Eta> etas_;
+
+  // Scratch for Factorize/Ftran/Btran (single-threaded per instance, like
+  // the CompiledBound that owns the tableau).
+  mutable std::vector<Scalar> work_;
+  mutable std::vector<Scalar> pos_work_;
+  mutable std::vector<char> visited_;
+  mutable std::vector<std::pair<int, int>> dfs_stack_;  // (position, edge idx)
+  mutable std::vector<int> topo_;
+  mutable std::vector<int> cand_;      // non-pivotal rows touched this column
+  mutable std::vector<int> row_mark_;  // dedup stamps for cand_
+};
+
+}  // namespace lpb
+
+#endif  // LPB_LP_LU_BASIS_H_

@@ -1,0 +1,630 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace lpb {
+namespace {
+
+constexpr long double kLexEps = 1e-12L;
+constexpr long double kInf = std::numeric_limits<long double>::infinity();
+
+}  // namespace
+
+RevisedSimplex::RevisedSimplex(const LpProblem& problem,
+                               const SimplexOptions& options)
+    : problem_(problem), options_(options) {}
+
+RevisedSimplex::Scalar RevisedSimplex::NormalizedRhs(
+    int i, const std::vector<double>& rhs) const {
+  return NormalizedRhsEntry(problem_, row_sign_, options_.perturb, i, rhs);
+}
+
+void RevisedSimplex::Build(const std::vector<double>& rhs) {
+  const int n = problem_.num_vars();
+  rows_ = problem_.num_constraints();
+  has_basis_ = false;
+  cached_duals_.clear();
+
+  // Row normalization shared with the dense backend (lp/lp_backend.h) —
+  // backend parity depends on the two applying the identical transform.
+  NormalizedRows normalized = NormalizeRows(problem_, rhs);
+  const std::vector<LpSense>& sense = normalized.sense;
+  row_sign_ = std::move(normalized.row_sign);
+  first_art_ = n + normalized.num_slack;
+  cols_ = first_art_ + normalized.num_art;
+
+  // Column-major assembly. Structural columns bucket the constraint terms
+  // by variable; the slack/surplus and artificial blocks are unit columns
+  // appended in the same global numbering the dense tableau uses.
+  a_ = SparseMatrix(rows_);
+  std::vector<std::vector<SparseEntry>> structural(n);
+  for (int i = 0; i < rows_; ++i) {
+    for (const LpTerm& term : problem_.constraint(i).terms) {
+      structural[term.var].push_back({i, row_sign_[i] * term.coef});
+    }
+  }
+  for (int j = 0; j < n; ++j) a_.AppendColumn(std::move(structural[j]));
+
+  b_.assign(rows_, 0.0);
+  std::vector<int> slack_col(rows_, kNoCol);
+  std::vector<int> art_col(rows_, kNoCol);
+  std::vector<double> slack_sign(rows_, 0.0);
+  int next_slack = n;
+  int next_art = first_art_;
+  for (int i = 0; i < rows_; ++i) {
+    b_[i] = NormalizedRhs(i, rhs);
+    switch (sense[i]) {
+      case LpSense::kLe:
+        slack_col[i] = next_slack++;
+        slack_sign[i] = 1.0;
+        break;
+      case LpSense::kGe:
+        slack_col[i] = next_slack++;
+        slack_sign[i] = -1.0;
+        art_col[i] = next_art++;
+        break;
+      case LpSense::kEq:
+        art_col[i] = next_art++;
+        break;
+    }
+  }
+  for (int i = 0; i < rows_; ++i) {
+    if (slack_col[i] != kNoCol) a_.AppendColumn({{i, slack_sign[i]}});
+  }
+  for (int i = 0; i < rows_; ++i) {
+    if (art_col[i] != kNoCol) a_.AppendColumn({{i, 1.0}});
+  }
+
+  // Starting basis: slack for <=, artificial for >= and = — the identity,
+  // which both seeds a trivial factorization and starts the lexicographic
+  // invariant (rows of [B⁻¹b | B⁻¹] positive).
+  basis_.assign(rows_, kNoCol);
+  in_basis_.assign(cols_, kNoCol);
+  for (int i = 0; i < rows_; ++i) {
+    const int bcol = art_col[i] != kNoCol ? art_col[i] : slack_col[i];
+    basis_[i] = bcol;
+    in_basis_[bcol] = i;
+  }
+
+  phase2_cost_.assign(cols_, 0.0);
+  for (int j = 0; j < n; ++j) phase2_cost_[j] = problem_.objective_coef(j);
+
+  Refactorize();
+}
+
+bool RevisedSimplex::Refactorize() {
+  if (!lu_.Factorize(a_, basis_)) {
+    numerical_failure_ = true;
+    return false;
+  }
+  x_basic_ = b_;
+  lu_.Ftran(x_basic_);
+  return true;
+}
+
+void RevisedSimplex::ComputeDuals(const std::vector<double>& cost) {
+  cb_.assign(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) cb_[i] = cost[basis_[i]];
+  y_ = cb_;
+  lu_.Btran(y_);
+}
+
+int RevisedSimplex::ChooseLeavingSlot(const std::vector<Scalar>& w) {
+  // Scale-aware eligibility: a true zero of the column survives FTRAN as
+  // noise of order cond(B)·u·‖w‖, which crosses any absolute threshold
+  // once the basis degrades — and pivoting on such noise is what degrades
+  // it. The dense backend gets away with an absolute eps only because its
+  // long-double tableau keeps the noise floor ~1e-19. Anchoring the
+  // threshold to ‖w‖∞ keeps noise entries out of the ratio test.
+  Scalar scale = 0.0;
+  for (int i = 0; i < rows_; ++i) scale = std::max(scale, std::abs(w[i]));
+  const Scalar eps = options_.eps * std::max<Scalar>(1.0, scale);
+  // Pass 1: minimum ratio; collect every slot within kLexEps of it.
+  Scalar best_ratio = kInf;
+  tied_.clear();
+  for (int i = 0; i < rows_; ++i) {
+    const Scalar a = w[i];
+    if (a <= eps) continue;
+    const Scalar ratio = x_basic_[i] / a;
+    if (ratio < best_ratio - kLexEps) {
+      best_ratio = ratio;
+      tied_.clear();
+      tied_.push_back(i);
+    } else if (ratio <= best_ratio + kLexEps) {
+      tied_.push_back(i);
+    }
+  }
+  if (tied_.empty()) return -1;
+  if (bland_mode_) {
+    // Bland's leaving rule: among the min-ratio rows, the smallest basic
+    // column index. Combined with smallest-index pricing this provably
+    // terminates from any basis — no invariant to maintain, so it is the
+    // fallback of record when float rounding erodes the lexicographic
+    // comparisons below (see RunPhase).
+    int leave = tied_.front();
+    for (int i : tied_) {
+      if (basis_[i] < basis_[leave]) leave = i;
+    }
+    return leave;
+  }
+  // Pass 2: lexicographic tie-break on the rows of B⁻¹ scaled by the pivot
+  // entries — the same invariant the dense tableau maintains over its
+  // slack/artificial block. Rather than materializing one B⁻¹ *row* per
+  // tied slot (a BTRAN per challenger — quadratic on the massively
+  // degenerate cutting-plane LPs, where most of the basis ties at ratio
+  // zero), compare coordinate by coordinate: one FTRAN materializes column
+  // r of B⁻¹ across *all* tied slots at once, and survivors of each
+  // coordinate shrink fast (usually to one after a column or two).
+  for (int r = 0; r < rows_ && tied_.size() > 1; ++r) {
+    unit_.assign(rows_, 0.0);
+    unit_[r] = 1.0;
+    lu_.Ftran(unit_);  // unit_[i] = (B⁻¹)[i, r], slot-indexed
+    Scalar best = kInf;
+    for (int i : tied_) best = std::min(best, unit_[i] / w[i]);
+    survivors_.clear();
+    for (int i : tied_) {
+      if (unit_[i] / w[i] <= best + kLexEps) survivors_.push_back(i);
+    }
+    tied_.swap(survivors_);
+  }
+  return tied_.front();
+}
+
+bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
+                                const std::vector<Scalar>& w) {
+  const int out = basis_[leave_slot];
+  in_basis_[out] = kNoCol;
+  basis_[leave_slot] = enter;
+  in_basis_[enter] = leave_slot;
+  // Product-form update; on rejection (tiny eta pivot) or a full eta file,
+  // refactorize against the new basis header. Refactorization also
+  // recomputes the basic values from b_, squashing accumulated drift.
+  if (!lu_.Update(w, leave_slot) || lu_.NeedsRefactorize()) {
+    if (!lu_.Factorize(a_, basis_)) {
+      // The post-pivot basis is numerically singular: the pivot element
+      // cleared eps only through drift in the eta stack. Roll the header
+      // back and rebuild the previous basis, which factorized before.
+      in_basis_[enter] = kNoCol;
+      basis_[leave_slot] = out;
+      in_basis_[out] = leave_slot;
+      if (!Refactorize()) numerical_failure_ = true;
+      return false;
+    }
+    x_basic_ = b_;
+    lu_.Ftran(x_basic_);
+    return true;
+  }
+  const Scalar theta = x_basic_[leave_slot] / w[leave_slot];
+  if (theta != 0.0) {
+    for (int i = 0; i < rows_; ++i) x_basic_[i] -= theta * w[i];
+  }
+  x_basic_[leave_slot] = theta;
+  return true;
+}
+
+bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
+                              bool phase_two) {
+  const double eps = options_.eps;
+  frozen_.assign(cols_, false);
+  int consecutive_rejects = 0;
+  int stalled = 0;  // degenerate (zero-step) pivots since the last progress
+  bland_mode_ = false;
+  while (true) {
+    if (numerical_failure_ || iterations_ >= max_iterations_) return false;
+
+    // Anti-cycling, layered: the lexicographic ratio test below is the
+    // primary rule (exact-arithmetic termination, same as the dense
+    // backend), but its floating-point comparisons can erode on extremely
+    // degenerate LPs — so after a long run of zero-step pivots, switch to
+    // Bland's rule (smallest-index pricing + smallest-index tie-break),
+    // whose termination guarantee holds from any basis with no invariant
+    // to preserve. Dantzig pricing resumes as soon as a pivot moves.
+    bland_mode_ = stalled > kBlandStallThreshold;
+    // Diagnostic heartbeat (see "Debugging" in src/lp/README.md).
+    if (iterations_ % 5000 == 0 && iterations_ > 0 &&
+        std::getenv("LPB_RS_DEBUG") != nullptr) {
+      Scalar obj = 0.0;
+      for (int i = 0; i < rows_; ++i) obj += cost[basis_[i]] * x_basic_[i];
+      std::fprintf(stderr,
+                   "RS iter=%d obj=%.9f stalled=%d bland=%d etas=%d rows=%d\n",
+                   iterations_, static_cast<double>(obj), stalled,
+                   bland_mode_ ? 1 : 0, lu_.eta_count(), rows_);
+    }
+
+    // Price: y = B⁻ᵀ c_B once, then one sparse dot per nonbasic column.
+    ComputeDuals(cost);
+    int enter = kNoCol;
+    double best = eps;
+    const int limit = phase_two ? first_art_ : cols_;  // artificials barred
+    for (int j = 0; j < limit; ++j) {
+      if (in_basis_[j] != kNoCol || frozen_[j]) continue;
+      const double reduced =
+          cost[j] - static_cast<double>(a_.DotColumn(j, y_));
+      if (reduced > best) {
+        best = reduced;
+        enter = j;
+        if (bland_mode_) break;  // smallest eligible index
+      }
+    }
+    if (enter == kNoCol) return true;  // optimal for this phase
+
+    w_.assign(rows_, 0.0);
+    for (const SparseEntry* e = a_.ColBegin(enter); e != a_.ColEnd(enter);
+         ++e) {
+      w_[e->row] = e->value;
+    }
+    lu_.Ftran(w_);
+
+    // Cross-check the BTRAN-priced reduced cost against the FTRAN image
+    // (c_j - c_B'w must match c_j - y'A_j). Disagreement means the eta
+    // stack has drifted; refactorize and re-price rather than pivot on
+    // fiction. Skip when the factorization is already fresh.
+    if (lu_.eta_count() > 0) {
+      Scalar cbw = 0.0;
+      for (int i = 0; i < rows_; ++i) cbw += cb_[i] * w_[i];
+      const double ftran_reduced =
+          cost[enter] - static_cast<double>(cbw);
+      if (std::abs(ftran_reduced - best) >
+          1e-7 * std::max(1.0, std::abs(best))) {
+        if (!Refactorize()) return false;
+        continue;
+      }
+    }
+
+    const int leave = ChooseLeavingSlot(w_);
+    if (leave == -1) {
+      // Same guard as the dense backend: a barely positive reduced cost
+      // over a numerically dead column is noise, not a ray.
+      if (best <= 1e-6) {
+        frozen_[enter] = true;
+        continue;
+      }
+      unbounded_ = true;
+      return true;
+    }
+    const Scalar step = x_basic_[leave] / w_[leave];
+    if (!ApplyPivot(enter, leave, w_)) {
+      if (numerical_failure_) return false;
+      // The pivot was drift: the rolled-back basis has just been
+      // refactorized (accurate, eta-free), so re-price and retry — the
+      // honest FTRAN image usually prices the column out or picks a real
+      // pivot. Freezing is a last resort after repeated rejections, since
+      // wrongly freezing a live column (e.g. the objective variable)
+      // silently caps the optimum.
+      if (std::getenv("LPB_RS_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "RS reject: enter=%d leave=%d w_leave=%.3e best=%.3e "
+                     "rejects=%d\n",
+                     enter, leave, static_cast<double>(w_[leave]), best,
+                     consecutive_rejects + 1);
+      }
+      if (++consecutive_rejects > 2) {
+        frozen_[enter] = true;
+        consecutive_rejects = 0;
+      }
+      continue;
+    }
+    consecutive_rejects = 0;
+    if (step > 1e-12) {
+      stalled = 0;
+    } else {
+      ++stalled;
+    }
+    ++iterations_;
+  }
+}
+
+RevisedSimplex::DualOutcome RevisedSimplex::RunDualSimplex() {
+  const double eps = options_.eps;
+  while (true) {
+    if (numerical_failure_ || iterations_ >= max_iterations_) {
+      return DualOutcome::kIterationLimit;
+    }
+
+    // Leaving slot: most negative basic value.
+    int leave = -1;
+    Scalar most = -eps;
+    for (int i = 0; i < rows_; ++i) {
+      if (x_basic_[i] < most) {
+        most = x_basic_[i];
+        leave = i;
+      }
+    }
+    if (leave == -1) return DualOutcome::kOptimal;  // primal feasible
+
+    // Entering column: dual ratio test over the negative entries of the
+    // leaving row, which is materialized with one unit BTRAN. Artificials
+    // may not re-enter, matching phase 2.
+    ComputeDuals(phase2_cost_);
+    unit_.assign(rows_, 0.0);
+    unit_[leave] = 1.0;
+    row_l_ = unit_;
+    lu_.Btran(row_l_);
+    // Same scale-aware eligibility as the primal ratio test: entries of
+    // the leaving row that are noise at the row's magnitude must not be
+    // pivoted on.
+    Scalar scale = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      scale = std::max(scale, std::abs(row_l_[i]));
+    }
+    const Scalar alpha_eps = eps * std::max<Scalar>(1.0, scale);
+    int enter = kNoCol;
+    Scalar best_ratio = kInf;
+    for (int j = 0; j < first_art_; ++j) {
+      if (in_basis_[j] != kNoCol) continue;
+      const Scalar alpha = a_.DotColumn(j, row_l_);
+      if (alpha >= -alpha_eps) continue;
+      const Scalar reduced = phase2_cost_[j] - a_.DotColumn(j, y_);
+      const Scalar ratio = reduced / alpha;
+      if (ratio < best_ratio - kLexEps) {
+        best_ratio = ratio;
+        enter = j;
+      }
+    }
+    if (enter == kNoCol) return DualOutcome::kInfeasible;  // dual ray
+
+    w_.assign(rows_, 0.0);
+    for (const SparseEntry* e = a_.ColBegin(enter); e != a_.ColEnd(enter);
+         ++e) {
+      w_[e->row] = e->value;
+    }
+    lu_.Ftran(w_);
+    if (std::abs(w_[leave]) <= eps) {
+      // The FTRAN image disagrees with the BTRAN row (numerical drift):
+      // bail to the caller's cold fallback rather than divide by noise.
+      return DualOutcome::kIterationLimit;
+    }
+    if (!ApplyPivot(enter, leave, w_)) {
+      return DualOutcome::kIterationLimit;  // caller falls back to cold
+    }
+    ++iterations_;
+  }
+}
+
+void RevisedSimplex::EvictArtificials() {
+  for (int i = 0; i < rows_; ++i) {
+    if (numerical_failure_) return;
+    if (basis_[i] < first_art_) continue;
+    // Basic artificial at value ~0 after a feasible phase 1: pivot in any
+    // non-artificial column with a nonzero entry in this row of B⁻¹A; if
+    // none exists the row is redundant and the artificial stays basic at
+    // zero, which is harmless.
+    unit_.assign(rows_, 0.0);
+    unit_[i] = 1.0;
+    row_l_ = unit_;
+    lu_.Btran(row_l_);
+    for (int j = 0; j < first_art_; ++j) {
+      if (in_basis_[j] != kNoCol) continue;
+      if (std::abs(static_cast<double>(a_.DotColumn(j, row_l_))) <=
+          options_.eps) {
+        continue;
+      }
+      w_.assign(rows_, 0.0);
+      for (const SparseEntry* e = a_.ColBegin(j); e != a_.ColEnd(j); ++e) {
+        w_[e->row] = e->value;
+      }
+      lu_.Ftran(w_);
+      if (std::abs(w_[i]) <= options_.eps) continue;
+      if (!ApplyPivot(j, i, w_)) {
+        if (numerical_failure_) return;
+        continue;  // try another column; the artificial can also stay
+      }
+      ++iterations_;
+      break;
+    }
+  }
+}
+
+LpResult RevisedSimplex::ExtractOptimal(LpEvalPath path) {
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.iterations = iterations_;
+  result.path = path;
+  result.x.assign(problem_.num_vars(), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    if (basis_[i] < problem_.num_vars()) {
+      result.x[basis_[i]] = static_cast<double>(x_basic_[i]);
+    }
+  }
+  double obj = 0.0;
+  for (int j = 0; j < problem_.num_vars(); ++j) {
+    obj += phase2_cost_[j] * result.x[j];
+  }
+  result.objective = obj;
+
+  if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
+    // Same basis, same cost: the duals are the previous solve's.
+    result.duals = cached_duals_;
+  } else {
+    // One BTRAN: y = B⁻ᵀ c_B are the duals of the normalized rows; undo
+    // the row signs to express them against the caller's constraints.
+    ComputeDuals(phase2_cost_);
+    result.duals.assign(rows_, 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      result.duals[i] = static_cast<double>(y_[i]) * row_sign_[i];
+    }
+    cached_duals_ = result.duals;
+  }
+  has_basis_ = true;
+  return result;
+}
+
+LpResult RevisedSimplex::Failure(LpStatus status) const {
+  LpResult result;
+  result.status = status;
+  result.iterations = iterations_;
+  // The LpResult contract: x/duals are sized (zeros) even on failure so
+  // callers indexing them unconditionally never read stale data.
+  result.x.assign(problem_.num_vars(), 0.0);
+  result.duals.assign(problem_.num_constraints(), 0.0);
+  return result;
+}
+
+LpResult RevisedSimplex::Solve(const std::vector<double>& rhs) {
+  // First attempt: anti-degeneracy perturbation with exact cleanup (see
+  // SolveCore). On the heavily degenerate bound LPs the unperturbed
+  // simplex can reach the optimal objective and then wander the optimal
+  // face for 100k+ zero-step pivots without proving optimality; the
+  // perturbed problem is nondegenerate, so Dantzig races to the optimum
+  // and the cleanup restores exactness. A user-supplied perturbation
+  // (options_.perturb) disables the internal one — matching the dense
+  // backend, the caller then owns the perturbed semantics.
+  if (options_.perturb == 0.0) {
+    LpResult result = SolveCore(rhs, /*anti_degeneracy=*/true);
+    if (!cleanup_failed_) return result;
+  }
+  return SolveCore(rhs, /*anti_degeneracy=*/false);
+}
+
+LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
+                                   bool anti_degeneracy) {
+  iterations_ = 0;
+  numerical_failure_ = false;
+  cleanup_failed_ = false;
+  Build(rhs);
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+  if (numerical_failure_) return Failure(LpStatus::kIterationLimit);
+  if (anti_degeneracy) {
+    // Graded positive shifts, the same shape as SimplexOptions::perturb.
+    // Magnitude: far above the long-double noise floor, far below the
+    // data; exactness is restored by the cleanup below, not by keeping
+    // this small.
+    for (int i = 0; i < rows_; ++i) {
+      b_[i] += kAntiDegeneracyEps * (1 + i % 101);
+    }
+    x_basic_ = b_;
+    lu_.Ftran(x_basic_);
+  }
+
+  // Phase 1: maximize -sum(artificials), feasible iff optimum is 0.
+  if (first_art_ < cols_) {
+    std::vector<double> cost(cols_, 0.0);
+    for (int j = first_art_; j < cols_; ++j) cost[j] = -1.0;
+    if (!RunPhase(cost, /*phase_two=*/false)) {
+      cleanup_failed_ = anti_degeneracy;
+      return Failure(LpStatus::kIterationLimit);
+    }
+    Scalar infeas = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[i] >= first_art_) infeas += x_basic_[i];
+    }
+    if (infeas > 1e-7) {
+      // An infeasibility verdict under perturbation is not trustworthy:
+      // shifting linearly dependent equality rows by different amounts
+      // manufactures inconsistency a feasible problem never had. Only the
+      // unperturbed run may declare infeasible.
+      cleanup_failed_ = anti_degeneracy;
+      return Failure(LpStatus::kInfeasible);
+    }
+    EvictArtificials();
+    if (numerical_failure_) {
+      cleanup_failed_ = anti_degeneracy;
+      return Failure(LpStatus::kIterationLimit);
+    }
+  }
+
+  // Phase 2: the real objective; artificials are barred from entering.
+  unbounded_ = false;
+  if (!RunPhase(phase2_cost_, /*phase_two=*/true)) {
+    cleanup_failed_ = anti_degeneracy;
+    return Failure(LpStatus::kIterationLimit);
+  }
+  if (unbounded_) {
+    // The certifying ray lives in the recession cone, which no RHS shift
+    // changes — but "unbounded" also asserts the problem is *feasible*,
+    // and the perturbation does change that (a problem infeasible by less
+    // than the shifts can open up). Trust the verdict only if the current
+    // basis is also feasible at the true RHS; otherwise re-run
+    // unperturbed.
+    if (anti_degeneracy) {
+      for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+      x_basic_ = b_;
+      lu_.Ftran(x_basic_);
+      for (int i = 0; i < rows_; ++i) {
+        if (x_basic_[i] < -options_.eps ||
+            (basis_[i] >= first_art_ &&
+             std::abs(static_cast<double>(x_basic_[i])) > 1e-7)) {
+          cleanup_failed_ = true;
+          break;
+        }
+      }
+    }
+    return Failure(LpStatus::kUnbounded);
+  }
+  if (!anti_degeneracy) return ExtractOptimal(LpEvalPath::kCold);
+
+  // Cleanup: drop the perturbation and re-price the true RHS under the
+  // perturbed-optimal basis. The basis stays dual-feasible (costs are
+  // untouched), so at worst a few dual-simplex pivots repair the slightly
+  // negative basic values; if anything fails, Solve() re-runs without the
+  // perturbation.
+  for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+  x_basic_ = b_;
+  lu_.Ftran(x_basic_);
+  bool feasible = true;
+  for (int i = 0; i < rows_; ++i) {
+    if (x_basic_[i] < -options_.eps) feasible = false;
+    if (basis_[i] >= first_art_ &&
+        std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
+      cleanup_failed_ = true;
+      return Failure(LpStatus::kIterationLimit);
+    }
+  }
+  if (feasible) return ExtractOptimal(LpEvalPath::kCold);
+  if (RunDualSimplex() == DualOutcome::kOptimal) {
+    return ExtractOptimal(LpEvalPath::kCold);
+  }
+  cleanup_failed_ = true;
+  return Failure(LpStatus::kIterationLimit);
+}
+
+LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
+  if (!has_basis_) return Solve(rhs);
+  iterations_ = 0;
+  numerical_failure_ = false;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+
+  // Re-price the RHS under the cached factorization: one FTRAN gives the
+  // new basic solution B⁻¹b' — no pivots, no matrix rebuild.
+  for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+  x_basic_ = b_;
+  lu_.Ftran(x_basic_);
+
+  bool feasible = true;
+  for (int i = 0; i < rows_; ++i) {
+    if (x_basic_[i] < -options_.eps) feasible = false;
+    // A basic artificial forced away from zero means the cached basis
+    // cannot represent this RHS at all (a previously-redundant row became
+    // inconsistent); only a cold solve can decide feasibility.
+    if (basis_[i] >= first_art_ &&
+        std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
+      return Solve(rhs);
+    }
+  }
+  if (feasible) {
+    // Witness reuse: the basis is still optimal; zero pivots needed.
+    return ExtractOptimal(LpEvalPath::kWitness);
+  }
+
+  switch (RunDualSimplex()) {
+    case DualOutcome::kOptimal:
+      return ExtractOptimal(LpEvalPath::kWarm);
+    case DualOutcome::kInfeasible:
+    case DualOutcome::kIterationLimit:
+      // A dual ray certifies primal infeasibility in exact arithmetic, but
+      // a cold two-phase solve is cheap insurance against drift in the
+      // warmed factorization — and also covers the dual-simplex stall.
+      return Solve(rhs);
+  }
+  return Solve(rhs);  // unreachable
+}
+
+}  // namespace lpb

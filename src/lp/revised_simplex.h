@@ -1,0 +1,134 @@
+// Sparse revised simplex backend over an LU-factorized basis.
+//
+// Solves the same normalized standard form as the dense tableau
+// (lp/dense_tableau.h) — maximize c'x over Ax {<=,>=,=} b, x >= 0, rows
+// sign-normalized, slack/surplus/artificial columns appended — but never
+// materializes B⁻¹A. Each iteration does three sparse solves against the
+// factorized basis (lp/lu_basis.h):
+//
+//   BTRAN  y = B⁻ᵀ c_B                duals; reduced cost of column j is
+//                                     c_j - y·A_j, an O(nnz(A_j)) dot
+//   FTRAN  w = B⁻¹ A_enter            the pivot column, for the ratio test
+//   eta    B := B·E                   product-form basis update
+//
+// so an iteration costs O(nnz(A) + m + eta work) instead of the dense
+// tableau's O(rows x cols) sweep — the difference between grinding and
+// finishing on the cutting-plane Γn relaxations past n ≈ 7.
+//
+// Anti-cycling: the ratio test breaks ties lexicographically on the rows
+// of [B⁻¹b | B⁻¹], exactly the invariant the dense solver maintains over
+// its slack/artificial block (tied rows are materialized on demand with a
+// unit BTRAN). The starting basis is the identity, so rows begin
+// lexicographically positive and the classic termination argument applies
+// to both backends alike.
+//
+// Warm re-solves mirror the dense cascade: FTRAN re-prices the new RHS
+// under the cached factorization (witness), dual simplex repairs primal
+// infeasibility from the still-dual-feasible basis (warm), and anything
+// the factorization cannot represent falls back to a cold two-phase solve.
+#ifndef LPB_LP_REVISED_SIMPLEX_H_
+#define LPB_LP_REVISED_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/lp_backend.h"
+#include "lp/lp_problem.h"
+#include "lp/lu_basis.h"
+#include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
+
+namespace lpb {
+
+class RevisedSimplex : public LpBackendImpl {
+ public:
+  explicit RevisedSimplex(const LpProblem& problem,
+                          const SimplexOptions& options = {});
+
+  LpResult Solve(const std::vector<double>& rhs) override;
+  LpResult ResolveWithRhs(const std::vector<double>& rhs) override;
+  bool has_optimal_basis() const override { return has_basis_; }
+  const std::vector<int>& basis() const override { return basis_; }
+
+ private:
+  // Working precision, matching LuBasis::Scalar and the dense tableau (the
+  // lexicographic ratio test needs a noise floor far below its pivot
+  // eligibility threshold; double's is not).
+  using Scalar = long double;
+
+  static constexpr int kNoCol = -1;
+  // Degenerate (zero-step) pivots tolerated before the phase falls back
+  // from Dantzig + lexicographic to Bland's rule (see RunPhase).
+  static constexpr int kBlandStallThreshold = 100;
+  // Base magnitude of the internal anti-degeneracy RHS perturbation
+  // (graded per row, removed exactly by the cleanup pass in SolveCore).
+  static constexpr double kAntiDegeneracyEps = 1e-7;
+
+  void Build(const std::vector<double>& rhs);
+  // The cold two-phase solve behind Solve(). With `anti_degeneracy`, the
+  // normalized RHS gets graded positive shifts so the ratio test is
+  // (almost) never tied, and a cleanup pass restores the true RHS from
+  // the perturbed-optimal basis; sets cleanup_failed_ when that repair
+  // does not go through (Solve then re-runs unperturbed).
+  LpResult SolveCore(const std::vector<double>& rhs, bool anti_degeneracy);
+  Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
+  // Refactorizes the basis and recomputes basic values from b_. Returns
+  // false (setting numerical_failure_) if the basis went singular.
+  bool Refactorize();
+  // Primal phase on `cost`; false on iteration limit or numerical failure.
+  bool RunPhase(const std::vector<double>& cost, bool phase_two);
+  enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
+  DualOutcome RunDualSimplex();
+  // Ratio test with the lexicographic tie-break; -1 if no row qualifies.
+  int ChooseLeavingSlot(const std::vector<Scalar>& w);
+  // Swaps `enter` into the basis at `leave_slot` using the FTRAN image `w`
+  // of the entering column; updates basic values and the factorization.
+  // Returns false — with the previous basis restored and refactorized —
+  // when the post-pivot basis turns out numerically singular (the pivot
+  // element only looked acceptable through eta-stack drift); the caller
+  // must not retry the same entering column.
+  bool ApplyPivot(int enter, int leave_slot, const std::vector<Scalar>& w);
+  void EvictArtificials();
+  // y_ := B⁻ᵀ cost_B (row space).
+  void ComputeDuals(const std::vector<double>& cost);
+  LpResult ExtractOptimal(LpEvalPath path);
+  LpResult Failure(LpStatus status) const;
+
+  LpProblem problem_;
+  SimplexOptions options_;
+
+  int rows_ = 0;
+  int cols_ = 0;       // structural + slack/surplus + artificial
+  int first_art_ = 0;  // first artificial column index
+  SparseMatrix a_;     // normalized constraint matrix, all columns
+  std::vector<Scalar> b_;  // normalized RHS of the last Build/Resolve
+  std::vector<double> row_sign_;
+  std::vector<double> phase2_cost_;  // structural objective, padded to cols_
+
+  std::vector<int> basis_;     // slot -> column
+  std::vector<int> in_basis_;  // column -> slot, or kNoCol
+  std::vector<Scalar> x_basic_;  // basic values per slot
+  LuBasis lu_;
+
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+  bool unbounded_ = false;
+  bool has_basis_ = false;
+  bool numerical_failure_ = false;
+  bool bland_mode_ = false;  // Bland's-rule fallback engaged (RunPhase)
+  bool cleanup_failed_ = false;  // perturbation cleanup fell through
+  std::vector<double> cached_duals_;
+  std::vector<bool> frozen_;
+
+  // Scratch (slot/row space, size rows_).
+  std::vector<Scalar> y_;     // duals
+  std::vector<Scalar> w_;     // FTRAN image of the entering column
+  std::vector<Scalar> cb_;    // basic costs
+  std::vector<Scalar> unit_;  // unit-vector solves (B⁻¹ columns/rows)
+  std::vector<Scalar> row_l_;  // leaving row of B⁻¹ (dual simplex, evict)
+  std::vector<int> tied_;       // ratio-test tie candidates
+  std::vector<int> survivors_;  // tie candidates surviving a coordinate
+};
+
+}  // namespace lpb
+
+#endif  // LPB_LP_REVISED_SIMPLEX_H_

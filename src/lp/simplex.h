@@ -28,18 +28,40 @@ enum class LpStatus {
 // pure read-off of the still-optimal cached basis (kWitness).
 enum class LpEvalPath { kCold, kWarm, kWitness };
 
+// Which solver implementation runs under SolveLp / SimplexTableau.
+//   kDefault — consult the LPB_LP_BACKEND environment variable ("dense" or
+//              "revised"); dense when unset. This is the only value that
+//              honors the env var, so tests pinning a backend stay pinned.
+//   kDense   — the dense long-double tableau (lp/dense_tableau.h).
+//   kRevised — the sparse revised simplex with an LU-factorized basis
+//              (lp/revised_simplex.h).
+enum class LpBackendKind { kDefault, kDense, kRevised };
+
+// "dense" / "revised"; kDefault renders as "default".
+const char* LpBackendName(LpBackendKind kind);
+
 struct LpResult {
+  // NOTE: the default is deliberately a *failure* status. A default-
+  // constructed LpResult must never read as solved; every solver path is
+  // required to set `status` explicitly and to size `x`/`duals` as
+  // documented below even on failure (see tests/test_revised_simplex.cc
+  // regression tests).
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;
-  // Primal solution, size = problem.num_vars(). Valid when kOptimal.
+  // Primal solution, size = problem.num_vars(). Meaningful when kOptimal;
+  // on any other status the solver still sizes it (all zeros) so callers
+  // indexing unconditionally cannot read stale or out-of-range data.
   std::vector<double> x;
-  // Dual value per constraint, size = problem.num_constraints().
+  // Dual value per constraint, size = problem.num_constraints() (zeros on
+  // non-optimal statuses, like `x`).
   // Sign convention: for a <= constraint of a maximization problem the dual
   // is >= 0, for >= it is <= 0; duals satisfy sum_i y_i b_i = objective.
   std::vector<double> duals;
   int iterations = 0;
   // Which evaluation path produced this result (always kCold for SolveLp).
   LpEvalPath path = LpEvalPath::kCold;
+  // Which solver backend produced this result (never kDefault).
+  LpBackendKind backend = LpBackendKind::kDense;
 };
 
 struct SimplexOptions {
@@ -49,6 +71,10 @@ struct SimplexOptions {
   // Degeneracy is handled by the lexicographic ratio test, so this defaults
   // to off; it remains available for experimentation.
   double perturb = 0.0;
+  // Solver implementation. kDefault reads LPB_LP_BACKEND and falls back to
+  // the dense tableau; set kDense/kRevised to pin a backend regardless of
+  // the environment.
+  LpBackendKind backend = LpBackendKind::kDefault;
 };
 
 // Solves the LP. The problem is copied into an internal tableau; `problem`

@@ -1,0 +1,26 @@
+#include "lp/sparse_matrix.h"
+
+#include <algorithm>
+
+namespace lpb {
+
+int SparseMatrix::AppendColumn(std::vector<SparseEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.row < b.row;
+            });
+  for (const SparseEntry& e : entries) {
+    if (!entries_.empty() &&
+        static_cast<int>(entries_.size()) > col_start_.back() &&
+        entries_.back().row == e.row) {
+      entries_.back().value += e.value;
+      if (entries_.back().value == 0.0) entries_.pop_back();
+    } else if (e.value != 0.0) {
+      entries_.push_back(e);
+    }
+  }
+  col_start_.push_back(static_cast<int>(entries_.size()));
+  return cols() - 1;
+}
+
+}  // namespace lpb

@@ -1,4 +1,4 @@
-// Compile-once / solve-many simplex tableau.
+// Compile-once / solve-many simplex handle.
 //
 // SimplexTableau splits the LP lifecycle that SolveLp() fuses: the
 // constraint *matrix* and objective are fixed at construction ("compile"),
@@ -20,11 +20,21 @@
 //     typically in a handful of iterations for small RHS perturbations.
 //   * kCold — no cached basis (first solve, or the previous solve did not
 //     end optimal), or the warm path failed; full two-phase primal simplex.
+//
+// The pivoting itself is delegated to one of two backends chosen at
+// construction (SimplexOptions::backend, or the LPB_LP_BACKEND environment
+// variable when the option is kDefault): the dense long-double tableau
+// (lp/dense_tableau.h, the default) or the sparse revised simplex with an
+// LU-factorized basis (lp/revised_simplex.h). Both honor the identical
+// contract; LpResult::backend reports which one served a result. See
+// src/lp/README.md for the selection and parity story.
 #ifndef LPB_LP_TABLEAU_H_
 #define LPB_LP_TABLEAU_H_
 
+#include <memory>
 #include <vector>
 
+#include "lp/lp_backend.h"
 #include "lp/lp_problem.h"
 #include "lp/simplex.h"
 
@@ -37,7 +47,10 @@ class SimplexTableau {
   explicit SimplexTableau(const LpProblem& problem,
                           const SimplexOptions& options = {});
 
-  int num_constraints() const { return problem_.num_constraints(); }
+  int num_constraints() const { return num_constraints_; }
+
+  // Which backend this tableau pivots with (resolved, never kDefault).
+  LpBackendKind backend() const { return kind_; }
 
   // Cold two-phase solve. `rhs` (size num_constraints) overrides the
   // problem's right-hand sides; empty uses the problem's own. On an optimal
@@ -50,60 +63,15 @@ class SimplexTableau {
   LpResult ResolveWithRhs(const std::vector<double>& rhs);
 
   // True after a solve that ended kOptimal: ResolveWithRhs can warm-start.
-  bool has_optimal_basis() const { return has_basis_; }
+  bool has_optimal_basis() const { return impl_->has_optimal_basis(); }
   // Basic column index per row of the cached basis (internal column ids:
   // structural columns first, then slack/surplus, then artificial).
-  const std::vector<int>& basis() const { return basis_; }
+  const std::vector<int>& basis() const { return impl_->basis(); }
 
  private:
-  using Scalar = long double;
-
-  static constexpr int kNoCol = -1;
-
-  void Build(const std::vector<double>& rhs);
-  // Runs one primal simplex phase on `cost`; returns false on iteration
-  // limit. Sets unbounded_ if a ray is detected (meaningful in phase 2).
-  bool RunPhase(const std::vector<double>& cost, bool phase_two);
-  // Dual simplex from a dual-feasible basis toward primal feasibility.
-  enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
-  DualOutcome RunDualSimplex();
-  void ComputeReducedCosts(const std::vector<double>& cost);
-  void Pivot(int row, int col);
-  // After phase 1: pivot basic artificials out where possible.
-  void EvictArtificials();
-  // Normalized RHS entry for row i (row sign + optional perturbation).
-  Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
-  // Reads the optimal result off the current tableau.
-  LpResult ExtractOptimal(LpEvalPath path);
-
-  LpProblem problem_;
-  SimplexOptions options_;
-
-  int rows_ = 0;
-  int cols_ = 0;        // total variable columns (structural+slack+artificial)
-  int first_art_ = 0;   // first artificial column index
-  std::vector<std::vector<Scalar>> t_;  // rows_ x (cols_ + 1)
-  std::vector<int> basis_;              // basic column per row
-  std::vector<Scalar> reduced_;         // reduced costs, size cols_
-  // For each original constraint: the column whose original A-column is
-  // +e_i (slack for LE, artificial for GE/EQ) and the row sign applied
-  // during normalization. Column dual_col_[i] of the current tableau is
-  // therefore the i-th column of B⁻¹ — used both to recover duals and to
-  // re-price a new RHS without rebuilding.
-  std::vector<int> dual_col_;
-  std::vector<double> row_sign_;
-  std::vector<double> phase2_cost_;     // structural objective, padded to cols_
-
-  int iterations_ = 0;
-  int max_iterations_ = 0;
-  bool unbounded_ = false;
-  bool has_basis_ = false;
-  // Duals of the cached basis. The witness path reuses them verbatim —
-  // duals depend only on (basis, cost), both unchanged there — skipping
-  // the O(rows × cols) reduced-cost recomputation on the hot path.
-  std::vector<double> cached_duals_;
-  // Columns disabled for the current phase (numerically dead, see RunPhase).
-  std::vector<bool> frozen_;
+  LpBackendKind kind_;
+  int num_constraints_;
+  std::unique_ptr<LpBackendImpl> impl_;
 };
 
 }  // namespace lpb

@@ -197,6 +197,93 @@ TEST(SimplexTableau, RandomResolvesMatchFromScratch) {
   EXPECT_GT(warm_seen, 0);
 }
 
+// Regression tests for the LpResult failure contract: every early-return
+// path (phase-1 infeasible, phase-2 unbounded, iteration limit, and the
+// ResolveWithRhs fallbacks into each) must set `status` explicitly and
+// size `x`/`duals` — a default-constructed LpResult reads as
+// kIterationLimit with empty vectors, and solver paths that forgot to
+// overwrite those leaked stale shapes to callers indexing unconditionally.
+// Both backends are held to the contract.
+class LpFailureContract : public testing::TestWithParam<LpBackendKind> {
+ protected:
+  SimplexOptions Options(int max_iterations = 0) const {
+    SimplexOptions options;
+    options.backend = GetParam();
+    options.max_iterations = max_iterations;
+    return options;
+  }
+  static void ExpectSized(const LpResult& r, const LpProblem& lp) {
+    EXPECT_EQ(r.x.size(), static_cast<size_t>(lp.num_vars()));
+    EXPECT_EQ(r.duals.size(), static_cast<size_t>(lp.num_constraints()));
+  }
+};
+
+TEST_P(LpFailureContract, InfeasibleSolveSizesResult) {
+  LpProblem lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, LpSense::kLe, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 1.0}}, LpSense::kGe, 3.0);
+  SimplexTableau tableau(lp, Options());
+  const LpResult r = tableau.Solve();
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+  ExpectSized(r, lp);
+  EXPECT_FALSE(tableau.has_optimal_basis());
+}
+
+TEST_P(LpFailureContract, UnboundedSolveSizesResult) {
+  LpProblem lp(2);
+  lp.SetObjective(0, 1.0);
+  lp.AddConstraint({{1, 1.0}}, LpSense::kLe, 3.0);  // x unconstrained
+  SimplexTableau tableau(lp, Options());
+  const LpResult r = tableau.Solve();
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+  ExpectSized(r, lp);
+}
+
+TEST_P(LpFailureContract, IterationLimitSizesResult) {
+  // One iteration cannot finish phase 1 of this >=-heavy problem.
+  LpProblem lp(3);
+  for (int j = 0; j < 3; ++j) lp.SetObjective(j, 1.0);
+  lp.AddConstraint({{0, 1.0}, {1, 2.0}}, LpSense::kGe, 4.0);
+  lp.AddConstraint({{1, 1.0}, {2, 2.0}}, LpSense::kGe, 5.0);
+  lp.AddConstraint({{0, 1.0}, {2, 1.0}}, LpSense::kLe, 9.0);
+  SimplexTableau tableau(lp, Options(/*max_iterations=*/1));
+  const LpResult r = tableau.Solve();
+  EXPECT_EQ(r.status, LpStatus::kIterationLimit);
+  ExpectSized(r, lp);
+  EXPECT_FALSE(tableau.has_optimal_basis());
+}
+
+TEST_P(LpFailureContract, ResolveIntoInfeasibleSizesResult) {
+  LpProblem lp = Textbook();
+  SimplexTableau tableau(lp, Options());
+  ASSERT_EQ(tableau.Solve().status, LpStatus::kOptimal);
+  // x <= -1 with x >= 0: the warm path must fall through to a cold solve
+  // that reports infeasible with properly sized vectors — not a stale
+  // optimal-shaped result from the cached basis.
+  const LpResult r = tableau.ResolveWithRhs({-1.0, 12.0, 18.0});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+  ExpectSized(r, lp);
+  // And the result reports which backend produced it.
+  EXPECT_EQ(r.backend, GetParam());
+}
+
+TEST_P(LpFailureContract, DefaultResultIsNotSolved) {
+  // The guard the contract hangs off: a default LpResult must read as a
+  // failure, never as optimal.
+  LpResult fresh;
+  EXPECT_EQ(fresh.status, LpStatus::kIterationLimit);
+  EXPECT_TRUE(fresh.x.empty());
+  EXPECT_TRUE(fresh.duals.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, LpFailureContract,
+                         testing::Values(LpBackendKind::kDense,
+                                         LpBackendKind::kRevised),
+                         [](const testing::TestParamInfo<LpBackendKind>& i) {
+                           return std::string(LpBackendName(i.param));
+                         });
+
 // The bound-LP shape: homogeneous >= rows (Shannon cuts) whose RHS stays 0
 // while only the statistics rows move. The warm path must re-price the RHS
 // using only the nonzero entries.

@@ -1,0 +1,399 @@
+// Randomized differential testing: dense tableau vs sparse revised simplex.
+//
+// The two LP backends (lp/dense_tableau.h, lp/revised_simplex.h) promise
+// the identical contract behind SimplexTableau. This harness generates
+// hundreds of seeded random LPs — mixed <=/>=/= senses, quarter-integer
+// coefficient grids and zero right-hand sides (heavy degeneracy, exact
+// ratio-test ties), plus naturally occurring unbounded and infeasible
+// instances — and asserts the backends agree on status and objective and
+// that each backend's returned witness independently satisfies primal
+// feasibility, dual feasibility, and complementary slackness.
+//
+// The seed is overridable via LPB_DIFF_SEED so CI can run several fixed
+// seeds without recompiling; failures print the seed and trial for replay.
+//
+// The second half differentially tests the backends where they matter:
+// the Γn cutting-plane bound LPs (n <= 6 against the dense full-lattice
+// reference, and the n = 8 compile that only the revised backend can
+// afford, checked against the exact normal-polymatroid bound).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bounds/bound_engine.h"
+#include "bounds/engine.h"
+#include "bounds/normal_engine.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+#include "lp/tableau.h"
+#include "relation/degree_sequence.h"
+#include "util/random.h"
+
+namespace lpb {
+namespace {
+
+uint64_t HarnessSeed() {
+  const char* env = std::getenv("LPB_DIFF_SEED");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 12345;
+}
+
+SimplexOptions Backend(LpBackendKind kind) {
+  SimplexOptions options;
+  options.backend = kind;
+  return options;
+}
+
+// Quarter-integer coefficients: exact ties in the ratio test, the regime
+// where anti-cycling rules earn their keep.
+double GridCoef(Rng& rng, double lo, double hi) {
+  const double raw = lo + (hi - lo) * rng.NextDouble();
+  return std::round(raw * 4.0) / 4.0;
+}
+
+LpProblem RandomLp(Rng& rng) {
+  const int n = 1 + static_cast<int>(rng.Uniform(6));
+  const int m = 1 + static_cast<int>(rng.Uniform(10));
+  LpProblem lp(n);
+  for (int j = 0; j < n; ++j) {
+    if (rng.Bernoulli(0.85)) lp.SetObjective(j, GridCoef(rng, -1.0, 3.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.6)) {
+        const double c = GridCoef(rng, -2.0, 2.0);
+        if (c != 0.0) terms.push_back({j, c});
+      }
+    }
+    if (terms.empty()) terms.push_back({static_cast<int>(rng.Uniform(n)), 1.0});
+    // Weighted senses: random = rows are almost always jointly infeasible,
+    // so keep them a seasoning rather than the diet.
+    const double sense_draw = rng.NextDouble();
+    const LpSense sense = sense_draw < 0.55   ? LpSense::kLe
+                          : sense_draw < 0.85 ? LpSense::kGe
+                                              : LpSense::kEq;
+    // Degenerate RHS (0) a third of the time; occasionally negative.
+    double rhs = 0.0;
+    if (!rng.Bernoulli(0.34)) {
+      rhs = GridCoef(rng, rng.Bernoulli(0.15) ? -4.0 : 0.0, 6.0);
+    }
+    lp.AddConstraint(std::move(terms), sense, rhs);
+  }
+  // Half the instances get box rows: bounded feasible region, so the
+  // optimal-status share stays high while the unboxed half keeps
+  // exercising unbounded rays.
+  if (rng.Bernoulli(0.5)) {
+    for (int j = 0; j < n; ++j) {
+      lp.AddConstraint({{j, 1.0}}, LpSense::kLe, GridCoef(rng, 1.0, 20.0));
+    }
+  }
+  return lp;
+}
+
+struct WitnessCheck {
+  double primal_violation = 0.0;
+  double dual_violation = 0.0;
+  double slackness_violation = 0.0;
+  double duality_gap = 0.0;
+};
+
+// Verifies the optimal witness (x, duals) of `result` against `lp` with the
+// RHS vector actually solved (empty = the problem's own).
+WitnessCheck CheckWitness(const LpProblem& lp, const std::vector<double>& rhs,
+                          const LpResult& result) {
+  WitnessCheck check;
+  const int m = lp.num_constraints();
+  auto rhs_of = [&](int i) {
+    return rhs.empty() ? lp.constraint(i).rhs : rhs[i];
+  };
+  // Primal feasibility (x >= 0 plus every constraint).
+  for (double xj : result.x) {
+    check.primal_violation = std::max(check.primal_violation, -xj);
+  }
+  for (int i = 0; i < m; ++i) {
+    const double lhs = lp.EvalLhs(i, result.x);
+    const double b = rhs_of(i);
+    double violation = 0.0;
+    switch (lp.constraint(i).sense) {
+      case LpSense::kLe:
+        violation = lhs - b;
+        break;
+      case LpSense::kGe:
+        violation = b - lhs;
+        break;
+      case LpSense::kEq:
+        violation = std::abs(lhs - b);
+        break;
+    }
+    check.primal_violation = std::max(check.primal_violation, violation);
+    // Complementary slackness, constraint side: nonzero dual => tight row.
+    if (std::abs(result.duals[i]) > 1e-6 &&
+        lp.constraint(i).sense != LpSense::kEq) {
+      check.slackness_violation =
+          std::max(check.slackness_violation, std::abs(lhs - b));
+    }
+  }
+  // Dual feasibility: sign per sense, and reduced costs c_j - y'A_j <= 0
+  // for a maximization problem; slackness, variable side: x_j > 0 => the
+  // reduced cost is zero.
+  std::vector<double> ya(lp.num_vars(), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const LpConstraint& c = lp.constraint(i);
+    switch (c.sense) {
+      case LpSense::kLe:
+        check.dual_violation = std::max(check.dual_violation, -result.duals[i]);
+        break;
+      case LpSense::kGe:
+        check.dual_violation = std::max(check.dual_violation, result.duals[i]);
+        break;
+      case LpSense::kEq:
+        break;
+    }
+    for (const LpTerm& t : c.terms) ya[t.var] += result.duals[i] * t.coef;
+  }
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    const double reduced = lp.objective_coef(j) - ya[j];
+    check.dual_violation = std::max(check.dual_violation, reduced);
+    if (result.x[j] > 1e-6) {
+      check.slackness_violation =
+          std::max(check.slackness_violation, std::abs(reduced));
+    }
+  }
+  // Strong duality: y'b == objective.
+  double dual_obj = 0.0;
+  for (int i = 0; i < m; ++i) dual_obj += result.duals[i] * rhs_of(i);
+  check.duality_gap = std::abs(dual_obj - result.objective);
+  return check;
+}
+
+void ExpectAgreement(const LpProblem& lp, const std::vector<double>& rhs,
+                     const LpResult& dense, const LpResult& revised,
+                     const std::string& context) {
+  ASSERT_EQ(dense.status, revised.status) << context;
+  // The LpResult contract: sized x/duals regardless of status.
+  EXPECT_EQ(dense.x.size(), static_cast<size_t>(lp.num_vars())) << context;
+  EXPECT_EQ(revised.x.size(), static_cast<size_t>(lp.num_vars())) << context;
+  EXPECT_EQ(dense.duals.size(), static_cast<size_t>(lp.num_constraints()))
+      << context;
+  EXPECT_EQ(revised.duals.size(), static_cast<size_t>(lp.num_constraints()))
+      << context;
+  if (dense.status != LpStatus::kOptimal) return;
+  const double tol = 1e-7 * std::max(1.0, std::abs(dense.objective));
+  EXPECT_NEAR(dense.objective, revised.objective, tol) << context;
+  for (const LpResult* result : {&dense, &revised}) {
+    const char* which = result == &dense ? " [dense]" : " [revised]";
+    WitnessCheck check = CheckWitness(lp, rhs, *result);
+    EXPECT_LE(check.primal_violation, 1e-6) << context << which;
+    EXPECT_LE(check.dual_violation, 1e-6) << context << which;
+    EXPECT_LE(check.slackness_violation, 1e-5) << context << which;
+    EXPECT_LE(check.duality_gap,
+              1e-6 * std::max(1.0, std::abs(result->objective)))
+        << context << which;
+  }
+}
+
+TEST(SimplexDifferential, FiveHundredRandomLpsAgree) {
+  const uint64_t seed = HarnessSeed();
+  Rng rng(seed);
+  int optimal = 0, unbounded = 0, infeasible = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    LpProblem lp = RandomLp(rng);
+    SimplexTableau dense(lp, Backend(LpBackendKind::kDense));
+    SimplexTableau revised(lp, Backend(LpBackendKind::kRevised));
+    const LpResult d = dense.Solve();
+    const LpResult r = revised.Solve();
+    const std::string context =
+        "seed " + std::to_string(seed) + " trial " + std::to_string(trial);
+    ExpectAgreement(lp, {}, d, r, context);
+    if (testing::Test::HasFatalFailure()) return;
+    switch (d.status) {
+      case LpStatus::kOptimal:
+        ++optimal;
+        break;
+      case LpStatus::kUnbounded:
+        ++unbounded;
+        break;
+      case LpStatus::kInfeasible:
+        ++infeasible;
+        break;
+      case LpStatus::kIterationLimit:
+        FAIL() << "iteration limit on a tiny LP, " << context;
+    }
+  }
+  // The generator must exercise every verdict, not just the happy path.
+  EXPECT_GT(optimal, 100) << "seed " << seed;
+  EXPECT_GT(unbounded + infeasible, 50) << "seed " << seed;
+}
+
+// Warm-path differential: re-solve the same matrix at redrawn RHS vectors;
+// the witness/warm/cold cascades of both backends must land on the same
+// verdicts and objectives as each other (statuses may legitimately change
+// per RHS — infeasible redraws included).
+TEST(SimplexDifferential, RandomResolvesAgree) {
+  const uint64_t seed = HarnessSeed() ^ 0x9e3779b97f4a7c15ull;
+  Rng rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    LpProblem lp = RandomLp(rng);
+    SimplexTableau dense(lp, Backend(LpBackendKind::kDense));
+    SimplexTableau revised(lp, Backend(LpBackendKind::kRevised));
+    if (dense.Solve().status != revised.Solve().status) {
+      ADD_FAILURE() << "cold status mismatch, seed " << seed << " trial "
+                    << trial;
+      continue;
+    }
+    std::vector<double> rhs(lp.num_constraints());
+    for (int redraw = 0; redraw < 8; ++redraw) {
+      for (int i = 0; i < lp.num_constraints(); ++i) {
+        const double base = lp.constraint(i).rhs;
+        // Mix small perturbations (witness-friendly) with full redraws
+        // (dual-simplex and cold-fallback territory).
+        rhs[i] = redraw % 2 == 0 ? base * (0.9 + 0.2 * rng.NextDouble())
+                                 : GridCoef(rng, -2.0, 6.0);
+      }
+      const LpResult d = dense.ResolveWithRhs(rhs);
+      const LpResult r = revised.ResolveWithRhs(rhs);
+      const std::string context = "seed " + std::to_string(seed) + " trial " +
+                                  std::to_string(trial) + " redraw " +
+                                  std::to_string(redraw);
+      ExpectAgreement(lp, rhs, d, r, context);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Regression: the revised backend's internal anti-degeneracy perturbation
+// (graded up to ~1e-5 per row) must not change *verdicts*. A problem
+// infeasible by less than the shifts opens up under perturbation, and an
+// unconstrained objective then rides a ray — so a naive implementation
+// reports kUnbounded where dense reports kInfeasible. The fix validates
+// feasibility at the true RHS before trusting a perturbed verdict.
+TEST(SimplexDifferential, PerturbationDoesNotMaskNearInfeasibility) {
+  LpProblem lp(2);
+  lp.SetObjective(0, 1.0);                              // x0 unconstrained
+  lp.AddConstraint({{1, 1.0}}, LpSense::kGe, 4e-6);     // row 0: small grade
+  for (int i = 0; i < 49; ++i) {
+    lp.AddConstraint({{1, 1.0}}, LpSense::kLe, 1.0);    // filler rows
+  }
+  lp.AddConstraint({{1, 1.0}}, LpSense::kLe, 0.0);      // row 50: big grade
+  // True problem: x1 >= 4e-6 and x1 <= 0 — infeasible by more than the
+  // phase-1 tolerance. Perturbed: x1 in [~4.1e-6, ~5.1e-6] — feasible,
+  // and max x0 is then unbounded.
+  SimplexTableau dense(lp, Backend(LpBackendKind::kDense));
+  SimplexTableau revised(lp, Backend(LpBackendKind::kRevised));
+  const LpResult d = dense.Solve();
+  const LpResult r = revised.Solve();
+  EXPECT_EQ(d.status, LpStatus::kInfeasible);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+// ---------------------------------------------------------------------------
+// The LPs the revised backend exists for: Γn cutting-plane bounds.
+
+std::vector<ConcreteStatistic> RandomSimpleStats(Rng& rng, int n,
+                                                 int count) {
+  std::vector<ConcreteStatistic> stats;
+  const double norms[] = {1.0, 2.0, 3.0, kInfNorm};
+  // Cardinality-style statistics over random small variable sets plus
+  // simple conditionals deg(V|u): the advisor's statistics shapes.
+  for (int k = 0; k < count; ++k) {
+    ConcreteStatistic s;
+    VarSet v = 0;
+    const int width = 1 + static_cast<int>(rng.Uniform(3));
+    for (int t = 0; t < width; ++t) v |= VarBit(rng.Uniform(n));
+    if (rng.Bernoulli(0.5)) {
+      const int u = static_cast<int>(rng.Uniform(n));
+      s.sigma = Normalize({VarBit(u), v & ~VarBit(u)});
+      if (s.sigma.v == 0) s.sigma.v = VarBit((u + 1) % n);
+      s.p = norms[rng.Uniform(4)];
+    } else {
+      s.sigma = {0, v};
+      s.p = 1.0;
+    }
+    s.log_b = 1.0 + 7.0 * rng.NextDouble();
+    stats.push_back(s);
+  }
+  // A covering cardinality so the bound is finite.
+  ConcreteStatistic cover;
+  cover.sigma = {0, FullSet(n)};
+  cover.p = 1.0;
+  cover.log_b = 9.0;
+  stats.push_back(cover);
+  return stats;
+}
+
+TEST(SimplexDifferential, GammaCuttingPlaneMatchesDenseFullLattice) {
+  const uint64_t seed = HarnessSeed() ^ 0xabcdef12345ull;
+  Rng rng(seed);
+  for (int n = 3; n <= 6; ++n) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::vector<ConcreteStatistic> stats =
+          RandomSimpleStats(rng, n, 2 + n);
+      // Reference: dense backend over the fully materialized lattice.
+      EngineOptions full;
+      full.full_lattice_max_n = 8;
+      full.simplex.backend = LpBackendKind::kDense;
+      const BoundResult reference = PolymatroidBound(n, stats, full);
+      // Under test: cutting-plane mode (forced) on each backend.
+      for (LpBackendKind kind :
+           {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+        EngineOptions cut;
+        cut.full_lattice_max_n = 2;
+        cut.simplex.backend = kind;
+        const BoundResult result = PolymatroidBound(n, stats, cut);
+        const std::string context = "seed " + std::to_string(seed) + " n " +
+                                    std::to_string(n) + " trial " +
+                                    std::to_string(trial) + " backend " +
+                                    LpBackendName(kind);
+        ASSERT_EQ(result.status, reference.status) << context;
+        if (reference.ok()) {
+          EXPECT_NEAR(result.log2_bound, reference.log2_bound,
+                      1e-6 * std::max(1.0, std::abs(reference.log2_bound)))
+              << context;
+        }
+      }
+    }
+  }
+}
+
+// The acceptance bar from the roadmap: the revised backend compiles and
+// evaluates a Γn *cutting-plane* bound at n = 8, where the dense tableau
+// grinds (its per-pivot sweep is O(rows × 2^n) on every cut round). The
+// statistics are simple, so the exact normal-polymatroid bound (Theorem
+// 6.1) is an independent reference for the value.
+TEST(SimplexDifferential, RevisedCompilesGammaCuttingPlaneAtN8) {
+  Rng rng(HarnessSeed() ^ 0x5151ull);
+  const int n = 8;
+  const std::vector<ConcreteStatistic> stats = RandomSimpleStats(rng, n, 12);
+  const BoundResult reference = NormalPolymatroidBound(n, stats).base;
+  ASSERT_EQ(reference.status, LpStatus::kOptimal);
+
+  EngineOptions cut;
+  cut.full_lattice_max_n = 4;  // force cutting-plane mode at n = 8
+  cut.simplex.backend = LpBackendKind::kRevised;
+  const BoundEngine* gamma = FindBoundEngine("gamma");
+  ASSERT_NE(gamma, nullptr);
+  auto compiled = gamma->Compile(StructureOf(n, stats), cut);
+  BoundResult result = compiled->Evaluate(ValuesOf(stats));
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.lp_backend, LpBackendKind::kRevised);
+  EXPECT_NEAR(result.log2_bound, reference.log2_bound,
+              1e-6 * std::max(1.0, std::abs(reference.log2_bound)));
+
+  // Compile-once / evaluate-many: scaled values re-price against the
+  // cached factorized basis without recompiling the cut set.
+  std::vector<double> scaled = ValuesOf(stats);
+  for (double& v : scaled) v *= 1.05;
+  BoundResult rescored = compiled->Evaluate(scaled, /*want_h_opt=*/false);
+  ASSERT_EQ(rescored.status, LpStatus::kOptimal);
+  EXPECT_NEAR(rescored.log2_bound, reference.log2_bound * 1.05,
+              1e-5 * std::max(1.0, std::abs(reference.log2_bound)));
+}
+
+}  // namespace
+}  // namespace lpb
