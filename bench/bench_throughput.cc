@@ -2,22 +2,30 @@
 //
 // An optimizer probes the advisor millions of times against a handful of
 // query templates. This bench measures estimates/sec on the synthetic JOB
-// workload (33 templates) in three regimes:
+// workload (33 templates) in four regimes:
 //   * cold   — a fresh LP built and solved from scratch per estimate
 //              (the pre-pipeline behavior: LpNormBound on the statistics);
 //   * warm   — the advisor's compiled path: per-structure compiled bound,
 //              cached dual witness re-priced per call;
+//   * batch  — the advisor's batched what-if path: per template, one
+//              statistics assembly + structure lookup + per-bound lock for
+//              a whole block of value vectors, re-priced through the LP
+//              backend's multi-RHS resolve (EstimateLog2Batch);
 //   * warm + value jitter — the statistics change between calls, so each
 //              evaluation re-prices (and occasionally re-solves) rather
 //              than hitting an unchanged optimum.
-// The table reports the speedup and the advisor's witness/warm/cold
-// counters, making the pipeline's cache behavior observable. The warm
-// regime runs once per LP backend (dense tableau vs revised simplex, see
-// lp/tableau.h), so the table doubles as the perf gate on the revised
-// backend's witness path.
+// The table reports the speedups and the advisor's witness/warm/cold
+// counters, making the pipeline's cache behavior observable. The warm and
+// batch regimes run once per LP backend (dense tableau vs revised simplex,
+// see lp/tableau.h), so the table doubles as the perf gate on the revised
+// backend's witness and block re-pricing paths.
 //
 // Set LPB_BENCH_JSON=<path> to also dump the table as JSON — CI uploads
-// it as an artifact so future PRs get a throughput trajectory.
+// it as an artifact and bench/compare_throughput.py gates regressions
+// against bench/baseline_throughput.json: warm or batch cold-normalized
+// throughput (the "speedup" field) >25% below baseline fails the
+// workflow, as does batch < 2x scalar warm; raw est/s is informational
+// (machine-dependent) unless --strict-absolute.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -37,6 +45,15 @@
 namespace lpb {
 namespace {
 
+// Value vectors per template in the batch regime — the scale of one
+// optimizer what-if burst against one structure.
+constexpr int kBatchSize = 64;
+
+// Every timed regime keeps sweeping the workload until it has measured at
+// least this long — sub-50ms samples swing 2x run to run, which no perf
+// gate tolerance can absorb.
+constexpr double kMinMeasureSeconds = 0.5;
+
 JobWorkload& Workload() {
   static JobWorkload wl = [] {
     JobWorkloadOptions opt;
@@ -51,18 +68,20 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-struct WarmRun {
+struct RegimeRun {
   const char* backend;  // short name, reused by the JSON artifact
   const char* label;
   double est_per_s = 0.0;
-  double speedup = 0.0;
+  double speedup = 0.0;     // vs the cold regime
+  int batch_size = 1;       // value vectors per advisor call
+  int repeats = 0;          // workload sweeps this regime actually ran
   uint64_t witness = 0, warm = 0, cold = 0;
 };
 
 // Warm regime for one LP backend: full advisor path (statistics lookup +
-// compiled evaluate) over the whole template workload.
-WarmRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
-                    const std::vector<double>& expected) {
+// compiled evaluate) over the whole template workload, one call at a time.
+RegimeRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
+                      const std::vector<double>& expected) {
   JobWorkload& wl = Workload();
   AdvisorOptions opt;
   opt.engine.simplex.backend = backend;
@@ -71,8 +90,10 @@ WarmRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
   for (const Query& q : wl.queries) advisor.EstimateLog2(q);  // compile
 
   const AdvisorMetrics before = advisor.metrics();
+  int sweeps = 0;
+  double secs = 0.0;
   auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < repeats; ++r) {
+  do {
     for (size_t i = 0; i < m; ++i) {
       const double est = advisor.EstimateLog2(wl.queries[i]);
       benchmark::DoNotOptimize(est);
@@ -81,17 +102,111 @@ WarmRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
                     wl.queries[i].name().c_str(), label, est, expected[i]);
       }
     }
-  }
-  const double secs = Seconds(t0);
+    ++sweeps;
+    secs = Seconds(t0);
+  } while (sweeps < repeats || secs < kMinMeasureSeconds);
   const AdvisorMetrics after = advisor.metrics();
-  WarmRun run;
+  RegimeRun run;
   run.backend = LpBackendName(backend);
   run.label = label;
-  run.est_per_s = static_cast<double>(repeats * m) / secs;
+  run.repeats = sweeps;
+  run.est_per_s = static_cast<double>(sweeps) * m / secs;
   run.witness = after.witness_hits - before.witness_hits;
   run.warm = after.warm_resolves - before.warm_resolves;
   run.cold = after.cold_solves - before.cold_solves;
   return run;
+}
+
+// Batch regime for one LP backend: per template, one EstimateLog2Batch
+// call re-pricing kBatchSize value vectors. With `jitter` false the block
+// carries the template's own statistics values — the same estimates the
+// warm regime serves one call at a time, so batch/warm is a direct
+// measure of what batching amortizes. With `jitter` true each vector
+// perturbs one statistic (a real what-if sweep), exercising per-column
+// witness validation and occasional warm re-solves.
+RegimeRun MeasureBatch(LpBackendKind backend, const char* label, int repeats,
+                       const std::vector<double>& expected, bool jitter) {
+  JobWorkload& wl = Workload();
+  AdvisorOptions opt;
+  opt.engine.simplex.backend = backend;
+  CardinalityAdvisor advisor(wl.catalog, opt);
+  const size_t m = wl.queries.size();
+
+  // Per-template batches: the real values, each vector optionally with a
+  // deterministic +/-2% jitter on one statistic.
+  std::vector<std::vector<std::vector<double>>> batches(m);
+  for (size_t i = 0; i < m; ++i) {
+    const auto stats = advisor.Explain(wl.queries[i]).stats;  // also compiles
+    const std::vector<double> base = ValuesOf(stats);
+    batches[i].reserve(kBatchSize);
+    for (int c = 0; c < kBatchSize; ++c) {
+      std::vector<double> values = base;
+      if (jitter) {
+        const size_t j = static_cast<size_t>(c) % values.size();
+        values[j] *= 0.98 + 0.04 * ((c * 2654435761u >> 16) % 1000) / 1000.0;
+      }
+      batches[i].push_back(std::move(values));
+    }
+  }
+
+  const AdvisorMetrics before = advisor.metrics();
+  int sweeps = 0;
+  double secs = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  do {
+    for (size_t i = 0; i < m; ++i) {
+      const std::vector<double> ests =
+          advisor.EstimateLog2Batch(wl.queries[i], batches[i]);
+      benchmark::DoNotOptimize(ests.data());
+      const double tolerance = jitter ? 1.0 : 1e-6;
+      if (std::abs(ests[0] - expected[i]) > tolerance) {
+        std::printf("BATCH MISMATCH on %s (%s): %f vs %f\n",
+                    wl.queries[i].name().c_str(), label, ests[0], expected[i]);
+      }
+    }
+    ++sweeps;
+    secs = Seconds(t0);
+  } while (sweeps < repeats || secs < kMinMeasureSeconds);
+  const AdvisorMetrics after = advisor.metrics();
+  RegimeRun run;
+  run.backend = LpBackendName(backend);
+  run.label = label;
+  run.batch_size = kBatchSize;
+  run.repeats = sweeps;
+  run.est_per_s = static_cast<double>(sweeps) * m * kBatchSize / secs;
+  run.witness = after.witness_hits - before.witness_hits;
+  run.warm = after.warm_resolves - before.warm_resolves;
+  run.cold = after.cold_solves - before.cold_solves;
+  return run;
+}
+
+void PrintCounters(const RegimeRun& run) {
+  std::printf(
+      "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu\n",
+      run.label, run.est_per_s, run.speedup,
+      static_cast<unsigned long long>(run.witness),
+      static_cast<unsigned long long>(run.warm),
+      static_cast<unsigned long long>(run.cold));
+}
+
+void DumpRunsJson(std::FILE* f, const char* section,
+                  const std::vector<RegimeRun>& runs) {
+  std::fprintf(f, "  \"%s\": [\n", section);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RegimeRun& run = runs[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"est_per_s\": %.1f, "
+                 "\"speedup\": %.2f, \"batch_size\": %d, "
+                 "\"repeats\": %d, "
+                 "\"witness\": %llu, \"warm\": %llu, \"cold\": %llu}%s\n",
+                 run.backend, run.est_per_s, run.speedup, run.batch_size,
+                 run.repeats,
+                 static_cast<unsigned long long>(run.witness),
+                 static_cast<unsigned long long>(run.warm),
+                 static_cast<unsigned long long>(run.cold),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
 }
 
 void PrintTable() {
@@ -124,23 +239,40 @@ void PrintTable() {
   const double n_est = static_cast<double>(kRepeats * m);
   const double cold_rate = n_est / cold_s;
 
-  WarmRun runs[] = {
+  std::vector<RegimeRun> warm_runs = {
       MeasureWarm(LpBackendKind::kDense, "warm dense", kRepeats, expected),
       MeasureWarm(LpBackendKind::kRevised, "warm revised", kRepeats,
                   expected),
   };
-  for (WarmRun& run : runs) run.speedup = run.est_per_s / cold_rate;
+  // Fewer repeats for the batch regimes: each repeat serves
+  // kBatchSize x the estimates.
+  const int batch_repeats = std::max(1, kRepeats / 4);
+  std::vector<RegimeRun> batch_runs = {
+      MeasureBatch(LpBackendKind::kDense, "batch dense", batch_repeats,
+                   expected, /*jitter=*/false),
+      MeasureBatch(LpBackendKind::kRevised, "batch revised", batch_repeats,
+                   expected, /*jitter=*/false),
+  };
+  std::vector<RegimeRun> jitter_runs = {
+      MeasureBatch(LpBackendKind::kDense, "batch dense what-if",
+                   batch_repeats, expected, /*jitter=*/true),
+      MeasureBatch(LpBackendKind::kRevised, "batch revised what-if",
+                   batch_repeats, expected, /*jitter=*/true),
+  };
+  for (RegimeRun& run : warm_runs) run.speedup = run.est_per_s / cold_rate;
+  for (RegimeRun& run : batch_runs) run.speedup = run.est_per_s / cold_rate;
+  for (RegimeRun& run : jitter_runs) run.speedup = run.est_per_s / cold_rate;
 
   std::printf("== Estimator throughput, %zu JOB templates x %d repeats ==\n",
               m, kRepeats);
   std::printf("%-28s %14.0f est/s\n", "cold (LP per estimate)", cold_rate);
-  for (const WarmRun& run : runs) {
-    std::printf(
-        "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu\n",
-        run.label, run.est_per_s, run.speedup,
-        static_cast<unsigned long long>(run.witness),
-        static_cast<unsigned long long>(run.warm),
-        static_cast<unsigned long long>(run.cold));
+  for (const RegimeRun& run : warm_runs) PrintCounters(run);
+  for (const RegimeRun& run : batch_runs) PrintCounters(run);
+  for (const RegimeRun& run : jitter_runs) PrintCounters(run);
+  for (size_t i = 0; i < warm_runs.size() && i < batch_runs.size(); ++i) {
+    std::printf("%-28s %14.2fx  (batch of %d vs scalar warm, %s)\n",
+                "batch/scalar", batch_runs[i].est_per_s / warm_runs[i].est_per_s,
+                batch_runs[i].batch_size, warm_runs[i].backend);
   }
   std::printf("\n");
 
@@ -148,23 +280,16 @@ void PrintTable() {
     if (std::FILE* f = std::fopen(json_path, "w")) {
       std::fprintf(f,
                    "{\n  \"workload\": \"job-templates\",\n"
-                   "  \"templates\": %zu,\n  \"repeats\": %d,\n"
-                   "  \"cold_est_per_s\": %.1f,\n  \"warm\": [\n",
-                   m, kRepeats, cold_rate);
-      const size_t num_runs = std::size(runs);
-      for (size_t i = 0; i < num_runs; ++i) {
-        const WarmRun& run = runs[i];
-        std::fprintf(f,
-                     "    {\"backend\": \"%s\", \"est_per_s\": %.1f, "
-                     "\"speedup\": %.2f, \"witness\": %llu, \"warm\": %llu, "
-                     "\"cold\": %llu}%s\n",
-                     run.backend, run.est_per_s, run.speedup,
-                     static_cast<unsigned long long>(run.witness),
-                     static_cast<unsigned long long>(run.warm),
-                     static_cast<unsigned long long>(run.cold),
-                     i + 1 < num_runs ? "," : "");
-      }
-      std::fprintf(f, "  ]\n}\n");
+                   "  \"templates\": %zu,\n  \"cold_warm_repeats\": %d,\n"
+                   "  \"batch_size\": %d,\n"
+                   "  \"cold_est_per_s\": %.1f,\n",
+                   m, kRepeats, kBatchSize, cold_rate);
+      DumpRunsJson(f, "warm", warm_runs);
+      std::fprintf(f, ",\n");
+      DumpRunsJson(f, "batch", batch_runs);
+      std::fprintf(f, ",\n");
+      DumpRunsJson(f, "batch_what_if", jitter_runs);
+      std::fprintf(f, "\n}\n");
       std::fclose(f);
       std::printf("wrote %s\n\n", json_path);
     }
@@ -180,6 +305,7 @@ void BM_ColdEstimate(benchmark::State& state) {
     benchmark::DoNotOptimize(
         LpNormBound(wl.queries[i].num_vars(), stats).log2_bound);
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ColdEstimate)->Arg(0)->Arg(8)->Arg(20);
 
@@ -191,8 +317,38 @@ void BM_WarmEstimate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(advisor.EstimateLog2(wl.queries[i]));
   }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["batch_size"] = 1;
 }
 BENCHMARK(BM_WarmEstimate)->Arg(0)->Arg(8)->Arg(20);
+
+// Batched what-if probes against one compiled template: one advisor call
+// re-prices `batch_size` value vectors. items_processed counts estimates
+// (iterations x batch size), so est/s is directly comparable with
+// BM_WarmEstimate's.
+void BM_BatchEstimate(benchmark::State& state) {
+  JobWorkload& wl = Workload();
+  static CardinalityAdvisor advisor(wl.catalog);
+  const size_t i = static_cast<size_t>(state.range(0));
+  const int batch_size = static_cast<int>(state.range(1));
+  const auto stats = advisor.Explain(wl.queries[i]).stats;
+  const std::vector<std::vector<double>> batch(
+      static_cast<size_t>(batch_size), ValuesOf(stats));
+  for (auto _ : state) {
+    const std::vector<double> ests =
+        advisor.EstimateLog2Batch(wl.queries[i], batch);
+    benchmark::DoNotOptimize(ests.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.counters["batch_size"] = batch_size;
+}
+BENCHMARK(BM_BatchEstimate)
+    ->Args({0, 16})
+    ->Args({0, 256})
+    ->Args({8, 16})
+    ->Args({8, 256})
+    ->Args({20, 16})
+    ->Args({20, 256});
 
 // Statistics drift between estimates (value jitter, same structure): the
 // witness path re-prices, occasionally falling back to warm/cold re-solves.
@@ -217,6 +373,7 @@ void BM_WarmEstimateJitteredValues(benchmark::State& state) {
     values[j] = saved;
     ++tick;
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WarmEstimateJitteredValues)->Arg(0)->Arg(8)->Arg(20);
 

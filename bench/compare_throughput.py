@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for bench_throughput's JSON artifact.
+
+Usage:
+    compare_throughput.py BASELINE.json NEW.json [--tolerance 0.25]
+                          [--min-batch-speedup 2.0] [--strict-absolute]
+
+Fails (exit 1) when
+  * any warm or batch regime's *cold-normalized* estimates/s (the JSON's
+    "speedup" field: est/s divided by the same run's cold est/s) falls
+    more than --tolerance below the baseline's for the same backend, or
+  * the batch regime serves fewer than --min-batch-speedup times the
+    scalar warm regime's estimates/s on either backend (the batch
+    evaluation acceptance bar).
+
+Both gating checks are ratios of numbers measured in the same process on
+the same machine, so they catch real warm/batch-path regressions without
+flaking on runner-to-runner speed differences. Raw est/s is printed for
+visibility and compared only under --strict-absolute (useful on a
+dedicated runner); the checked-in baseline's absolute numbers come from
+the reference dev box scaled to 60% (see its "_note").
+
+Refresh bench/baseline_throughput.json from a CI artifact whenever a PR
+legitimately shifts throughput.
+"""
+
+import argparse
+import json
+import sys
+
+
+def by_backend(runs):
+    return {run["backend"]: run for run in runs}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop vs baseline")
+    parser.add_argument("--min-batch-speedup", type=float, default=2.0,
+                        help="required batch/warm estimates-per-second ratio")
+    parser.add_argument("--strict-absolute", action="store_true",
+                        help="also gate on raw est/s (same-machine baselines)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    failures = []
+    print(f"{'metric':<34} {'baseline':>12} {'new':>12} {'ratio':>8}")
+    for section in ("warm", "batch"):
+        base_runs = by_backend(baseline.get(section, []))
+        new_runs = by_backend(new.get(section, []))
+        for backend, base_run in sorted(base_runs.items()):
+            if backend not in new_runs:
+                failures.append(f"{section}/{backend}: missing from new JSON")
+                continue
+            new_run = new_runs[backend]
+            for metric, gated in (("speedup", True),
+                                  ("est_per_s", args.strict_absolute)):
+                base_v, new_v = base_run[metric], new_run[metric]
+                ratio = new_v / base_v if base_v > 0 else float("inf")
+                tag = "" if gated else " (info)"
+                print(f"{section + ' ' + backend + ' ' + metric + tag:<34} "
+                      f"{base_v:>12.1f} {new_v:>12.1f} {ratio:>7.2f}x")
+                if gated and new_v < (1.0 - args.tolerance) * base_v:
+                    failures.append(
+                        f"{section}/{backend}: {metric} {new_v:.1f} is "
+                        f">{args.tolerance:.0%} below baseline {base_v:.1f}")
+
+    warm_runs = by_backend(new.get("warm", []))
+    for backend, batch_run in sorted(by_backend(new.get("batch", [])).items()):
+        if backend not in warm_runs:
+            failures.append(f"batch/{backend}: no matching warm run")
+            continue
+        speedup = batch_run["est_per_s"] / warm_runs[backend]["est_per_s"]
+        print(f"{'batch/warm ' + backend:<34} {'':>12} {'':>12} "
+              f"{speedup:>7.2f}x")
+        if speedup < args.min_batch_speedup:
+            failures.append(
+                f"batch/{backend}: only {speedup:.2f}x scalar warm "
+                f"(need >= {args.min_batch_speedup:.1f}x)")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,34 @@ BoundResult CompiledBound::Evaluate(const std::vector<double>& log_b,
                                     bool want_h_opt) {
   assert(log_b.size() == structure_.shapes.size());
   BoundResult result = EvaluateImpl(log_b, want_h_opt);
+  Record(result);
+  return result;
+}
+
+std::vector<BoundResult> CompiledBound::EvaluateBatch(
+    std::span<const std::vector<double>> log_b_batch, bool want_h_opt) {
+#ifndef NDEBUG
+  for (const std::vector<double>& log_b : log_b_batch) {
+    assert(log_b.size() == structure_.shapes.size());
+  }
+#endif
+  std::vector<BoundResult> results = EvaluateBatchImpl(log_b_batch, want_h_opt);
+  assert(results.size() == log_b_batch.size());
+  for (const BoundResult& result : results) Record(result);
+  return results;
+}
+
+std::vector<BoundResult> CompiledBound::EvaluateBatchImpl(
+    std::span<const std::vector<double>> log_b_batch, bool want_h_opt) {
+  std::vector<BoundResult> results;
+  results.reserve(log_b_batch.size());
+  for (const std::vector<double>& log_b : log_b_batch) {
+    results.push_back(EvaluateImpl(log_b, want_h_opt));
+  }
+  return results;
+}
+
+void CompiledBound::Record(const BoundResult& result) {
   ++counters_.evaluations;
   switch (result.eval_path) {
     case LpEvalPath::kWitness:
@@ -70,7 +98,6 @@ BoundResult CompiledBound::Evaluate(const std::vector<double>& log_b,
       ++counters_.cold_solves;
       break;
   }
-  return result;
 }
 
 namespace {
@@ -114,6 +141,59 @@ BoundResult MakeGammaResult(const LpResult& lp, int n, int num_stats,
     for (VarSet s = 1; s <= full; ++s) result.h_opt[s] = lp.x[s - 1];
   }
   return result;
+}
+
+// Shared batch driver for the single-LP engines (normal, full-lattice Γn):
+// gathers maximal runs of columns not served by the structural-unbounded
+// shortcut, pushes each run through the tableau's multi-RHS resolve, and
+// finalizes columns in order.
+//
+// A mid-run unbounded verdict flips the shortcut flag for the columns
+// after it, and their block resolves have already run — but those
+// resolves are scalar-identical by construction: an unbounded solve
+// caches no basis, and with the recession ray fixed every later in-run
+// resolve is a history-independent cold solve that can only end
+// unbounded or infeasible (never optimal, so no basis ever reappears).
+// Columns the scalar sequence would have *shortcut* (nonnegative values)
+// therefore just get their result replaced with the shortcut result —
+// their speculative solve touched no state the scalar sequence could
+// observe — and every other column keeps its block result unchanged.
+template <typename MakeRhs, typename Finalize>
+std::vector<BoundResult> BatchThroughTableau(
+    std::span<const std::vector<double>> batch, SimplexTableau& tableau,
+    bool& structurally_unbounded, const MakeRhs& make_rhs,
+    const Finalize& finalize) {
+  std::vector<BoundResult> out(batch.size());
+  std::vector<std::vector<double>> run;
+  size_t i = 0;
+  while (i < batch.size()) {
+    if (structurally_unbounded && AllNonNegative(batch[i])) {
+      out[i++] = StructurallyUnboundedResult(tableau.backend());
+      continue;
+    }
+    run.clear();
+    size_t end = i;
+    while (end < batch.size() &&
+           !(structurally_unbounded && AllNonNegative(batch[end]))) {
+      run.push_back(make_rhs(batch[end]));
+      ++end;
+    }
+    const std::vector<LpResult> lps = tableau.ResolveWithRhsBatch(run);
+    bool flipped_mid_run = false;
+    for (size_t k = 0; k < lps.size(); ++k) {
+      if (flipped_mid_run && AllNonNegative(batch[i + k])) {
+        out[i + k] = StructurallyUnboundedResult(tableau.backend());
+        continue;
+      }
+      out[i + k] = finalize(lps[k]);
+      if (out[i + k].unbounded() && !structurally_unbounded) {
+        structurally_unbounded = true;
+        flipped_mid_run = true;
+      }
+    }
+    i = end;
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -222,6 +302,28 @@ class CompiledGammaBound : public CompiledBound {
     return result;
   }
 
+  std::vector<BoundResult> EvaluateBatchImpl(
+      std::span<const std::vector<double>> log_b_batch,
+      bool want_h_opt) override {
+    if (!full_mode_) {
+      // Cutting-plane mode can grow the matrix mid-evaluation (rebuilding
+      // the tableau), and later columns must not be priced against a cut
+      // set they were not solved under — evaluate sequentially.
+      return CompiledBound::EvaluateBatchImpl(log_b_batch, want_h_opt);
+    }
+    const int n = structure_.n;
+    return BatchThroughTableau(
+        log_b_batch, *tableau_, structurally_unbounded_,
+        [this](const std::vector<double>& log_b) {
+          std::vector<double> rhs(lp_.num_constraints(), 0.0);
+          std::copy(log_b.begin(), log_b.end(), rhs.begin());
+          return rhs;
+        },
+        [&](const LpResult& lp) {
+          return MakeGammaResult(lp, n, num_stats_, 0, want_h_opt);
+        });
+  }
+
  private:
   void AddCut(const ShannonCut& cut) {
     present_.insert(cut.Key());
@@ -269,7 +371,25 @@ class CompiledNormalBound : public CompiledBound {
     if (structurally_unbounded_ && AllNonNegative(log_b)) {
       return StructurallyUnboundedResult(tableau_.backend());
     }
-    LpResult lp = tableau_.ResolveWithRhs(log_b);
+    BoundResult result = ResultFromLp(tableau_.ResolveWithRhs(log_b),
+                                      want_h_opt);
+    if (result.unbounded()) structurally_unbounded_ = true;
+    return result;
+  }
+
+  std::vector<BoundResult> EvaluateBatchImpl(
+      std::span<const std::vector<double>> log_b_batch,
+      bool want_h_opt) override {
+    // The Nn LP's RHS is the value vector itself, so each run feeds the
+    // tableau's multi-RHS resolve directly.
+    return BatchThroughTableau(
+        log_b_batch, tableau_, structurally_unbounded_,
+        [](const std::vector<double>& log_b) { return log_b; },
+        [&](const LpResult& lp) { return ResultFromLp(lp, want_h_opt); });
+  }
+
+ private:
+  BoundResult ResultFromLp(const LpResult& lp, bool want_h_opt) {
     BoundResult result;
     result.status = lp.status;
     result.lp_iterations = lp.iterations;
@@ -277,7 +397,6 @@ class CompiledNormalBound : public CompiledBound {
     result.lp_backend = lp.backend;
     if (lp.status == LpStatus::kUnbounded) {
       result.log2_bound = kInfNorm;
-      structurally_unbounded_ = true;
       return result;
     }
     if (lp.status != LpStatus::kOptimal) return result;
@@ -291,8 +410,6 @@ class CompiledNormalBound : public CompiledBound {
     }
     return result;
   }
-
- private:
   // Shape-only statistics (log_b = 0) for the matrix builder; the real
   // values arrive per evaluation as the RHS vector.
   std::vector<ConcreteStatistic> PlaceholderStats() const {
@@ -356,18 +473,42 @@ class FilteredBound : public CompiledBound {
  protected:
   BoundResult EvaluateImpl(const std::vector<double>& log_b,
                            bool want_h_opt) override {
+    BoundResult result = inner_->Evaluate(Project(log_b), want_h_opt);
+    RemapWeights(result);
+    return result;
+  }
+
+  std::vector<BoundResult> EvaluateBatchImpl(
+      std::span<const std::vector<double>> log_b_batch,
+      bool want_h_opt) override {
+    std::vector<std::vector<double>> sub_batch;
+    sub_batch.reserve(log_b_batch.size());
+    for (const std::vector<double>& log_b : log_b_batch) {
+      sub_batch.push_back(Project(log_b));
+    }
+    std::vector<BoundResult> results =
+        inner_->EvaluateBatch(sub_batch, want_h_opt);
+    for (BoundResult& result : results) RemapWeights(result);
+    return results;
+  }
+
+ private:
+  std::vector<double> Project(const std::vector<double>& log_b) const {
     std::vector<double> sub(keep_.size());
     for (size_t k = 0; k < keep_.size(); ++k) sub[k] = log_b[keep_[k]];
-    BoundResult result = inner_->Evaluate(sub, want_h_opt);
+    return sub;
+  }
+
+  // Scatter the sub-structure witness back onto the full shape list, so
+  // Σ w_i log_b_i still certifies against the caller's statistics.
+  void RemapWeights(BoundResult& result) const {
     std::vector<double> weights(structure_.shapes.size(), 0.0);
     for (size_t k = 0; k < keep_.size() && k < result.weights.size(); ++k) {
       weights[keep_[k]] = result.weights[k];
     }
     result.weights = std::move(weights);
-    return result;
   }
 
- private:
   std::vector<int> keep_;
   std::unique_ptr<CompiledBound> inner_;
 };

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,10 +74,10 @@ struct EvalCounters {
   uint64_t cold_solves = 0;    // full two-phase solve (incl. cut growth)
 };
 
-// A bound compiled for one structure. Not thread-safe: Evaluate mutates the
-// cached basis (and, for the Γn engine, the cut set); callers sharing a
-// CompiledBound across threads must serialize Evaluate (the advisor keeps a
-// per-entry mutex).
+// A bound compiled for one structure. Not thread-safe: Evaluate and
+// EvaluateBatch mutate the cached basis (and, for the Γn engine, the cut
+// set); callers sharing a CompiledBound across threads must serialize both
+// (the advisor keeps a per-entry mutex, held across a whole batch).
 class CompiledBound {
  public:
   virtual ~CompiledBound() = default;
@@ -87,6 +88,19 @@ class CompiledBound {
   BoundResult Evaluate(const std::vector<double>& log_b,
                        bool want_h_opt = true);
 
+  // Evaluates the bound at every value vector of `log_b_batch`, in order.
+  // Results (including eval paths and counters) are identical to calling
+  // Evaluate per vector — the cached basis evolves across the batch exactly
+  // as it would across scalar calls — but the batch amortizes the
+  // per-evaluation machinery: the LP-backed engines push the whole block
+  // through SimplexTableau::ResolveWithRhsBatch, so witness-valid columns
+  // share one factorization and one cached-duals read (see lp/tableau.h).
+  // `want_h_opt` defaults to *false* here, unlike Evaluate: batched callers
+  // are optimizer probe loops that only want the bound values.
+  std::vector<BoundResult> EvaluateBatch(
+      std::span<const std::vector<double>> log_b_batch,
+      bool want_h_opt = false);
+
   const BoundStructure& structure() const { return structure_; }
   const EvalCounters& counters() const { return counters_; }
 
@@ -95,10 +109,18 @@ class CompiledBound {
       : structure_(std::move(structure)) {}
   virtual BoundResult EvaluateImpl(const std::vector<double>& log_b,
                                    bool want_h_opt) = 0;
+  // Batch hook. The base implementation is the sequential scalar loop —
+  // always correct, since the scalar sequence is the batch's contract; the
+  // gamma (full-lattice mode) and normal engines override it to hand
+  // maximal runs of columns to the tableau's multi-RHS resolve.
+  virtual std::vector<BoundResult> EvaluateBatchImpl(
+      std::span<const std::vector<double>> log_b_batch, bool want_h_opt);
 
   BoundStructure structure_;
 
  private:
+  void Record(const BoundResult& result);
+
   EvalCounters counters_;
 };
 

@@ -26,35 +26,29 @@ std::vector<int> ColumnsOf(const Atom& atom, VarSet s) {
 
 CardinalityAdvisor::CardinalityAdvisor(const Catalog& catalog,
                                        AdvisorOptions options)
-    : catalog_(catalog), options_(std::move(options)) {}
+    : catalog_(catalog),
+      options_(std::move(options)),
+      norms_(options_.norm_cache) {}
 
 std::vector<double> CardinalityAdvisor::CachedNorms(
     const std::string& relation, const std::vector<int>& u_cols,
     const std::vector<int>& v_cols) {
-  Key key{relation, u_cols, v_cols};
-  uint64_t generation;
-  {
-    std::lock_guard<std::mutex> lock(norms_mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    generation = norms_generation_;
-  }
-  // Compute outside the lock: degree-sequence extraction is O(N log N) and
-  // must not serialize concurrent estimators. A racing thread may compute
-  // the same entry; both arrive at identical values, so last-write-wins is
-  // harmless.
+  ShardedNormCache::Key key{relation, u_cols, v_cols};
+  ShardedNormCache::Lookup lookup = norms_.Get(key);
+  if (lookup.found) return std::move(lookup.norms);
+  // Compute outside the shard lock: degree-sequence extraction is
+  // O(N log N) and must not serialize concurrent estimators. A racing
+  // thread may compute the same entry; both arrive at identical values, so
+  // last-write-wins is harmless. Put refuses the insert if an Invalidate
+  // ran meanwhile (the norms may reflect pre-update data — serve them for
+  // this call but do not cache).
   const DegreeSequence deg =
       ComputeDegreeSequence(catalog_.Get(relation), u_cols, v_cols);
   std::vector<double> norms;
   norms.reserve(options_.norms.size());
   for (double p : options_.norms) norms.push_back(deg.Log2NormP(p));
-  std::lock_guard<std::mutex> lock(norms_mu_);
-  if (generation != norms_generation_) {
-    // An Invalidate ran while we computed: these norms may reflect
-    // pre-update data. Serve them for this call but do not cache.
-    return norms;
-  }
-  return cache_.emplace(std::move(key), std::move(norms)).first->second;
+  norms_.Put(key, norms, lookup.generation);
+  return norms;
 }
 
 std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
@@ -103,44 +97,36 @@ std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
   return stats;
 }
 
-BoundResult CardinalityAdvisor::EvaluateCompiled(
-    int n, const std::vector<ConcreteStatistic>& stats, bool want_h_opt) {
-  const BoundStructure structure = StructureOf(n, stats);
-  const std::string key = StructureKey(structure);
-
-  std::shared_ptr<CompiledEntry> entry;
+std::shared_ptr<CardinalityAdvisor::CompiledEntry>
+CardinalityAdvisor::LookupOrCompile(const BoundStructure& structure,
+                                    const std::string& key) {
   {
     std::shared_lock<std::shared_mutex> lock(compiled_mu_);
     auto it = compiled_.find(key);
-    if (it != compiled_.end()) entry = it->second;
-  }
-  if (entry) {
-    compiled_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    // Compile outside the map lock — Γn compilation materializes the
-    // elemental lattice. If another thread compiled the same structure
-    // meanwhile, its entry wins and ours is dropped.
-    const BoundEngine* engine = FindBoundEngine(options_.bound_engine);
-    if (engine == nullptr) engine = FindBoundEngine("auto");
-    auto fresh = std::make_shared<CompiledEntry>();
-    fresh->bound = engine->Compile(structure, options_.engine);
-    std::unique_lock<std::shared_mutex> lock(compiled_mu_);
-    auto [it, inserted] = compiled_.emplace(key, std::move(fresh));
-    entry = it->second;
-    if (inserted) {
-      compiled_misses_.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    if (it != compiled_.end()) {
       compiled_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
     }
   }
-
-  BoundResult result;
-  {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    result = entry->bound->Evaluate(ValuesOf(stats), want_h_opt);
+  // Compile outside the map lock — Γn compilation materializes the
+  // elemental lattice. If another thread compiled the same structure
+  // meanwhile, its entry wins and ours is dropped.
+  const BoundEngine* engine = FindBoundEngine(options_.bound_engine);
+  if (engine == nullptr) engine = FindBoundEngine("auto");
+  auto fresh = std::make_shared<CompiledEntry>();
+  fresh->bound = engine->Compile(structure, options_.engine);
+  std::unique_lock<std::shared_mutex> lock(compiled_mu_);
+  auto [it, inserted] = compiled_.emplace(key, std::move(fresh));
+  if (inserted) {
+    compiled_misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    compiled_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  estimates_.fetch_add(1, std::memory_order_relaxed);
-  switch (result.eval_path) {
+  return it->second;
+}
+
+void CardinalityAdvisor::RecordEvalPath(LpEvalPath path) {
+  switch (path) {
     case LpEvalPath::kWitness:
       witness_hits_.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -151,6 +137,21 @@ BoundResult CardinalityAdvisor::EvaluateCompiled(
       cold_solves_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+}
+
+BoundResult CardinalityAdvisor::EvaluateCompiled(
+    int n, const std::vector<ConcreteStatistic>& stats, bool want_h_opt) {
+  const BoundStructure structure = StructureOf(n, stats);
+  std::shared_ptr<CompiledEntry> entry =
+      LookupOrCompile(structure, StructureKey(structure));
+
+  BoundResult result;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    result = entry->bound->Evaluate(ValuesOf(stats), want_h_opt);
+  }
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  RecordEvalPath(result.eval_path);
   return result;
 }
 
@@ -162,6 +163,103 @@ double CardinalityAdvisor::EstimateLog2(const Query& query) {
 
 double CardinalityAdvisor::Estimate(const Query& query) {
   return std::exp2(EstimateLog2(query));
+}
+
+std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
+    const Query& query, std::span<const std::vector<double>> log_b_batch) {
+  const auto stats = AssembleStatistics(query);
+  const BoundStructure structure = StructureOf(query.num_vars(), stats);
+
+  // Callers hand-construct these vectors, so enforce the alignment
+  // contract here rather than in a debug-only assert downstream: a
+  // mis-sized vector cannot be priced against this structure and gets the
+  // "cannot bound" answer (+inf), while the well-sized rest still rides
+  // the batch path.
+  std::vector<double> out(log_b_batch.size(), kInfNorm);
+  std::vector<size_t> valid;
+  valid.reserve(log_b_batch.size());
+  for (size_t c = 0; c < log_b_batch.size(); ++c) {
+    if (log_b_batch[c].size() == stats.size()) valid.push_back(c);
+  }
+  if (valid.empty()) return out;
+  std::vector<std::vector<double>> valid_values;
+  if (valid.size() != log_b_batch.size()) {
+    valid_values.reserve(valid.size());
+    for (size_t c : valid) valid_values.push_back(log_b_batch[c]);
+  }
+
+  std::shared_ptr<CompiledEntry> entry =
+      LookupOrCompile(structure, StructureKey(structure));
+  std::vector<BoundResult> results;
+  {
+    // One lock for the whole block: the batch is one evaluation sequence
+    // on the shared compiled bound (see CompiledEntry). The common
+    // all-valid case passes the caller's block through without copying.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    results = valid.size() == log_b_batch.size()
+                  ? entry->bound->EvaluateBatch(log_b_batch,
+                                                /*want_h_opt=*/false)
+                  : entry->bound->EvaluateBatch(valid_values,
+                                                /*want_h_opt=*/false);
+  }
+  estimates_.fetch_add(results.size(), std::memory_order_relaxed);
+  for (size_t k = 0; k < results.size(); ++k) {
+    RecordEvalPath(results[k].eval_path);
+    out[valid[k]] = results[k].log2_bound;
+  }
+  return out;
+}
+
+std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
+    const std::vector<Query>& queries) {
+  // Group queries by compiled structure (first-appearance order) so every
+  // group pays one structure lookup and one per-bound lock, and its value
+  // vectors ride the batch path together.
+  struct Group {
+    BoundStructure structure;
+    std::string key;
+    std::vector<size_t> indices;
+    std::vector<std::vector<double>> values;
+  };
+  std::vector<Group> groups;
+  std::map<std::string, size_t> group_of;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto stats = AssembleStatistics(queries[i]);
+    BoundStructure structure = StructureOf(queries[i].num_vars(), stats);
+    std::string key = StructureKey(structure);
+    auto [it, inserted] = group_of.emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(structure), std::move(key), {}, {}});
+    }
+    Group& group = groups[it->second];
+    group.indices.push_back(i);
+    group.values.push_back(ValuesOf(stats));
+  }
+
+  std::vector<double> out(queries.size(), 0.0);
+  for (const Group& group : groups) {
+    std::shared_ptr<CompiledEntry> entry =
+        LookupOrCompile(group.structure, group.key);
+    std::vector<BoundResult> results;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      results = entry->bound->EvaluateBatch(group.values,
+                                            /*want_h_opt=*/false);
+    }
+    estimates_.fetch_add(results.size(), std::memory_order_relaxed);
+    for (size_t k = 0; k < results.size(); ++k) {
+      RecordEvalPath(results[k].eval_path);
+      out[group.indices[k]] = results[k].log2_bound;
+    }
+  }
+  return out;
+}
+
+std::vector<double> CardinalityAdvisor::EstimateBatch(
+    const std::vector<Query>& queries) {
+  std::vector<double> out = EstimateLog2Batch(queries);
+  for (double& v : out) v = std::exp2(v);
+  return out;
 }
 
 CardinalityAdvisor::Explanation CardinalityAdvisor::Explain(
@@ -176,10 +274,9 @@ CardinalityAdvisor::Explanation CardinalityAdvisor::Explain(
   return out;
 }
 
-size_t CardinalityAdvisor::CacheSize() const {
-  std::lock_guard<std::mutex> lock(norms_mu_);
-  return cache_.size();
-}
+size_t CardinalityAdvisor::CacheSize() const { return norms_.Size(); }
+
+size_t CardinalityAdvisor::CacheBytes() const { return norms_.Bytes(); }
 
 size_t CardinalityAdvisor::CompiledCacheSize() const {
   std::shared_lock<std::shared_mutex> lock(compiled_mu_);
@@ -194,19 +291,12 @@ AdvisorMetrics CardinalityAdvisor::metrics() const {
   m.witness_hits = witness_hits_.load(std::memory_order_relaxed);
   m.warm_resolves = warm_resolves_.load(std::memory_order_relaxed);
   m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
+  m.norm_evictions = norms_.Evictions();
   return m;
 }
 
 void CardinalityAdvisor::Invalidate(const std::string& relation) {
-  std::lock_guard<std::mutex> lock(norms_mu_);
-  ++norms_generation_;  // in-flight CachedNorms computations must not cache
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (std::get<0>(it->first) == relation) {
-      it = cache_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  norms_.InvalidateRelation(relation);
 }
 
 }  // namespace lpb

@@ -2,9 +2,14 @@
 // a pessimistic cardinality estimation service for query optimizers.
 //
 // Two caches make the hot path cheap enough for optimizer traffic:
-//   * statistics cache — ℓp norms per (relation, conditional), computed
+//   * statistics store — ℓp norms per (relation, conditional), computed
 //     lazily (O(N log N) per degree sequence, footnote 1) and reused across
-//     queries;
+//     queries. The store is sharded by relation (estimator/norm_cache.h):
+//     concurrent estimator threads looking up different relations take
+//     different mutexes, and each shard is an LRU map under a byte budget,
+//     so statistics memory stays bounded on wide catalogs (an evicted
+//     entry is recomputed on the next lookup — eviction never changes
+//     results).
 //   * compiled-bound cache — the bound LP compiled once per *structure*
 //     (variable count + statistic shapes; the query hypergraph enters the
 //     LP only through those shapes) via bounds/bound_engine.h and
@@ -13,10 +18,19 @@
 //     LP is re-solved (warm, then cold) only when the cached basis stops
 //     being optimal.
 //
-// Thread safety: Estimate/EstimateLog2/Explain may be called concurrently.
+// Batch evaluation: an optimizer probing a join-order search space asks
+// for thousands of what-if estimates against the same compiled structure.
+// EstimateLog2Batch amortizes the per-call machinery — statistics
+// assembly, structure lookup, and the per-bound mutex are paid once per
+// batch, and the value vectors flow through the LP backend's multi-RHS
+// resolve (one cached LU factorization, shared dual witness) instead of
+// one scalar cascade per probe.
+//
+// Thread safety: all estimation entry points may be called concurrently.
 // The compiled cache takes a shared lock on the hot (hit) path; each
 // compiled bound carries its own mutex because Evaluate mutates the cached
-// basis. Invalidate may run concurrently with estimates.
+// basis (a batch holds it for the whole block). Invalidate may run
+// concurrently with estimates.
 #ifndef LPB_ESTIMATOR_ADVISOR_H_
 #define LPB_ESTIMATOR_ADVISOR_H_
 
@@ -26,12 +40,13 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "bounds/bound_engine.h"
 #include "bounds/engine.h"
+#include "estimator/norm_cache.h"
 #include "query/query.h"
 #include "relation/catalog.h"
 #include "relation/degree_sequence.h"
@@ -47,10 +62,17 @@ struct AdvisorOptions {
   // Bound engine used for compiled bounds (see FindBoundEngine); "auto"
   // picks the normal engine when sound, the Γn engine otherwise.
   std::string bound_engine = "auto";
+  // Sharding and eviction of the statistics store (see norm_cache.h):
+  // relations hash onto `shards` LRU maps, each holding an even share of
+  // `byte_budget` (0 = unbounded).
+  NormCacheOptions norm_cache;
 };
 
-// Cumulative counters; every estimate falls into exactly one of hit/miss
-// and, below that, exactly one of witness/warm/cold.
+// Cumulative counters. Every estimate falls into exactly one of
+// witness/warm/cold. Scalar estimates also split into exactly one of
+// compiled hit/miss; a *batch* performs one compiled-cache lookup per
+// structure group, so under batching `estimates` can exceed
+// `compiled_hits + compiled_misses`.
 struct AdvisorMetrics {
   uint64_t estimates = 0;        // bound evaluations served
   uint64_t compiled_hits = 0;    // structure found in the compiled cache
@@ -58,6 +80,7 @@ struct AdvisorMetrics {
   uint64_t witness_hits = 0;     // cached dual witness reused (dot product)
   uint64_t warm_resolves = 0;    // dual-simplex pivots from the cached basis
   uint64_t cold_solves = 0;      // full LP solve
+  uint64_t norm_evictions = 0;   // statistics-store LRU evictions
 };
 
 class CardinalityAdvisor {
@@ -72,6 +95,26 @@ class CardinalityAdvisor {
 
   // Upper bound in linear space (2^EstimateLog2, saturating).
   double Estimate(const Query& query);
+
+  // Batched what-if probing: bounds `query` under each hypothetical
+  // statistics-value vector in `log_b_batch` (rows aligned with
+  // Explain(query).stats — the advisor's own statistics assembly order;
+  // a vector of any other size cannot be priced and yields +infinity).
+  // Statistics assembly, the structure lookup, and the per-bound lock are
+  // paid once; the values flow through the compiled bound's batch path
+  // (bounds/bound_engine.h). Results are identical to overwriting the
+  // stats' log_b and estimating one vector at a time.
+  std::vector<double> EstimateLog2Batch(
+      const Query& query, std::span<const std::vector<double>> log_b_batch);
+
+  // Batched estimation over many queries (e.g. every candidate join
+  // prefix of one search step). Queries sharing a statistics structure —
+  // the norm in template workloads — are grouped and evaluated under one
+  // compiled-bound lock via the batch path. Returns log2 bounds aligned
+  // with `queries`.
+  std::vector<double> EstimateLog2Batch(const std::vector<Query>& queries);
+  // Linear-space variant of the above (2^log2 per entry, saturating).
+  std::vector<double> EstimateBatch(const std::vector<Query>& queries);
 
   // Full result (certificate weights, optimal polymatroid) plus the
   // statistics it was computed from and a metrics snapshot taken after the
@@ -89,39 +132,44 @@ class CardinalityAdvisor {
   Explanation Explain(const Query& query);
 
   // Number of distinct cached degree sequences (statistics maintenance
-  // footprint).
+  // footprint) and their charged bytes.
   size_t CacheSize() const;
+  size_t CacheBytes() const;
   // Number of distinct compiled bound structures.
   size_t CompiledCacheSize() const;
 
   // Snapshot of the cumulative evaluation counters.
   AdvisorMetrics metrics() const;
 
-  // Drops cached statistics for one relation (call after updates).
-  // Compiled bounds survive: they depend only on structure, never on
-  // statistic values, so the next estimate re-reads fresh norms and
-  // re-prices the cached basis against them.
+  // Drops cached statistics for one relation (call after updates). Only
+  // that relation's shard is touched. Compiled bounds survive: they depend
+  // only on structure, never on statistic values, so the next estimate
+  // re-reads fresh norms and re-prices the cached basis against them.
   void Invalidate(const std::string& relation);
 
  private:
-  // Cache key: relation name + U column list + V column list.
-  using Key = std::tuple<std::string, std::vector<int>, std::vector<int>>;
-
-  // A compiled bound plus the mutex serializing Evaluate on it (Evaluate
-  // mutates the cached basis and, for Γn, the cut set).
+  // A compiled bound plus the mutex serializing Evaluate/EvaluateBatch on
+  // it (both mutate the cached basis and, for Γn, the cut set). A batch
+  // holds the mutex for its whole block — the locking contract callers
+  // rely on is per-*evaluation-sequence*, not per-call.
   struct CompiledEntry {
     std::mutex mu;
     std::unique_ptr<CompiledBound> bound;
   };
 
   // Cached log2 norms for one degree sequence, aligned with options_.norms.
-  // Returns by value: map references are stable, but the copy keeps the
-  // caller independent of concurrent Invalidate calls.
+  // Returns by value: the copy keeps the caller independent of concurrent
+  // Invalidate calls and LRU evictions.
   std::vector<double> CachedNorms(const std::string& relation,
                                   const std::vector<int>& u_cols,
                                   const std::vector<int>& v_cols);
 
   std::vector<ConcreteStatistic> AssembleStatistics(const Query& query);
+
+  // Finds or compiles the bound entry for `structure` (whose canonical key
+  // is `key`), bumping the compiled hit/miss counters once.
+  std::shared_ptr<CompiledEntry> LookupOrCompile(
+      const BoundStructure& structure, const std::string& key);
 
   // Looks up or compiles the bound for this statistics structure, then
   // evaluates it at the statistics' values, updating metrics.
@@ -129,14 +177,13 @@ class CardinalityAdvisor {
                                const std::vector<ConcreteStatistic>& stats,
                                bool want_h_opt);
 
+  // Folds one evaluation's path into the cumulative counters.
+  void RecordEvalPath(LpEvalPath path);
+
   const Catalog& catalog_;
   AdvisorOptions options_;
 
-  mutable std::mutex norms_mu_;  // guards cache_ and norms_generation_
-  std::map<Key, std::vector<double>> cache_;
-  // Bumped by Invalidate so norm computations that started before the
-  // invalidation cannot re-insert stale entries afterwards.
-  uint64_t norms_generation_ = 0;
+  ShardedNormCache norms_;
 
   mutable std::shared_mutex compiled_mu_;  // guards compiled_ (the map only)
   std::map<std::string, std::shared_ptr<CompiledEntry>> compiled_;

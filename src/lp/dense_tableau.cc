@@ -25,6 +25,7 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
   rows_ = problem_.num_constraints();
   has_basis_ = false;
   cached_duals_.clear();
+  reprice_valid_ = false;
 
   // Row normalization shared with the revised backend (lp/lp_backend.h):
   // from it we know how many slack and artificial columns are needed.
@@ -90,6 +91,7 @@ void DenseTableau::ComputeReducedCosts(const std::vector<double>& cost) {
 }
 
 void DenseTableau::Pivot(int row, int col) {
+  reprice_valid_ = false;  // B changes: incremental re-pricing is stale
   std::vector<Scalar>& prow = t_[row];
   const Scalar p = prow[col];
   const Scalar inv = 1.0L / p;
@@ -312,6 +314,42 @@ LpResult DenseTableau::Solve(const std::vector<double>& rhs) {
   return ExtractOptimal(LpEvalPath::kCold);
 }
 
+void DenseTableau::RepriceRhs(const std::vector<double>& rhs) {
+  // Column dual_col_[j] of the current tableau is the j-th column of B⁻¹.
+  if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval) {
+    // Incremental: B⁻¹b_new = B⁻¹b_old + Σ_j Δ_j · (B⁻¹ e_j) over the rows
+    // whose normalized RHS actually moved — the k-statistic what-if probe
+    // costs O(rows × k). Exact comparison is deliberate: an unchanged
+    // coordinate contributes an exact zero delta.
+    ++reprices_since_full_;
+    for (int j = 0; j < rows_; ++j) {
+      const Scalar b = NormalizedRhs(j, rhs);
+      if (b == last_b_[j]) continue;
+      const Scalar d = b - last_b_[j];
+      last_b_[j] = b;
+      const int col = dual_col_[j];
+      for (int i = 0; i < rows_; ++i) reprice_[i] += t_[i][col] * d;
+    }
+  } else {
+    // Full re-price: only rows with a nonzero normalized RHS contribute —
+    // in the bound LPs that is just the statistics rows, so this is a
+    // (rows × nnz(b')) multiply, not (rows × rows). Also the periodic
+    // refresh that squashes incremental-accumulation drift.
+    last_b_.assign(rows_, 0.0);
+    reprice_.assign(rows_, 0.0);
+    for (int j = 0; j < rows_; ++j) {
+      const Scalar b = NormalizedRhs(j, rhs);
+      last_b_[j] = b;
+      if (b == 0.0) continue;
+      const int col = dual_col_[j];
+      for (int i = 0; i < rows_; ++i) reprice_[i] += t_[i][col] * b;
+    }
+    reprice_valid_ = true;
+    reprices_since_full_ = 0;
+  }
+  for (int i = 0; i < rows_; ++i) t_[i][cols_] = reprice_[i];
+}
+
 LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   if (!has_basis_) return Solve(rhs);
   iterations_ = 0;
@@ -320,26 +358,18 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
                         : 50 * (rows_ + cols_) + 1000;
 
   // Re-price the RHS column under the cached basis: the new basic solution
-  // is B⁻¹ b'_norm, and column dual_col_[j] of the current tableau is the
-  // j-th column of B⁻¹. Only rows with a nonzero normalized RHS contribute
-  // — in the bound LPs that is just the statistics rows, so this is a
-  // (rows × num_stats) multiply, not (rows × rows).
-  std::vector<Scalar> fresh(rows_, 0.0);
-  for (int j = 0; j < rows_; ++j) {
-    const Scalar b = NormalizedRhs(j, rhs);
-    if (b == 0.0) continue;
-    const int col = dual_col_[j];
-    for (int i = 0; i < rows_; ++i) fresh[i] += t_[i][col] * b;
-  }
+  // is B⁻¹ b'_norm (incremental against the previous re-price when the
+  // basis is unchanged; see RepriceRhs).
+  RepriceRhs(rhs);
   bool feasible = true;
   for (int i = 0; i < rows_; ++i) {
-    t_[i][cols_] = fresh[i];
-    if (fresh[i] < -options_.eps) feasible = false;
+    const Scalar fresh = t_[i][cols_];
+    if (fresh < -options_.eps) feasible = false;
     // A basic artificial forced away from zero means the cached basis
     // cannot represent this RHS at all (a previously-redundant row became
     // inconsistent); only a cold solve can decide feasibility.
     if (basis_[i] >= first_art_ &&
-        std::abs(static_cast<double>(fresh[i])) > 1e-7) {
+        std::abs(static_cast<double>(fresh)) > 1e-7) {
       return Solve(rhs);
     }
   }

@@ -46,6 +46,13 @@ class DenseTableau : public LpBackendImpl {
   void EvictArtificials();
   // Normalized RHS entry for row i (row sign + optional perturbation).
   Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
+  // Computes B⁻¹b' for `rhs` into reprice_ (and mirrors it into the
+  // tableau's RHS column). Incremental when the basis is unchanged since
+  // the last re-price: only rows whose normalized RHS moved contribute a
+  // delta against the corresponding B⁻¹ column, so a what-if probe that
+  // perturbs k statistics costs O(rows x k), not O(rows x nnz(b')). A
+  // full re-price runs every kFullRepriceInterval calls to bound drift.
+  void RepriceRhs(const std::vector<double>& rhs);
   // Reads the optimal result off the current tableau.
   LpResult ExtractOptimal(LpEvalPath path);
   // Non-optimal result with x/duals sized per the LpResult contract.
@@ -68,6 +75,15 @@ class DenseTableau : public LpBackendImpl {
   std::vector<int> dual_col_;
   std::vector<double> row_sign_;
   std::vector<double> phase2_cost_;     // structural objective, padded to cols_
+
+  // Incremental re-pricing state (see RepriceRhs). Any pivot or rebuild
+  // invalidates it; a periodic full re-price bounds delta-accumulation
+  // drift.
+  static constexpr int kFullRepriceInterval = 64;
+  std::vector<Scalar> last_b_;    // normalized RHS of the last re-price
+  std::vector<Scalar> reprice_;   // B⁻¹ last_b_
+  bool reprice_valid_ = false;
+  int reprices_since_full_ = 0;
 
   int iterations_ = 0;
   int max_iterations_ = 0;

@@ -8,6 +8,18 @@
 
 namespace lpb {
 
+std::vector<LpResult> LpBackendImpl::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch) {
+  // Reference semantics for the batch contract: the sequential scalar
+  // cascade. Backends override only to amortize, never to reorder.
+  std::vector<LpResult> out;
+  out.reserve(rhs_batch.size());
+  for (const std::vector<double>& rhs : rhs_batch) {
+    out.push_back(ResolveWithRhs(rhs));
+  }
+  return out;
+}
+
 NormalizedRows NormalizeRows(const LpProblem& problem,
                              const std::vector<double>& rhs) {
   const int rows = problem.num_constraints();

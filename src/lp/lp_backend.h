@@ -21,6 +21,7 @@
 #define LPB_LP_LP_BACKEND_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lp/lp_problem.h"
@@ -38,6 +39,16 @@ class LpBackendImpl {
   // Warm re-solve against a new RHS (witness / dual-simplex / cold
   // cascade); behaves like Solve(rhs) when no basis is cached.
   virtual LpResult ResolveWithRhs(const std::vector<double>& rhs) = 0;
+  // Multi-RHS warm re-solve: resolves every column of `rhs_batch` in order,
+  // with results identical to calling ResolveWithRhs per column (the basis
+  // mutates between columns exactly as it would across scalar calls). The
+  // base implementation is that scalar loop; backends override to amortize
+  // per-call setup across the block — the revised backend FTRANs all
+  // columns through one cached LU factorization and shares the cost-row
+  // BTRAN (the cached duals) across every witness-valid column, falling
+  // back to the scalar cascade only for columns whose basis goes stale.
+  virtual std::vector<LpResult> ResolveWithRhsBatch(
+      std::span<const std::vector<double>> rhs_batch);
 
   virtual bool has_optimal_basis() const = 0;
   // Basic column per row, internal column ids (structural, then

@@ -28,6 +28,7 @@ void RevisedSimplex::Build(const std::vector<double>& rhs) {
   rows_ = problem_.num_constraints();
   has_basis_ = false;
   cached_duals_.clear();
+  InvalidateReprice();
 
   // Row normalization shared with the dense backend (lp/lp_backend.h) —
   // backend parity depends on the two applying the identical transform.
@@ -97,6 +98,7 @@ void RevisedSimplex::Build(const std::vector<double>& rhs) {
 }
 
 bool RevisedSimplex::Refactorize() {
+  InvalidateReprice();
   if (!lu_.Factorize(a_, basis_)) {
     numerical_failure_ = true;
     return false;
@@ -104,6 +106,53 @@ bool RevisedSimplex::Refactorize() {
   x_basic_ = b_;
   lu_.Ftran(x_basic_);
   return true;
+}
+
+void RevisedSimplex::InvalidateReprice() {
+  reprice_valid_ = false;
+  binv_valid_.assign(binv_valid_.size(), 0);
+}
+
+const std::vector<RevisedSimplex::Scalar>& RevisedSimplex::BinvColumn(int j) {
+  if (static_cast<int>(binv_cols_.size()) != rows_) {
+    binv_cols_.assign(rows_, {});
+    binv_valid_.assign(rows_, 0);
+  }
+  if (!binv_valid_[j]) {
+    unit_.assign(rows_, 0.0);
+    unit_[j] = 1.0;
+    lu_.Ftran(unit_);
+    binv_cols_[j] = unit_;
+    binv_valid_[j] = 1;
+  }
+  return binv_cols_[j];
+}
+
+void RevisedSimplex::RepriceRhs(const std::vector<double>& rhs) {
+  if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval) {
+    // Incremental: x_new = x_old + Σ_j Δ_j · (B⁻¹ e_j) over the moved
+    // coordinates. Exact comparison is deliberate — an unchanged
+    // coordinate contributes an exact zero delta.
+    ++reprices_since_full_;
+    for (int j = 0; j < rows_; ++j) {
+      const Scalar b = NormalizedRhs(j, rhs);
+      if (b == last_b_[j]) continue;
+      const Scalar d = b - last_b_[j];
+      last_b_[j] = b;
+      b_[j] = b;
+      const std::vector<Scalar>& col = BinvColumn(j);
+      for (int i = 0; i < rows_; ++i) x_reprice_[i] += d * col[i];
+    }
+    x_basic_ = x_reprice_;
+  } else {
+    for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+    x_basic_ = b_;
+    lu_.Ftran(x_basic_);
+    x_reprice_ = x_basic_;
+    last_b_ = b_;
+    reprice_valid_ = true;
+    reprices_since_full_ = 0;
+  }
 }
 
 void RevisedSimplex::ComputeDuals(const std::vector<double>& cost) {
@@ -176,6 +225,7 @@ int RevisedSimplex::ChooseLeavingSlot(const std::vector<Scalar>& w) {
 
 bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
                                 const std::vector<Scalar>& w) {
+  InvalidateReprice();  // every pivot changes B (eta update or refactorize)
   const int out = basis_[leave_slot];
   in_basis_[out] = kNoCol;
   basis_[leave_slot] = enter;
@@ -584,19 +634,12 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
   return Failure(LpStatus::kIterationLimit);
 }
 
-LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
-  if (!has_basis_) return Solve(rhs);
-  iterations_ = 0;
-  numerical_failure_ = false;
-  max_iterations_ = options_.max_iterations > 0
-                        ? options_.max_iterations
-                        : 50 * (rows_ + cols_) + 1000;
-
-  // Re-price the RHS under the cached factorization: one FTRAN gives the
-  // new basic solution B⁻¹b' — no pivots, no matrix rebuild.
-  for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
-  x_basic_ = b_;
-  lu_.Ftran(x_basic_);
+LpResult RevisedSimplex::ResolveCascade(const std::vector<double>& rhs) {
+  // Re-price the RHS under the cached factorization: B⁻¹b' — incremental
+  // against the previous re-price when the factorization is unchanged
+  // (O(rows × moved coordinates)), one fresh FTRAN otherwise. No pivots,
+  // no matrix rebuild either way (see RepriceRhs).
+  RepriceRhs(rhs);
 
   bool feasible = true;
   for (int i = 0; i < rows_; ++i) {
@@ -625,6 +668,45 @@ LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
       return Solve(rhs);
   }
   return Solve(rhs);  // unreachable
+}
+
+LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
+  if (!has_basis_) return Solve(rhs);
+  iterations_ = 0;
+  numerical_failure_ = false;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+  return ResolveCascade(rhs);
+}
+
+std::vector<LpResult> RevisedSimplex::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch) {
+  // Each column runs the same ResolveCascade as the scalar path — the
+  // batch contract (lp_backend.h) promises results identical to the
+  // scalar sequence. What the block amortizes: every witness-valid column
+  // is one incremental re-price (or FTRAN) through the same cached
+  // factorization plus a read of the shared cached duals (the cost-row
+  // BTRAN ran once, at the solve that cached the basis), with no per-call
+  // dispatch or limit recomputation in between.
+  std::vector<LpResult> out;
+  out.reserve(rhs_batch.size());
+  const int batch_max_iterations = options_.max_iterations > 0
+                                       ? options_.max_iterations
+                                       : 50 * (rows_ + cols_) + 1000;
+  for (const std::vector<double>& rhs : rhs_batch) {
+    if (!has_basis_) {
+      // First solve, or a stale column above lost the basis: cold solve,
+      // exactly as the scalar cascade would.
+      out.push_back(Solve(rhs));
+      continue;
+    }
+    iterations_ = 0;
+    numerical_failure_ = false;
+    max_iterations_ = batch_max_iterations;
+    out.push_back(ResolveCascade(rhs));
+  }
+  return out;
 }
 
 }  // namespace lpb

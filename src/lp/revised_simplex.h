@@ -46,6 +46,15 @@ class RevisedSimplex : public LpBackendImpl {
 
   LpResult Solve(const std::vector<double>& rhs) override;
   LpResult ResolveWithRhs(const std::vector<double>& rhs) override;
+  // Multi-RHS resolve: every column flows through the one cached LU
+  // factorization (an FTRAN per column, no per-column rebuild), witness
+  // validation is per column, and the cost-row BTRAN is shared — the
+  // cached duals serve every witness-valid column in the block. A column
+  // whose basis goes stale runs the scalar dual-simplex/cold cascade, and
+  // the columns after it continue against the updated factorization,
+  // keeping results identical to sequential ResolveWithRhs calls.
+  std::vector<LpResult> ResolveWithRhsBatch(
+      std::span<const std::vector<double>> rhs_batch) override;
   bool has_optimal_basis() const override { return has_basis_; }
   const std::vector<int>& basis() const override { return basis_; }
 
@@ -64,6 +73,17 @@ class RevisedSimplex : public LpBackendImpl {
   static constexpr double kAntiDegeneracyEps = 1e-7;
 
   void Build(const std::vector<double>& rhs);
+  // Sets b_ from `rhs` and computes x_basic_ = B⁻¹b. Incremental when the
+  // factorization is unchanged since the last re-price: each moved RHS
+  // coordinate contributes Δ_j times column j of B⁻¹ (materialized by one
+  // unit FTRAN and memoized per factorization in binv_cols_), so a
+  // k-statistic what-if probe costs O(rows × k) instead of a full FTRAN.
+  // Every kFullRepriceInterval calls a fresh FTRAN bounds drift.
+  void RepriceRhs(const std::vector<double>& rhs);
+  // Column j of B⁻¹ under the current factorization, memoized.
+  const std::vector<Scalar>& BinvColumn(int j);
+  // Called whenever the basis or its factorization changes.
+  void InvalidateReprice();
   // The cold two-phase solve behind Solve(). With `anti_degeneracy`, the
   // normalized RHS gets graded positive shifts so the ratio test is
   // (almost) never tied, and a cleanup pass restores the true RHS from
@@ -78,6 +98,11 @@ class RevisedSimplex : public LpBackendImpl {
   bool RunPhase(const std::vector<double>& cost, bool phase_two);
   enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
   DualOutcome RunDualSimplex();
+  // The witness / dual-simplex / cold cascade against the cached basis —
+  // the shared per-column body of ResolveWithRhs and ResolveWithRhsBatch.
+  // Callers must have reset the iteration bookkeeping and checked
+  // has_basis_.
+  LpResult ResolveCascade(const std::vector<double>& rhs);
   // Ratio test with the lexicographic tie-break; -1 if no row qualifies.
   int ChooseLeavingSlot(const std::vector<Scalar>& w);
   // Swaps `enter` into the basis at `leave_slot` using the FTRAN image `w`
@@ -108,6 +133,17 @@ class RevisedSimplex : public LpBackendImpl {
   std::vector<int> in_basis_;  // column -> slot, or kNoCol
   std::vector<Scalar> x_basic_;  // basic values per slot
   LuBasis lu_;
+
+  // Incremental re-pricing state (see RepriceRhs): the last re-priced
+  // normalized RHS, its FTRAN image, and the memoized B⁻¹ columns. All
+  // invalidated by InvalidateReprice on any basis/factorization change.
+  static constexpr int kFullRepriceInterval = 64;
+  std::vector<Scalar> last_b_;
+  std::vector<Scalar> x_reprice_;  // B⁻¹ last_b_
+  bool reprice_valid_ = false;
+  int reprices_since_full_ = 0;
+  std::vector<std::vector<Scalar>> binv_cols_;
+  std::vector<char> binv_valid_;
 
   int iterations_ = 0;
   int max_iterations_ = 0;

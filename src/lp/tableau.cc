@@ -23,4 +23,11 @@ LpResult SimplexTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   return result;
 }
 
+std::vector<LpResult> SimplexTableau::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch) {
+  std::vector<LpResult> results = impl_->ResolveWithRhsBatch(rhs_batch);
+  for (LpResult& result : results) result.backend = kind_;
+  return results;
+}
+
 }  // namespace lpb

@@ -32,6 +32,7 @@
 #define LPB_LP_TABLEAU_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lp/lp_backend.h"
@@ -61,6 +62,16 @@ class SimplexTableau {
   // file comment for the witness / warm / cold cascade). Behaves like
   // Solve(rhs) when no basis is cached.
   LpResult ResolveWithRhs(const std::vector<double>& rhs);
+
+  // Multi-RHS warm re-solve: runs the cascade on every column of
+  // `rhs_batch` in order, producing results identical to per-column
+  // ResolveWithRhs calls (the cached basis evolves across columns exactly
+  // as it would across scalar calls). The revised backend amortizes the
+  // block: one cached LU factorization serves an FTRAN per column and the
+  // cached duals (one cost-row BTRAN) serve every witness-valid column;
+  // only columns whose basis goes stale pay dual-simplex or cold work.
+  std::vector<LpResult> ResolveWithRhsBatch(
+      std::span<const std::vector<double>> rhs_batch);
 
   // True after a solve that ended kOptimal: ResolveWithRhs can warm-start.
   bool has_optimal_basis() const { return impl_->has_optimal_basis(); }
