@@ -20,12 +20,23 @@
 // see lp/tableau.h), so the table doubles as the perf gate on the revised
 // backend's witness and block re-pricing paths.
 //
+// A second, pivot-count workload complements the throughput regimes: the
+// fixed-seed cutting-plane Γn compile at n = 8 (the revised backend's
+// flagship LP) runs under both pricing rules (Dantzig and Devex,
+// lp/revised_simplex.h) and reports total simplex pivots and basis
+// refactorizations from the new LpSolveStats counters. Pivot counts are
+// deterministic for a fixed seed, so the CI gate can assert on iteration
+// counts — devex must stay within bounds of its baseline and beat the
+// dantzig lane — rather than on machine-dependent wall-clock alone.
+//
 // Set LPB_BENCH_JSON=<path> to also dump the table as JSON — CI uploads
 // it as an artifact and bench/compare_throughput.py gates regressions
 // against bench/baseline_throughput.json: warm or batch cold-normalized
 // throughput (the "speedup" field) >25% below baseline fails the
-// workflow, as does batch < 2x scalar warm; raw est/s is informational
-// (machine-dependent) unless --strict-absolute.
+// workflow, as does batch < 2x scalar warm, a gamma_n8 pivot-count
+// regression >15%, or devex needing more than --max-devex-ratio of the
+// dantzig lane's pivots; raw est/s is informational (machine-dependent)
+// unless --strict-absolute.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -39,8 +50,11 @@
 #include "bench_common.h"
 #include "bounds/bound_engine.h"
 #include "bounds/normal_engine.h"
+#include "datagen/gamma_stats.h"
 #include "datagen/job_gen.h"
 #include "estimator/advisor.h"
+#include "relation/degree_sequence.h"
+#include "util/random.h"
 
 namespace lpb {
 namespace {
@@ -76,7 +90,22 @@ struct RegimeRun {
   int batch_size = 1;       // value vectors per advisor call
   int repeats = 0;          // workload sweeps this regime actually ran
   uint64_t witness = 0, warm = 0, cold = 0;
+  // LP work behind the regime (AdvisorMetrics deltas): simplex pivots and
+  // basis refactorizations. The warm regime's refactorizations-per-resolve
+  // is the Forrest–Tomlin acceptance metric — the eta-file scheme
+  // refactorized every 32 updates, FT carries 64 plus a fill budget.
+  uint64_t pivots = 0, refactorizations = 0;
 };
+
+void FillLpWork(RegimeRun& run, const AdvisorMetrics& before,
+                const AdvisorMetrics& after) {
+  run.witness = after.witness_hits - before.witness_hits;
+  run.warm = after.warm_resolves - before.warm_resolves;
+  run.cold = after.cold_solves - before.cold_solves;
+  run.pivots = after.lp_pivots - before.lp_pivots;
+  run.refactorizations =
+      after.lp_refactorizations - before.lp_refactorizations;
+}
 
 // Warm regime for one LP backend: full advisor path (statistics lookup +
 // compiled evaluate) over the whole template workload, one call at a time.
@@ -111,9 +140,7 @@ RegimeRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
   run.label = label;
   run.repeats = sweeps;
   run.est_per_s = static_cast<double>(sweeps) * m / secs;
-  run.witness = after.witness_hits - before.witness_hits;
-  run.warm = after.warm_resolves - before.warm_resolves;
-  run.cold = after.cold_solves - before.cold_solves;
+  FillLpWork(run, before, after);
   return run;
 }
 
@@ -174,19 +201,85 @@ RegimeRun MeasureBatch(LpBackendKind backend, const char* label, int repeats,
   run.batch_size = kBatchSize;
   run.repeats = sweeps;
   run.est_per_s = static_cast<double>(sweeps) * m * kBatchSize / secs;
-  run.witness = after.witness_hits - before.witness_hits;
-  run.warm = after.warm_resolves - before.warm_resolves;
-  run.cold = after.cold_solves - before.cold_solves;
+  FillLpWork(run, before, after);
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed Γn pivot workload: compile the cutting-plane bound at n = 8
+// under one pricing rule and count the LP work. Pivot counts are
+// deterministic per seed (no wall-clock in the loop), which is what lets
+// compare_throughput.py gate on them.
+
+struct GammaRun {
+  const char* pricing;
+  uint64_t pivots = 0;
+  uint64_t phase1 = 0, phase2 = 0, dual = 0;
+  uint64_t refactorizations = 0;
+  uint64_t ft_updates = 0;
+  uint64_t rejected = 0;
+  uint64_t devex_resets = 0;
+  double seconds = 0.0;
+};
+
+// The statistics generator of the differential harness's n = 8 acceptance
+// test — one shared definition (datagen/gamma_stats.h), so the gated
+// pivot counts always measure the LP population the harness validates.
+std::vector<ConcreteStatistic> GammaStats(uint64_t seed, int n, int count) {
+  Rng rng(seed);
+  return RandomSimpleGammaStats(rng, n, count);
+}
+
+GammaRun MeasureGammaPivots(PricingRule rule, const char* label) {
+  GammaRun run;
+  run.pricing = label;
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t seed : {0x5151ull, 0x1234ull, 0x9999ull}) {
+    const int n = 8;
+    const std::vector<ConcreteStatistic> stats =
+        GammaStats(12345 ^ seed, n, 12);
+    EngineOptions cut;
+    cut.full_lattice_max_n = 4;  // force cutting-plane mode at n = 8
+    cut.simplex.backend = LpBackendKind::kRevised;
+    cut.simplex.pricing = rule;
+    // Pin the update scheme too: a stray LPB_LP_UPDATE=eta in the runner
+    // environment must not skew the CI-gated counters off the
+    // Forrest–Tomlin path the baseline was recorded from.
+    cut.simplex.basis_update = BasisUpdateKind::kForrestTomlin;
+    auto compiled =
+        FindBoundEngine("gamma")->Compile(StructureOf(n, stats), cut);
+    // Compile-and-evaluate, then one warm re-evaluation at scaled values —
+    // the cold cut-growth path plus the warm witness path, both counted.
+    const BoundResult cold = compiled->Evaluate(ValuesOf(stats), false);
+    std::vector<double> scaled = ValuesOf(stats);
+    for (double& v : scaled) v *= 1.05;
+    const BoundResult warm = compiled->Evaluate(scaled, false);
+    for (const BoundResult* r : {&cold, &warm}) {
+      run.pivots += static_cast<uint64_t>(r->lp_stats.TotalPivots());
+      run.phase1 += static_cast<uint64_t>(r->lp_stats.phase1_pivots);
+      run.phase2 += static_cast<uint64_t>(r->lp_stats.phase2_pivots);
+      run.dual += static_cast<uint64_t>(r->lp_stats.dual_pivots);
+      run.refactorizations +=
+          static_cast<uint64_t>(r->lp_stats.refactorizations);
+      run.ft_updates += static_cast<uint64_t>(r->lp_stats.ft_updates);
+      run.rejected += static_cast<uint64_t>(r->lp_stats.rejected_updates);
+      run.devex_resets += static_cast<uint64_t>(r->lp_stats.devex_resets);
+    }
+  }
+  run.seconds = Seconds(t0);
   return run;
 }
 
 void PrintCounters(const RegimeRun& run) {
   std::printf(
-      "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu\n",
+      "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu "
+      "pivots=%llu refac=%llu\n",
       run.label, run.est_per_s, run.speedup,
       static_cast<unsigned long long>(run.witness),
       static_cast<unsigned long long>(run.warm),
-      static_cast<unsigned long long>(run.cold));
+      static_cast<unsigned long long>(run.cold),
+      static_cast<unsigned long long>(run.pivots),
+      static_cast<unsigned long long>(run.refactorizations));
 }
 
 void DumpRunsJson(std::FILE* f, const char* section,
@@ -198,12 +291,15 @@ void DumpRunsJson(std::FILE* f, const char* section,
                  "    {\"backend\": \"%s\", \"est_per_s\": %.1f, "
                  "\"speedup\": %.2f, \"batch_size\": %d, "
                  "\"repeats\": %d, "
-                 "\"witness\": %llu, \"warm\": %llu, \"cold\": %llu}%s\n",
+                 "\"witness\": %llu, \"warm\": %llu, \"cold\": %llu, "
+                 "\"pivots\": %llu, \"refactorizations\": %llu}%s\n",
                  run.backend, run.est_per_s, run.speedup, run.batch_size,
                  run.repeats,
                  static_cast<unsigned long long>(run.witness),
                  static_cast<unsigned long long>(run.warm),
                  static_cast<unsigned long long>(run.cold),
+                 static_cast<unsigned long long>(run.pivots),
+                 static_cast<unsigned long long>(run.refactorizations),
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
@@ -263,6 +359,14 @@ void PrintTable() {
   for (RegimeRun& run : batch_runs) run.speedup = run.est_per_s / cold_rate;
   for (RegimeRun& run : jitter_runs) run.speedup = run.est_per_s / cold_rate;
 
+  // Pivot-count workload: the fixed-seed Γn cutting-plane compile at
+  // n = 8, once per pricing rule (pinned, so LPB_LP_PRICING cannot skew
+  // the dantzig baseline lane).
+  std::vector<GammaRun> gamma_runs = {
+      MeasureGammaPivots(PricingRule::kDantzig, "dantzig"),
+      MeasureGammaPivots(PricingRule::kDevex, "devex"),
+  };
+
   std::printf("== Estimator throughput, %zu JOB templates x %d repeats ==\n",
               m, kRepeats);
   std::printf("%-28s %14.0f est/s\n", "cold (LP per estimate)", cold_rate);
@@ -273,6 +377,26 @@ void PrintTable() {
     std::printf("%-28s %14.2fx  (batch of %d vs scalar warm, %s)\n",
                 "batch/scalar", batch_runs[i].est_per_s / warm_runs[i].est_per_s,
                 batch_runs[i].batch_size, warm_runs[i].backend);
+  }
+  std::printf("\n== Cutting-plane Gamma_n pivot counts, n = 8, 3 seeds ==\n");
+  for (const GammaRun& run : gamma_runs) {
+    std::printf(
+        "%-28s pivots=%-6llu (p1=%llu p2=%llu dual=%llu)  refac=%llu "
+        "ft=%llu rejected=%llu resets=%llu  %.2fs\n",
+        run.pricing, static_cast<unsigned long long>(run.pivots),
+        static_cast<unsigned long long>(run.phase1),
+        static_cast<unsigned long long>(run.phase2),
+        static_cast<unsigned long long>(run.dual),
+        static_cast<unsigned long long>(run.refactorizations),
+        static_cast<unsigned long long>(run.ft_updates),
+        static_cast<unsigned long long>(run.rejected),
+        static_cast<unsigned long long>(run.devex_resets), run.seconds);
+  }
+  if (gamma_runs.size() == 2 && gamma_runs[0].pivots > 0) {
+    std::printf("%-28s %14.2f  (devex pivots / dantzig pivots)\n",
+                "devex/dantzig",
+                static_cast<double>(gamma_runs[1].pivots) /
+                    static_cast<double>(gamma_runs[0].pivots));
   }
   std::printf("\n");
 
@@ -289,7 +413,27 @@ void PrintTable() {
       DumpRunsJson(f, "batch", batch_runs);
       std::fprintf(f, ",\n");
       DumpRunsJson(f, "batch_what_if", jitter_runs);
-      std::fprintf(f, "\n}\n");
+      std::fprintf(f, ",\n  \"gamma_n8\": [\n");
+      for (size_t i = 0; i < gamma_runs.size(); ++i) {
+        const GammaRun& run = gamma_runs[i];
+        std::fprintf(
+            f,
+            "    {\"pricing\": \"%s\", \"pivots\": %llu, "
+            "\"phase1\": %llu, \"phase2\": %llu, \"dual\": %llu, "
+            "\"refactorizations\": %llu, \"ft_updates\": %llu, "
+            "\"rejected_updates\": %llu, \"devex_resets\": %llu, "
+            "\"seconds\": %.3f}%s\n",
+            run.pricing, static_cast<unsigned long long>(run.pivots),
+            static_cast<unsigned long long>(run.phase1),
+            static_cast<unsigned long long>(run.phase2),
+            static_cast<unsigned long long>(run.dual),
+            static_cast<unsigned long long>(run.refactorizations),
+            static_cast<unsigned long long>(run.ft_updates),
+            static_cast<unsigned long long>(run.rejected),
+            static_cast<unsigned long long>(run.devex_resets), run.seconds,
+            i + 1 < gamma_runs.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
       std::fclose(f);
       std::printf("wrote %s\n\n", json_path);
     }

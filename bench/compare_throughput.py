@@ -4,6 +4,7 @@
 Usage:
     compare_throughput.py BASELINE.json NEW.json [--tolerance 0.25]
                           [--min-batch-speedup 2.0] [--strict-absolute]
+                          [--pivot-tolerance 0.15] [--max-devex-ratio 0.85]
 
 Fails (exit 1) when
   * any warm or batch regime's *cold-normalized* estimates/s (the JSON's
@@ -11,17 +12,27 @@ Fails (exit 1) when
     more than --tolerance below the baseline's for the same backend, or
   * the batch regime serves fewer than --min-batch-speedup times the
     scalar warm regime's estimates/s on either backend (the batch
-    evaluation acceptance bar).
+    evaluation acceptance bar), or
+  * a gamma_n8 pricing lane's total simplex pivot count grows more than
+    --pivot-tolerance above its baseline (the fixed-seed cutting-plane Γn
+    compile at n = 8 — pivot counts are deterministic per seed, so this
+    gates the revised backend's iteration count, not wall-clock), or
+  * the devex lane needs more than --max-devex-ratio of the dantzig
+    lane's pivots on that workload (the Devex pricing acceptance bar:
+    measured ~0.73 at introduction, i.e. ~27% fewer pivots than the
+    candidate-list Dantzig lane and ~33% fewer than the PR-3/4 full-sweep
+    Dantzig baseline).
 
-Both gating checks are ratios of numbers measured in the same process on
-the same machine, so they catch real warm/batch-path regressions without
-flaking on runner-to-runner speed differences. Raw est/s is printed for
-visibility and compared only under --strict-absolute (useful on a
-dedicated runner); the checked-in baseline's absolute numbers come from
-the reference dev box scaled to 60% (see its "_note").
+The gating checks are ratios of numbers measured in the same process on
+the same machine (or deterministic pivot counts), so they catch real
+warm/batch-path regressions without flaking on runner-to-runner speed
+differences. Raw est/s is printed for visibility and compared only under
+--strict-absolute (useful on a dedicated runner); the checked-in
+baseline's absolute numbers come from the reference dev box scaled to 60%
+(see its "_note").
 
 Refresh bench/baseline_throughput.json from a CI artifact whenever a PR
-legitimately shifts throughput.
+legitimately shifts throughput or pivot counts.
 """
 
 import argparse
@@ -43,6 +54,10 @@ def main():
                         help="required batch/warm estimates-per-second ratio")
     parser.add_argument("--strict-absolute", action="store_true",
                         help="also gate on raw est/s (same-machine baselines)")
+    parser.add_argument("--pivot-tolerance", type=float, default=0.15,
+                        help="allowed fractional gamma_n8 pivot-count growth")
+    parser.add_argument("--max-devex-ratio", type=float, default=0.85,
+                        help="max devex/dantzig pivot ratio on gamma_n8")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -71,6 +86,33 @@ def main():
                     failures.append(
                         f"{section}/{backend}: {metric} {new_v:.1f} is "
                         f">{args.tolerance:.0%} below baseline {base_v:.1f}")
+
+    # gamma_n8 pivot gates: deterministic per seed, so a tight tolerance is
+    # safe (the slack absorbs compiler-to-compiler floating-point drift).
+    base_gamma = {run["pricing"]: run for run in baseline.get("gamma_n8", [])}
+    new_gamma = {run["pricing"]: run for run in new.get("gamma_n8", [])}
+    for pricing, base_run in sorted(base_gamma.items()):
+        if pricing not in new_gamma:
+            failures.append(f"gamma_n8/{pricing}: missing from new JSON")
+            continue
+        base_p, new_p = base_run["pivots"], new_gamma[pricing]["pivots"]
+        ratio = new_p / base_p if base_p > 0 else float("inf")
+        print(f"{'gamma_n8 ' + pricing + ' pivots':<34} "
+              f"{base_p:>12} {new_p:>12} {ratio:>7.2f}x")
+        if new_p > (1.0 + args.pivot_tolerance) * base_p:
+            failures.append(
+                f"gamma_n8/{pricing}: {new_p} pivots is "
+                f">{args.pivot_tolerance:.0%} above baseline {base_p}")
+    if "dantzig" in new_gamma and "devex" in new_gamma:
+        dantzig_p = new_gamma["dantzig"]["pivots"]
+        devex_p = new_gamma["devex"]["pivots"]
+        ratio = devex_p / dantzig_p if dantzig_p > 0 else float("inf")
+        print(f"{'gamma_n8 devex/dantzig':<34} {'':>12} {'':>12} "
+              f"{ratio:>7.2f}x")
+        if ratio > args.max_devex_ratio:
+            failures.append(
+                f"gamma_n8: devex needs {ratio:.2f}x the dantzig pivots "
+                f"(max {args.max_devex_ratio:.2f}x)")
 
     warm_runs = by_backend(new.get("warm", []))
     for backend, batch_run in sorted(by_backend(new.get("batch", [])).items()):

@@ -128,6 +128,8 @@ BoundResult MakeGammaResult(const LpResult& lp, int n, int num_stats,
   result.lp_iterations = lp.iterations;
   result.eval_path = lp.path;
   result.lp_backend = lp.backend;
+  result.lp_pricing = lp.pricing;
+  result.lp_stats = lp.stats;
   if (lp.status == LpStatus::kUnbounded) {
     result.log2_bound = kInfNorm;
     return result;
@@ -257,6 +259,9 @@ class CompiledGammaBound : public CompiledBound {
     }
 
     LpResult lp_result = tableau_->ResolveWithRhs(rhs);
+    // Every LP call of this evaluation counts toward the result's pivot
+    // statistics — cut-growth rounds included, unlike lp_iterations.
+    LpSolveStats stats_sum = lp_result.stats;
     int rounds = 0;
     bool grew = false;
     bool cut_converged = full_mode_;
@@ -279,6 +284,7 @@ class CompiledGammaBound : public CompiledBound {
         }
         tableau_.emplace(lp_, options_.simplex);
         lp_result = tableau_->Solve(rhs);
+        stats_sum.Add(lp_result.stats);
         grew = true;
         ++rounds;
       }
@@ -286,6 +292,7 @@ class CompiledGammaBound : public CompiledBound {
 
     BoundResult result =
         MakeGammaResult(lp_result, n, num_stats_, rounds, want_h_opt);
+    result.lp_stats = stats_sum;
     if (grew) result.eval_path = LpEvalPath::kCold;
     if (!full_mode_ && result.ok() &&
         result.log2_bound >= box * (1.0 - 1e-9)) {
@@ -395,6 +402,8 @@ class CompiledNormalBound : public CompiledBound {
     result.lp_iterations = lp.iterations;
     result.eval_path = lp.path;
     result.lp_backend = lp.backend;
+    result.lp_pricing = lp.pricing;
+    result.lp_stats = lp.stats;
     if (lp.status == LpStatus::kUnbounded) {
       result.log2_bound = kInfNorm;
       return result;

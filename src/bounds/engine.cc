@@ -31,6 +31,8 @@ BoundResult MakeResult(const LpResult& lp, int n, int num_stats,
   result.cut_rounds = cut_rounds;
   result.lp_iterations = lp.iterations;
   result.lp_backend = lp.backend;
+  result.lp_pricing = lp.pricing;
+  result.lp_stats = lp.stats;
   if (lp.status == LpStatus::kUnbounded) {
     result.log2_bound = kInfNorm;
     return result;

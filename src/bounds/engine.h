@@ -89,6 +89,14 @@ struct BoundResult {
   // Which LP backend served this bound (dense tableau or revised simplex);
   // surfaced through CardinalityAdvisor::Explain.
   LpBackendKind lp_backend = LpBackendKind::kDense;
+  // Which pricing rule the LP's primal phases ran (always kDantzig from
+  // the dense backend).
+  PricingRule lp_pricing = PricingRule::kDantzig;
+  // Solver pivot/update/refactorization counters, summed over every LP
+  // call this evaluation made (unlike lp_iterations, which reports the
+  // final solve only, these cover all cut-growth rounds too). Aggregated
+  // into AdvisorMetrics and the bench_throughput pivot gates.
+  LpSolveStats lp_stats;
 
   bool ok() const { return status == LpStatus::kOptimal; }
   bool unbounded() const { return status == LpStatus::kUnbounded; }

@@ -48,6 +48,8 @@ NormalBoundResult NormalPolymatroidBound(
   result.base.status = lp_result.status;
   result.base.lp_iterations = lp_result.iterations;
   result.base.lp_backend = lp_result.backend;
+  result.base.lp_pricing = lp_result.pricing;
+  result.base.lp_stats = lp_result.stats;
   if (lp_result.status == LpStatus::kUnbounded) {
     result.base.log2_bound = kInfNorm;
     return result;

@@ -1,0 +1,37 @@
+#include "datagen/gamma_stats.h"
+
+#include "relation/degree_sequence.h"
+
+namespace lpb {
+
+std::vector<ConcreteStatistic> RandomSimpleGammaStats(Rng& rng, int n,
+                                                      int count) {
+  std::vector<ConcreteStatistic> stats;
+  const double norms[] = {1.0, 2.0, 3.0, kInfNorm};
+  for (int k = 0; k < count; ++k) {
+    ConcreteStatistic s;
+    VarSet v = 0;
+    const int width = 1 + static_cast<int>(rng.Uniform(3));
+    for (int t = 0; t < width; ++t) v |= VarBit(rng.Uniform(n));
+    if (rng.Bernoulli(0.5)) {
+      const int u = static_cast<int>(rng.Uniform(n));
+      s.sigma = Normalize({VarBit(u), v & ~VarBit(u)});
+      if (s.sigma.v == 0) s.sigma.v = VarBit((u + 1) % n);
+      s.p = norms[rng.Uniform(4)];
+    } else {
+      s.sigma = {0, v};
+      s.p = 1.0;
+    }
+    s.log_b = 1.0 + 7.0 * rng.NextDouble();
+    stats.push_back(s);
+  }
+  // A covering cardinality so the bound is finite.
+  ConcreteStatistic cover;
+  cover.sigma = {0, FullSet(n)};
+  cover.p = 1.0;
+  cover.log_b = 9.0;
+  stats.push_back(cover);
+  return stats;
+}
+
+}  // namespace lpb

@@ -1,0 +1,28 @@
+// Random simple-statistics generator for the cutting-plane Γn workloads.
+//
+// One definition shared by the differential harness's n = 8 acceptance
+// test (tests/test_simplex_differential.cc) and bench_throughput's
+// CI-gated gamma_n8 pivot workload — the pivot-count baselines in
+// bench/baseline_throughput.json are only meaningful while the bench
+// measures exactly the LP population the harness validates, so the
+// generator must not fork.
+#ifndef LPB_DATAGEN_GAMMA_STATS_H_
+#define LPB_DATAGEN_GAMMA_STATS_H_
+
+#include <vector>
+
+#include "stats/statistic.h"
+#include "util/random.h"
+
+namespace lpb {
+
+// `count` cardinality-style statistics over random small variable sets
+// plus simple conditionals deg(V|u) with p drawn from {1, 2, 3, ∞} — the
+// advisor's statistics shapes — followed by one covering cardinality
+// (log_b = 9) so the bound is finite.
+std::vector<ConcreteStatistic> RandomSimpleGammaStats(Rng& rng, int n,
+                                                      int count);
+
+}  // namespace lpb
+
+#endif  // LPB_DATAGEN_GAMMA_STATS_H_

@@ -28,7 +28,8 @@ CardinalityAdvisor::CardinalityAdvisor(const Catalog& catalog,
                                        AdvisorOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
-      norms_(options_.norm_cache) {}
+      norms_(options_.norm_cache),
+      compiled_(std::make_shared<const CompiledMap>()) {}
 
 std::vector<double> CardinalityAdvisor::CachedNorms(
     const std::string& relation, const std::vector<int>& u_cols,
@@ -100,33 +101,46 @@ std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
 std::shared_ptr<CardinalityAdvisor::CompiledEntry>
 CardinalityAdvisor::LookupOrCompile(const BoundStructure& structure,
                                     const std::string& key) {
+  // Hot path: one atomic load of the immutable snapshot — no lock, so a
+  // writer burst (a batch of fresh templates compiling) never serializes
+  // concurrent readers of already-compiled structures.
   {
-    std::shared_lock<std::shared_mutex> lock(compiled_mu_);
-    auto it = compiled_.find(key);
-    if (it != compiled_.end()) {
+    std::shared_ptr<const CompiledMap> snapshot =
+        compiled_.load(std::memory_order_acquire);
+    auto it = snapshot->find(key);
+    if (it != snapshot->end()) {
       compiled_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
-  // Compile outside the map lock — Γn compilation materializes the
+  // Compile outside the writer lock — Γn compilation materializes the
   // elemental lattice. If another thread compiled the same structure
   // meanwhile, its entry wins and ours is dropped.
   const BoundEngine* engine = FindBoundEngine(options_.bound_engine);
   if (engine == nullptr) engine = FindBoundEngine("auto");
   auto fresh = std::make_shared<CompiledEntry>();
   fresh->bound = engine->Compile(structure, options_.engine);
-  std::unique_lock<std::shared_mutex> lock(compiled_mu_);
-  auto [it, inserted] = compiled_.emplace(key, std::move(fresh));
-  if (inserted) {
-    compiled_misses_.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  std::lock_guard<std::mutex> lock(compiled_writer_mu_);
+  std::shared_ptr<const CompiledMap> current =
+      compiled_.load(std::memory_order_acquire);
+  auto it = current->find(key);
+  if (it != current->end()) {
     compiled_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
-  return it->second;
+  // Copy-on-write publish: readers keep whatever snapshot they hold; the
+  // next lookup sees the new map.
+  auto next = std::make_shared<CompiledMap>(*current);
+  auto [pos, inserted] = next->emplace(key, std::move(fresh));
+  compiled_.store(std::shared_ptr<const CompiledMap>(std::move(next)),
+                  std::memory_order_release);
+  compiled_misses_.fetch_add(1, std::memory_order_relaxed);
+  (void)inserted;
+  return pos->second;
 }
 
-void CardinalityAdvisor::RecordEvalPath(LpEvalPath path) {
-  switch (path) {
+void CardinalityAdvisor::RecordEval(const BoundResult& result) {
+  switch (result.eval_path) {
     case LpEvalPath::kWitness:
       witness_hits_.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -136,6 +150,28 @@ void CardinalityAdvisor::RecordEvalPath(LpEvalPath path) {
     case LpEvalPath::kCold:
       cold_solves_.fetch_add(1, std::memory_order_relaxed);
       break;
+  }
+  const LpSolveStats& stats = result.lp_stats;
+  if (stats.TotalPivots() > 0) {
+    lp_pivots_.fetch_add(static_cast<uint64_t>(stats.TotalPivots()),
+                         std::memory_order_relaxed);
+  }
+  if (stats.refactorizations > 0) {
+    lp_refactorizations_.fetch_add(
+        static_cast<uint64_t>(stats.refactorizations),
+        std::memory_order_relaxed);
+  }
+  if (stats.ft_updates > 0) {
+    lp_ft_updates_.fetch_add(static_cast<uint64_t>(stats.ft_updates),
+                             std::memory_order_relaxed);
+  }
+  if (stats.eta_updates > 0) {
+    lp_eta_updates_.fetch_add(static_cast<uint64_t>(stats.eta_updates),
+                              std::memory_order_relaxed);
+  }
+  if (stats.devex_resets > 0) {
+    lp_devex_resets_.fetch_add(static_cast<uint64_t>(stats.devex_resets),
+                               std::memory_order_relaxed);
   }
 }
 
@@ -151,7 +187,7 @@ BoundResult CardinalityAdvisor::EvaluateCompiled(
     result = entry->bound->Evaluate(ValuesOf(stats), want_h_opt);
   }
   estimates_.fetch_add(1, std::memory_order_relaxed);
-  RecordEvalPath(result.eval_path);
+  RecordEval(result);
   return result;
 }
 
@@ -204,7 +240,7 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
   }
   estimates_.fetch_add(results.size(), std::memory_order_relaxed);
   for (size_t k = 0; k < results.size(); ++k) {
-    RecordEvalPath(results[k].eval_path);
+    RecordEval(results[k]);
     out[valid[k]] = results[k].log2_bound;
   }
   return out;
@@ -248,7 +284,7 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
     }
     estimates_.fetch_add(results.size(), std::memory_order_relaxed);
     for (size_t k = 0; k < results.size(); ++k) {
-      RecordEvalPath(results[k].eval_path);
+      RecordEval(results[k]);
       out[group.indices[k]] = results[k].log2_bound;
     }
   }
@@ -279,8 +315,7 @@ size_t CardinalityAdvisor::CacheSize() const { return norms_.Size(); }
 size_t CardinalityAdvisor::CacheBytes() const { return norms_.Bytes(); }
 
 size_t CardinalityAdvisor::CompiledCacheSize() const {
-  std::shared_lock<std::shared_mutex> lock(compiled_mu_);
-  return compiled_.size();
+  return compiled_.load(std::memory_order_acquire)->size();
 }
 
 AdvisorMetrics CardinalityAdvisor::metrics() const {
@@ -292,6 +327,12 @@ AdvisorMetrics CardinalityAdvisor::metrics() const {
   m.warm_resolves = warm_resolves_.load(std::memory_order_relaxed);
   m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
   m.norm_evictions = norms_.Evictions();
+  m.lp_pivots = lp_pivots_.load(std::memory_order_relaxed);
+  m.lp_refactorizations =
+      lp_refactorizations_.load(std::memory_order_relaxed);
+  m.lp_ft_updates = lp_ft_updates_.load(std::memory_order_relaxed);
+  m.lp_eta_updates = lp_eta_updates_.load(std::memory_order_relaxed);
+  m.lp_devex_resets = lp_devex_resets_.load(std::memory_order_relaxed);
   return m;
 }
 

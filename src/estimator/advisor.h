@@ -27,9 +27,12 @@
 // one scalar cascade per probe.
 //
 // Thread safety: all estimation entry points may be called concurrently.
-// The compiled cache takes a shared lock on the hot (hit) path; each
-// compiled bound carries its own mutex because Evaluate mutates the cached
-// basis (a batch holds it for the whole block). Invalidate may run
+// The compiled cache is read lock-free: the map lives behind an RCU-style
+// atomic shared_ptr snapshot, so the hot (hit) path is one atomic load —
+// no reader ever serializes against a writer burst. Compiling a new
+// structure copies the map under a writer mutex and swaps the snapshot.
+// Each compiled bound carries its own mutex because Evaluate mutates the
+// cached basis (a batch holds it for the whole block). Invalidate may run
 // concurrently with estimates.
 #ifndef LPB_ESTIMATOR_ADVISOR_H_
 #define LPB_ESTIMATOR_ADVISOR_H_
@@ -39,7 +42,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -81,6 +83,16 @@ struct AdvisorMetrics {
   uint64_t warm_resolves = 0;    // dual-simplex pivots from the cached basis
   uint64_t cold_solves = 0;      // full LP solve
   uint64_t norm_evictions = 0;   // statistics-store LRU evictions
+  // LP solver work behind the estimates, summed from BoundResult::lp_stats
+  // (lp/simplex.h): simplex pivots across all phases, basis
+  // refactorizations, Forrest–Tomlin vs product-form eta updates taken,
+  // and Devex reference resets. bench_throughput surfaces these so the CI
+  // perf gate can assert on iteration counts, not just wall-clock.
+  uint64_t lp_pivots = 0;
+  uint64_t lp_refactorizations = 0;
+  uint64_t lp_ft_updates = 0;
+  uint64_t lp_eta_updates = 0;
+  uint64_t lp_devex_resets = 0;
 };
 
 class CardinalityAdvisor {
@@ -166,8 +178,15 @@ class CardinalityAdvisor {
 
   std::vector<ConcreteStatistic> AssembleStatistics(const Query& query);
 
+  // The compiled-bound map is immutable once published: every write copies
+  // the current map and swaps the snapshot pointer (RCU). Readers hold the
+  // snapshot shared_ptr for the duration of their lookup, so a concurrent
+  // swap never invalidates what they see.
+  using CompiledMap = std::map<std::string, std::shared_ptr<CompiledEntry>>;
+
   // Finds or compiles the bound entry for `structure` (whose canonical key
-  // is `key`), bumping the compiled hit/miss counters once.
+  // is `key`), bumping the compiled hit/miss counters once. Lock-free on
+  // the hit path (one atomic snapshot load).
   std::shared_ptr<CompiledEntry> LookupOrCompile(
       const BoundStructure& structure, const std::string& key);
 
@@ -177,16 +196,21 @@ class CardinalityAdvisor {
                                const std::vector<ConcreteStatistic>& stats,
                                bool want_h_opt);
 
-  // Folds one evaluation's path into the cumulative counters.
-  void RecordEvalPath(LpEvalPath path);
+  // Folds one evaluation's path and LP solver work into the counters.
+  void RecordEval(const BoundResult& result);
 
   const Catalog& catalog_;
   AdvisorOptions options_;
 
   ShardedNormCache norms_;
 
-  mutable std::shared_mutex compiled_mu_;  // guards compiled_ (the map only)
-  std::map<std::string, std::shared_ptr<CompiledEntry>> compiled_;
+  // RCU snapshot of the compiled-bound map (never null) and the mutex
+  // serializing writers (copy-insert-swap; readers never take it).
+  // NOTE: libstdc++ implements atomic<shared_ptr> with an embedded
+  // lock-bit protocol TSan cannot model (GCC bug 101761), so the TSan CI
+  // lane runs with the .github/tsan.supp suppression for _Sp_atomic.
+  std::atomic<std::shared_ptr<const CompiledMap>> compiled_;
+  std::mutex compiled_writer_mu_;
 
   std::atomic<uint64_t> estimates_{0};
   std::atomic<uint64_t> compiled_hits_{0};
@@ -194,6 +218,11 @@ class CardinalityAdvisor {
   std::atomic<uint64_t> witness_hits_{0};
   std::atomic<uint64_t> warm_resolves_{0};
   std::atomic<uint64_t> cold_solves_{0};
+  std::atomic<uint64_t> lp_pivots_{0};
+  std::atomic<uint64_t> lp_refactorizations_{0};
+  std::atomic<uint64_t> lp_ft_updates_{0};
+  std::atomic<uint64_t> lp_eta_updates_{0};
+  std::atomic<uint64_t> lp_devex_resets_{0};
 };
 
 }  // namespace lpb

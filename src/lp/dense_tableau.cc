@@ -176,6 +176,11 @@ bool DenseTableau::RunPhase(const std::vector<double>& cost, bool phase_two) {
     }
     Pivot(leave, enter);
     ++iterations_;
+    if (phase_two) {
+      ++stats_.phase2_pivots;
+    } else {
+      ++stats_.phase1_pivots;
+    }
   }
 }
 
@@ -214,6 +219,7 @@ DenseTableau::DualOutcome DenseTableau::RunDualSimplex() {
     if (enter == kNoCol) return DualOutcome::kInfeasible;  // dual ray
     Pivot(leave, enter);
     ++iterations_;
+    ++stats_.dual_pivots;
   }
 }
 
@@ -227,6 +233,7 @@ void DenseTableau::EvictArtificials() {
       if (std::abs(static_cast<double>(t_[i][j])) > options_.eps) {
         Pivot(i, j);
         ++iterations_;
+        ++stats_.phase1_pivots;  // artificial eviction is phase-1 cleanup
         break;
       }
     }
@@ -249,6 +256,7 @@ LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
     obj += phase2_cost_[j] * result.x[j];
   }
   result.objective = obj;
+  result.stats = stats_;
 
   if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
     // Same basis, same cost: the duals are the previous solve's.
@@ -271,6 +279,7 @@ LpResult DenseTableau::Failure(LpStatus status) const {
   LpResult result;
   result.status = status;
   result.iterations = iterations_;
+  result.stats = stats_;
   // The LpResult contract: x/duals are sized (zeros) even on failure so
   // callers indexing them unconditionally never read stale data.
   result.x.assign(problem_.num_vars(), 0.0);
@@ -279,6 +288,11 @@ LpResult DenseTableau::Failure(LpStatus status) const {
 }
 
 LpResult DenseTableau::Solve(const std::vector<double>& rhs) {
+  stats_ = {};
+  return SolveInternal(rhs);
+}
+
+LpResult DenseTableau::SolveInternal(const std::vector<double>& rhs) {
   iterations_ = 0;
   Build(rhs);
   max_iterations_ = options_.max_iterations > 0
@@ -353,6 +367,7 @@ void DenseTableau::RepriceRhs(const std::vector<double>& rhs) {
 LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   if (!has_basis_) return Solve(rhs);
   iterations_ = 0;
+  stats_ = {};
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 50 * (rows_ + cols_) + 1000;
@@ -370,7 +385,7 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
     // inconsistent); only a cold solve can decide feasibility.
     if (basis_[i] >= first_art_ &&
         std::abs(static_cast<double>(fresh)) > 1e-7) {
-      return Solve(rhs);
+      return SolveInternal(rhs);
     }
   }
   if (feasible) {
@@ -387,9 +402,9 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
       // re-deriving it from a cold two-phase solve is cheap insurance
       // against numerical drift in the warmed tableau — and the fallback
       // also covers the (rare) dual-simplex stall.
-      return Solve(rhs);
+      return SolveInternal(rhs);
   }
-  return Solve(rhs);  // unreachable
+  return SolveInternal(rhs);  // unreachable
 }
 
 }  // namespace lpb

@@ -34,6 +34,9 @@ class DenseTableau : public LpBackendImpl {
   static constexpr int kNoCol = -1;
 
   void Build(const std::vector<double>& rhs);
+  // The cold solve behind Solve(); shared with ResolveWithRhs's fallbacks
+  // so a cascade accumulates into stats_ instead of resetting it.
+  LpResult SolveInternal(const std::vector<double>& rhs);
   // Runs one primal simplex phase on `cost`; returns false on iteration
   // limit. Sets unbounded_ if a ray is detected (meaningful in phase 2).
   bool RunPhase(const std::vector<double>& cost, bool phase_two);
@@ -95,6 +98,9 @@ class DenseTableau : public LpBackendImpl {
   std::vector<double> cached_duals_;
   // Columns disabled for the current phase (numerically dead, see RunPhase).
   std::vector<bool> frozen_;
+  // Per-call pivot counters (LpResult::stats); the dense tableau has no
+  // factorization, so only the phase/dual pivot fields are ever nonzero.
+  LpSolveStats stats_;
 };
 
 }  // namespace lpb

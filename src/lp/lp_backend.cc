@@ -78,6 +78,54 @@ LpBackendKind ResolveLpBackend(const SimplexOptions& options) {
   return LpBackendKind::kDense;
 }
 
+const char* PricingRuleName(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kDefault:
+      return "default";
+    case PricingRule::kDantzig:
+      return "dantzig";
+    case PricingRule::kDevex:
+      return "devex";
+  }
+  return "unknown";
+}
+
+PricingRule ResolveLpPricing(const SimplexOptions& options) {
+  if (options.pricing != PricingRule::kDefault) return options.pricing;
+  // Like ResolveLpBackend, read the environment on every resolution so
+  // drivers can flip LPB_LP_PRICING within one process.
+  const char* env = std::getenv("LPB_LP_PRICING");
+  if (env != nullptr && std::strcmp(env, "devex") == 0) {
+    return PricingRule::kDevex;
+  }
+  // Dantzig remains the default until Devex has soaked in the CI pricing
+  // lane (see ROADMAP); unknown values also fall back here.
+  return PricingRule::kDantzig;
+}
+
+const char* BasisUpdateName(BasisUpdateKind kind) {
+  switch (kind) {
+    case BasisUpdateKind::kDefault:
+      return "default";
+    case BasisUpdateKind::kEta:
+      return "eta";
+    case BasisUpdateKind::kForrestTomlin:
+      return "ft";
+  }
+  return "unknown";
+}
+
+BasisUpdateKind ResolveBasisUpdate(const SimplexOptions& options) {
+  if (options.basis_update != BasisUpdateKind::kDefault) {
+    return options.basis_update;
+  }
+  const char* env = std::getenv("LPB_LP_UPDATE");
+  if (env != nullptr && std::strcmp(env, "eta") == 0) {
+    return BasisUpdateKind::kEta;
+  }
+  return BasisUpdateKind::kForrestTomlin;
+}
+
 std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,
                                              const SimplexOptions& options) {
   if (ResolveLpBackend(options) == LpBackendKind::kRevised) {

@@ -83,6 +83,14 @@ double NormalizedRhsEntry(const LpProblem& problem,
 // kDefault.
 LpBackendKind ResolveLpBackend(const SimplexOptions& options);
 
+// Resolves kDefault against LPB_LP_PRICING ("dantzig" / "devex"; anything
+// else falls back to dantzig). Never returns kDefault.
+PricingRule ResolveLpPricing(const SimplexOptions& options);
+
+// Resolves kDefault against LPB_LP_UPDATE ("eta" / "ft"; anything else
+// falls back to Forrest–Tomlin). Never returns kDefault.
+BasisUpdateKind ResolveBasisUpdate(const SimplexOptions& options);
+
 // Constructs the backend selected by `options` for `problem`.
 std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,
                                              const SimplexOptions& options);

@@ -8,19 +8,32 @@
 
 namespace lpb {
 
+LuBasis::LuBasis(LuOptions options) : options_(options) {
+  max_updates_ = options_.max_updates > 0 ? options_.max_updates
+                 : options_.forrest_tomlin ? 64
+                                           : 32;
+}
+
 bool LuBasis::Factorize(const SparseMatrix& a, const std::vector<int>& basis) {
   m_ = static_cast<int>(basis.size());
   factorized_ = false;
+  updates_ = 0;
   etas_.clear();
+  ft_etas_.clear();
+  u_nnz_ = 0;
+  transform_nnz_ = 0;
   pivot_row_.assign(m_, -1);
   row_pos_.assign(m_, -1);
   col_slot_.assign(m_, -1);
   slot_pos_.assign(m_, -1);
   l_cols_.assign(m_, {});
+  l_pivot_row_.assign(m_, -1);
   u_cols_.assign(m_, {});
   diag_.assign(m_, 0.0);
   work_.assign(m_, 0.0);
   pos_work_.assign(m_, 0.0);
+  spike_.assign(m_, 0.0);
+  mu_work_.assign(m_, 0.0);
   visited_.assign(m_, 0);
   row_mark_.assign(m_, -1);
 
@@ -149,14 +162,16 @@ bool LuBasis::Factorize(const SparseMatrix& a, const std::vector<int>& basis) {
     row_pos_[pivot] = k;
     col_slot_[k] = slot;
     slot_pos_[slot] = k;
-    diag_[k] = work_[pivot];
+    l_pivot_row_[k] = pivot;
+    diag_[slot] = work_[pivot];
     for (int t : topo_) {
       const Scalar v = work_[pivot_row_[t]];
-      if (v != 0.0) u_cols_[k].emplace_back(t, v);
+      if (v != 0.0) u_cols_[slot].push_back({pivot_row_[t], v});
       work_[pivot_row_[t]] = 0.0;
       visited_[t] = 0;
     }
-    const Scalar inv = 1.0L / diag_[k];
+    u_nnz_ += static_cast<int64_t>(u_cols_[slot].size());
+    const Scalar inv = 1.0L / diag_[slot];
     for (int row : cand_) {
       if (row != pivot && work_[row] != 0.0) {
         l_cols_[k].push_back({row, work_[row] * inv});
@@ -165,28 +180,37 @@ bool LuBasis::Factorize(const SparseMatrix& a, const std::vector<int>& basis) {
     }
   }
 
+  u_nnz0_ = u_nnz_;
   factorized_ = true;
   return true;
 }
 
-void LuBasis::Ftran(std::vector<Scalar>& x) const {
-  // Forward solve with L (unit diagonal), consuming x row by pivot order.
+void LuBasis::Ftran(std::vector<Scalar>& x,
+                    std::vector<Scalar>* spike_out) const {
+  // Forward solve with L — a fixed product of column transforms, applied
+  // in factorization order regardless of any later position rotation.
   for (int k = 0; k < m_; ++k) {
-    const Scalar xt = x[pivot_row_[k]];
-    pos_work_[k] = xt;
+    const Scalar xt = x[l_pivot_row_[k]];
     if (xt == 0.0) continue;
     for (const LuEntry& e : l_cols_[k]) x[e.row] -= e.value * xt;
   }
-  // Backward solve with U.
-  for (int k = m_; k-- > 0;) {
-    const Scalar zk = pos_work_[k] / diag_[k];
-    pos_work_[k] = zk;
-    if (zk == 0.0) continue;
-    for (const auto& [t, v] : u_cols_[k]) pos_work_[t] -= v * zk;
+  // Forrest–Tomlin row transforms, oldest first: x[ρ] -= μ·x.
+  for (const FtEta& eta : ft_etas_) {
+    Scalar acc = 0.0;
+    for (const LuEntry& e : eta.mu) acc += e.value * x[e.row];
+    x[eta.row] -= acc;
   }
-  // Positions back to basis slots (x is dead after the L pass).
-  for (int k = 0; k < m_; ++k) x[col_slot_[k]] = pos_work_[k];
-  // Product-form etas, oldest first: x := E⁻¹ x per basis change.
+  if (spike_out != nullptr) *spike_out = x;
+  // Backward solve with U in position order; the result lands per slot.
+  for (int k = m_; k-- > 0;) {
+    const int slot = col_slot_[k];
+    const Scalar zk = x[pivot_row_[k]] / diag_[slot];
+    pos_work_[slot] = zk;
+    if (zk == 0.0) continue;
+    for (const LuEntry& e : u_cols_[slot]) x[e.row] -= e.value * zk;
+  }
+  for (int i = 0; i < m_; ++i) x[i] = pos_work_[i];
+  // Legacy product-form etas, oldest first: x := E⁻¹ x per basis change.
   for (const Eta& eta : etas_) {
     const Scalar v = x[eta.slot] / eta.diag;
     x[eta.slot] = v;
@@ -196,35 +220,177 @@ void LuBasis::Ftran(std::vector<Scalar>& x) const {
 }
 
 void LuBasis::Btran(std::vector<Scalar>& y) const {
-  // Etas transpose-inverted, newest first.
+  // Legacy etas transpose-inverted, newest first (slot space).
   for (size_t idx = etas_.size(); idx-- > 0;) {
     const Eta& eta = etas_[idx];
     Scalar s = 0.0;
     for (const LuEntry& e : eta.off) s += e.value * y[e.row];
     y[eta.slot] = (y[eta.slot] - s) / eta.diag;
   }
-  // Slots to positions.
-  for (int k = 0; k < m_; ++k) pos_work_[k] = y[col_slot_[k]];
-  // Forward solve with Uᵀ.
+  // Forward solve with Uᵀ in position order; the result lands per row.
   for (int k = 0; k < m_; ++k) {
-    Scalar s = pos_work_[k];
-    for (const auto& [t, v] : u_cols_[k]) s -= v * pos_work_[t];
-    pos_work_[k] = s / diag_[k];
+    const int slot = col_slot_[k];
+    Scalar s = y[slot];
+    for (const LuEntry& e : u_cols_[slot]) s -= e.value * work_[e.row];
+    work_[pivot_row_[k]] = s / diag_[slot];
   }
-  // Backward solve with Lᵀ (rows referenced by L are pivotal at positions
-  // greater than k, so their entries are already final).
+  // Forrest–Tomlin transforms transposed, newest first: y -= μ y[ρ].
+  for (size_t idx = ft_etas_.size(); idx-- > 0;) {
+    const FtEta& eta = ft_etas_[idx];
+    const Scalar t = work_[eta.row];
+    if (t == 0.0) continue;
+    for (const LuEntry& e : eta.mu) work_[e.row] -= e.value * t;
+  }
+  // Backward solve with Lᵀ in reverse factorization order (rows referenced
+  // by l_cols_[k] are pivotal later in the L sequence, already final).
   for (int k = m_; k-- > 0;) {
-    Scalar s = pos_work_[k];
-    for (const LuEntry& e : l_cols_[k]) {
-      s -= e.value * pos_work_[row_pos_[e.row]];
-    }
-    pos_work_[k] = s;
+    Scalar s = work_[l_pivot_row_[k]];
+    for (const LuEntry& e : l_cols_[k]) s -= e.value * work_[e.row];
+    work_[l_pivot_row_[k]] = s;
   }
-  // Positions back to constraint rows.
-  for (int k = 0; k < m_; ++k) y[pivot_row_[k]] = pos_work_[k];
+  for (int i = 0; i < m_; ++i) y[i] = work_[i];
 }
 
-bool LuBasis::Update(const std::vector<Scalar>& w, int r) {
+bool LuBasis::Update(const SparseMatrix& a, int col,
+                     const std::vector<Scalar>& w, int r,
+                     const std::vector<Scalar>* spike) {
+  if (options_.forrest_tomlin) {
+    return UpdateForrestTomlin(a, col, w, r, spike);
+  }
+  return UpdateEta(w, r);
+}
+
+bool LuBasis::UpdateForrestTomlin(const SparseMatrix& a, int col,
+                                  const std::vector<Scalar>& w, int r,
+                                  const std::vector<Scalar>* spike) {
+  const int p = slot_pos_[r];
+  const int rho = pivot_row_[p];
+
+  // Spike: the entering column pushed through L and the prior FT
+  // transforms — the forward half of Ftran, row-indexed. Replaces column
+  // p of U (in position terms) once the update commits. The simplex just
+  // FTRANed this very column for the ratio test, so the caller usually
+  // hands the captured intermediate in and the forward solve is skipped.
+  if (spike != nullptr) {
+    for (int i = 0; i < m_; ++i) spike_[i] = (*spike)[i];
+  } else {
+    for (const SparseEntry* e = a.ColBegin(col); e != a.ColEnd(col); ++e) {
+      spike_[e->row] += e->value;
+    }
+    for (int k = 0; k < m_; ++k) {
+      const Scalar xt = spike_[l_pivot_row_[k]];
+      if (xt == 0.0) continue;
+      for (const LuEntry& e : l_cols_[k]) spike_[e.row] -= e.value * xt;
+    }
+    for (const FtEta& eta : ft_etas_) {
+      Scalar acc = 0.0;
+      for (const LuEntry& e : eta.mu) acc += e.value * spike_[e.row];
+      spike_[eta.row] -= acc;
+    }
+  }
+  Scalar spike_max = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    spike_max = std::max(spike_max, std::abs(spike_[i]));
+  }
+
+  auto clear_scratch = [&] {
+    for (int i = 0; i < m_; ++i) spike_[i] = 0.0;
+    for (const LuEntry& e : mu_entries_) mu_work_[e.row] = 0.0;
+    mu_entries_.clear();
+    row_hits_.clear();
+  };
+
+  // Cycling position p to the end leaves U triangular except for the
+  // now-bottom row ρ, whose entries sit in the trailing columns. Scan them
+  // (without mutating — a rejected update must leave the factorization
+  // untouched) and eliminate left to right: the multipliers solve the
+  // triangular system μᵀ U_trail = row_ρ, computed pull-style against the
+  // column-stored U.
+  mu_entries_.clear();
+  row_hits_.clear();
+  Scalar unew = spike_[rho];
+  for (int k = p + 1; k < m_; ++k) {
+    const int slot = col_slot_[k];
+    const std::vector<LuEntry>& ucol = u_cols_[slot];
+    Scalar val = 0.0;
+    for (size_t idx = 0; idx < ucol.size(); ++idx) {
+      const LuEntry& e = ucol[idx];
+      if (e.row == rho) {
+        val += e.value;
+        row_hits_.emplace_back(slot, static_cast<int>(idx));
+      } else {
+        const Scalar mu = mu_work_[e.row];
+        if (mu != 0.0) val -= mu * e.value;
+      }
+    }
+    if (val == 0.0) continue;
+    const Scalar mu = val / diag_[slot];
+    mu_work_[pivot_row_[k]] = mu;
+    mu_entries_.push_back({pivot_row_[k], mu});
+    unew -= mu * spike_[pivot_row_[k]];
+  }
+
+  // Stability: the new diagonal must be pivotable at the spike's scale,
+  // and must agree with the value the ratio-test pivot predicts
+  // (u_new = u_pp · w_r exactly, via det B_new / det B_old = w_r) —
+  // disagreement means the factors have drifted and only a fresh
+  // factorization restores clean numerics.
+  const Scalar predicted = diag_[r] * w[r];
+  const Scalar diff = std::abs(unew - predicted);
+  if (std::abs(unew) < options_.abs_pivot_tol ||
+      std::abs(unew) < options_.ft_rel_tol * spike_max ||
+      (diff > options_.abs_pivot_tol &&
+       diff > options_.ft_agree_tol *
+                  std::max(std::abs(unew), std::abs(predicted)))) {
+    if (std::getenv("LPB_LU_DEBUG")) {
+      std::fprintf(stderr,
+                   "FT reject: slot=%d pos=%d/%d unew=%.3e predicted=%.3e "
+                   "spike_max=%.3e\n",
+                   r, p, m_, static_cast<double>(unew),
+                   static_cast<double>(predicted),
+                   static_cast<double>(spike_max));
+    }
+    clear_scratch();
+    return false;
+  }
+
+  // Commit. Remove the eliminated row-ρ entries (swap-erase; entry order
+  // within a column is irrelevant to the solves), replace column r with
+  // the spike, rotate position p to the end, and record the transform.
+  for (size_t h = row_hits_.size(); h-- > 0;) {
+    std::vector<LuEntry>& ucol = u_cols_[row_hits_[h].first];
+    ucol[row_hits_[h].second] = ucol.back();
+    ucol.pop_back();
+  }
+  u_nnz_ -= static_cast<int64_t>(row_hits_.size());
+  u_nnz_ -= static_cast<int64_t>(u_cols_[r].size());
+  u_cols_[r].clear();
+  for (int i = 0; i < m_; ++i) {
+    if (i != rho && spike_[i] != 0.0) u_cols_[r].push_back({i, spike_[i]});
+  }
+  u_nnz_ += static_cast<int64_t>(u_cols_[r].size());
+  diag_[r] = unew;
+  std::rotate(pivot_row_.begin() + p, pivot_row_.begin() + p + 1,
+              pivot_row_.end());
+  std::rotate(col_slot_.begin() + p, col_slot_.begin() + p + 1,
+              col_slot_.end());
+  for (int k = p; k < m_; ++k) {
+    row_pos_[pivot_row_[k]] = k;
+    slot_pos_[col_slot_[k]] = k;
+  }
+  if (!mu_entries_.empty()) {
+    transform_nnz_ += static_cast<int64_t>(mu_entries_.size());
+    ft_etas_.push_back({rho, mu_entries_});
+    for (const LuEntry& e : mu_entries_) mu_work_[e.row] = 0.0;
+    mu_entries_.clear();
+  }
+  for (int i = 0; i < m_; ++i) spike_[i] = 0.0;
+  row_hits_.clear();
+  ++updates_;
+  return true;
+}
+
+bool LuBasis::UpdateEta(const std::vector<Scalar>& w, int r) {
   Scalar max_abs = 0.0;
   for (Scalar v : w) max_abs = std::max(max_abs, std::abs(v));
   // A tiny eta pivot relative to the spike magnifies every later solve;
@@ -239,7 +405,9 @@ bool LuBasis::Update(const std::vector<Scalar>& w, int r) {
   for (int i = 0; i < m_; ++i) {
     if (i != r && w[i] != 0.0) eta.off.push_back({i, w[i]});
   }
+  transform_nnz_ += static_cast<int64_t>(eta.off.size());
   etas_.push_back(std::move(eta));
+  ++updates_;
   return true;
 }
 

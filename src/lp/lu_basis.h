@@ -1,10 +1,10 @@
-// LU-factorized simplex basis with product-form updates.
+// LU-factorized simplex basis with Forrest–Tomlin (or product-form eta)
+// updates.
 //
-// Maintains B = [A[:, basis[0]], ..., A[:, basis[m-1]]] as P' L U Q' plus a
-// short eta file, supporting the two solves every revised-simplex iteration
-// needs:
+// Maintains B = [A[:, basis[0]], ..., A[:, basis[m-1]]] in factored form,
+// supporting the two solves every revised-simplex iteration needs:
 //   FTRAN  x = B⁻¹ b   (entering-column transform, basic values)
-//   BTRAN  y = B⁻ᵀ c   (duals / pricing, B⁻¹ rows for the ratio test)
+//   BTRAN  y = B⁻ᵀ y   (duals / pricing, B⁻¹ rows for the ratio test)
 //
 // Factorization is Gilbert–Peierls left-looking sparse LU: each basis
 // column is transformed by a sparse triangular solve whose nonzero pattern
@@ -16,22 +16,42 @@
 // pre-ordered by increasing nonzero count, so unit slack/artificial
 // columns (the bulk of early bases) factor in O(1) with zero fill.
 //
+// Storage is permutation-invariant: L is kept in its fixed factorization
+// sequence (a product of column transforms, never reordered), U is stored
+// by *basis slot* with entries referencing *original rows*, and the
+// triangular order lives in separate position maps (pivot_row_/col_slot_
+// and their inverses). A basis update therefore only rotates the position
+// maps — no stored index is ever relabeled.
+//
+// Basis changes apply a Forrest–Tomlin update by default: the entering
+// column's spike (its image under L and the prior updates) replaces the
+// leaving column of U, the leaving position is cycled to the end, and the
+// now-bottom row of U is eliminated by a sparse triangular solve whose
+// multipliers are recorded as one row transform applied inside every later
+// FTRAN/BTRAN. U stays genuinely triangular in place, so update chains run
+// long (max_updates, default 64) before a refactorization — the
+// refactorize-every-32-pivots cadence of the legacy product-form eta file
+// (still selectable via LuOptions::forrest_tomlin = false) is gone from
+// the warm-resolve hot path. Two guards force an early refactorization:
+//   * stability — the new diagonal must clear an absolute and a
+//     spike-relative threshold, and must agree with the value predicted
+//     from the ratio-test pivot (u_new = u_pp · w_r in exact arithmetic);
+//     disagreement means the factors have drifted. A failed test leaves
+//     the factorization untouched and returns false so the caller
+//     refactorizes against the updated basis header.
+//   * fill — the update appends the spike to U and the multipliers to the
+//     transform list; when their combined nonzeros exceed fill_limit ×
+//     the freshly factored size, NeedsRefactorize() trips.
+//
 // All factors and solves are kept in long double, for the same reason the
 // dense tableau is (lp/dense_tableau.h): the lexicographic ratio test
 // legitimately pivots on tiny elements, and in plain double the FTRAN
 // image of a *true zero* (noise ~ cond(B)·u) becomes indistinguishable
 // from such a pivot — which is how degenerate solves go off the rails.
-//
-// Basis changes apply a product-form (eta) update: B_new = B_old · E with E
-// the identity except column r = w = B_old⁻¹ a_enter, so FTRAN/BTRAN gain
-// one sparse rank-1 transform per pivot. When the eta file reaches
-// max_etas, or an update pivot w_r is too small to be stable, the caller
-// refactorizes from scratch (refactorize-on-threshold; a Forrest–Tomlin
-// update that rewrites U in place is a possible follow-on, see
-// src/lp/README.md).
 #ifndef LPB_LP_LU_BASIS_H_
 #define LPB_LP_LU_BASIS_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -42,14 +62,25 @@ namespace lpb {
 struct LuOptions {
   double abs_pivot_tol = 1e-11;  // reject pivots below this outright
   double rel_pivot_tol = 0.1;    // threshold for Markowitz tie candidates
-  int max_etas = 32;             // refactorize after this many updates
-  // Minimum |w_r| / ||w||_inf for an eta pivot. The simplex's
+  // Forrest–Tomlin in-place U update (default) vs legacy product-form
+  // etas. The revised simplex maps SimplexOptions::basis_update here.
+  bool forrest_tomlin = true;
+  // Updates carried between refactorizations. 0 = automatic: 64 for
+  // Forrest–Tomlin, 32 for the eta file (the eta stack re-applies every
+  // transform on every solve, so it saturates sooner).
+  int max_updates = 0;
+  // Minimum |w_r| / ||w||_inf for an eta pivot (eta mode). The simplex's
   // lexicographic ratio test legitimately pivots on tiny elements, but an
   // eta file dividing by them amplifies noise in every later solve.
-  // Rejecting them forces a refactorization, whose internal threshold
-  // pivoting picks a stable elimination order regardless of which element
-  // the simplex pivoted on.
   double eta_rel_tol = 1e-4;
+  // FT stability: the new diagonal must be at least ft_rel_tol × ||spike||∞
+  // and must agree with the pivot-predicted value to ft_agree_tol
+  // (relative). Failing either refuses the update (caller refactorizes).
+  double ft_rel_tol = 1e-7;
+  double ft_agree_tol = 1e-6;
+  // Refactorize when U-plus-transform nonzeros exceed this multiple of the
+  // freshly factored nonzero count (bounded fill).
+  double fill_limit = 3.0;
 };
 
 class LuBasis {
@@ -57,7 +88,7 @@ class LuBasis {
   // Working precision of factors and solves (see file comment).
   using Scalar = long double;
 
-  explicit LuBasis(LuOptions options = {}) : options_(options) {}
+  explicit LuBasis(LuOptions options = {});
 
   // Factorizes the basis columns of `a`. Returns false if the basis is
   // numerically singular (no acceptable pivot in some column); the
@@ -66,23 +97,39 @@ class LuBasis {
 
   bool factorized() const { return factorized_; }
   int m() const { return m_; }
-  int eta_count() const { return static_cast<int>(etas_.size()); }
-  bool NeedsRefactorize() const { return eta_count() >= options_.max_etas; }
+  // Basis updates absorbed since the last Factorize (FT or eta).
+  int update_count() const { return updates_; }
+  bool NeedsRefactorize() const {
+    return updates_ >= max_updates_ ||
+           static_cast<double>(u_nnz_ + transform_nnz_) >
+               options_.fill_limit * static_cast<double>(u_nnz0_ + m_);
+  }
 
   // x := B⁻¹ x. In: x indexed by constraint row. Out: x indexed by basis
-  // slot (x[i] is the value of basic variable basis[i]).
-  void Ftran(std::vector<Scalar>& x) const;
+  // slot (x[i] is the value of basic variable basis[i]). When `spike_out`
+  // is non-null it receives the row-indexed intermediate after the L pass
+  // and the Forrest–Tomlin transforms, before the U backsolve — exactly
+  // the spike a subsequent Update of this column needs, saving Update the
+  // duplicate forward solve (pass it via Update's `spike` parameter; it
+  // is only valid while the factorization is unchanged).
+  void Ftran(std::vector<Scalar>& x,
+             std::vector<Scalar>* spike_out = nullptr) const;
 
   // y := B⁻ᵀ y. In: y indexed by basis slot (e.g. the basic costs).
   // Out: y indexed by constraint row (e.g. the duals). Btran(e_slot)
   // yields row `slot` of B⁻¹ — the ratio test's lexicographic tie-break.
   void Btran(std::vector<Scalar>& y) const;
 
-  // Records the basis change "column of slot r replaced by the column whose
-  // FTRAN image is w" as an eta transform. Returns false (leaving the
-  // factorization unchanged) when |w[r]| is too small to pivot on — the
-  // caller must refactorize against the updated basis header instead.
-  bool Update(const std::vector<Scalar>& w, int r);
+  // Records the basis change "column of slot r replaced by column `col` of
+  // `a`, whose FTRAN image is w". Forrest–Tomlin mode rewrites U in place;
+  // eta mode appends a product-form transform (and ignores a/col). An
+  // optional `spike` — the intermediate captured by Ftran(x, &spike) for
+  // this very column under this very factorization — skips the update's
+  // own forward solve. Returns false — leaving the factorization
+  // unchanged — when the update would be numerically unstable; the caller
+  // must refactorize against the updated basis header instead.
+  bool Update(const SparseMatrix& a, int col, const std::vector<Scalar>& w,
+              int r, const std::vector<Scalar>* spike = nullptr);
 
  private:
   struct LuEntry {
@@ -90,25 +137,50 @@ class LuBasis {
     Scalar value = 0.0;
   };
 
+  bool UpdateForrestTomlin(const SparseMatrix& a, int col,
+                           const std::vector<Scalar>& w, int r,
+                           const std::vector<Scalar>* spike);
+  bool UpdateEta(const std::vector<Scalar>& w, int r);
+
   LuOptions options_;
+  int max_updates_ = 0;  // resolved from options_.max_updates
   bool factorized_ = false;
   int m_ = 0;
+  int updates_ = 0;
 
-  // Row permutation: pivot_row_[k] = original row pivotal at position k;
-  // row_pos_ is its inverse. Column permutation: col_slot_[k] = basis slot
-  // factored at position k; slot_pos_ its inverse.
+  // Position maps, mutated by FT updates (a cyclic left-rotation of the
+  // replaced position to the end). pivot_row_[k] = original row pivotal at
+  // position k; row_pos_ its inverse. col_slot_[k] = basis slot at
+  // position k; slot_pos_ its inverse.
   std::vector<int> pivot_row_;
   std::vector<int> row_pos_;
   std::vector<int> col_slot_;
   std::vector<int> slot_pos_;
 
-  // L (unit diagonal) stored by column: entries (original row, multiplier)
-  // strictly below the pivot. U stored by column: off-diagonal entries
-  // (position t < k, value) plus the diagonal diag_[k].
+  // L (unit diagonal) as a product of column transforms in the fixed
+  // factorization sequence: l_cols_[k] holds (original row, multiplier)
+  // strictly below pivot row l_pivot_row_[k]. Never reordered by updates.
   std::vector<std::vector<LuEntry>> l_cols_;
-  std::vector<std::vector<std::pair<int, Scalar>>> u_cols_;
-  std::vector<Scalar> diag_;
+  std::vector<int> l_pivot_row_;
 
+  // U stored by basis slot: off-diagonal entries (original row, value) at
+  // rows pivotal earlier in position order, plus the diagonal diag_[slot].
+  std::vector<std::vector<LuEntry>> u_cols_;
+  std::vector<Scalar> diag_;
+  int64_t u_nnz_ = 0;           // current off-diagonal U entries
+  int64_t u_nnz0_ = 0;          // off-diagonal U entries at Factorize
+  int64_t transform_nnz_ = 0;   // FT-row-transform + eta entries
+
+  // One Forrest–Tomlin row transform R = I - e_row μᵀ (row space): applied
+  // oldest-first inside FTRAN after the L pass, newest-first transposed
+  // inside BTRAN before the Lᵀ pass.
+  struct FtEta {
+    int row = 0;
+    std::vector<LuEntry> mu;
+  };
+  std::vector<FtEta> ft_etas_;
+
+  // Legacy product-form eta (slot space), applied outside the base solves.
   struct Eta {
     int slot = 0;
     Scalar diag = 0.0;
@@ -116,10 +188,14 @@ class LuBasis {
   };
   std::vector<Eta> etas_;
 
-  // Scratch for Factorize/Ftran/Btran (single-threaded per instance, like
-  // the CompiledBound that owns the tableau).
+  // Scratch for Factorize/Ftran/Btran/Update (single-threaded per
+  // instance, like the CompiledBound that owns the tableau).
   mutable std::vector<Scalar> work_;
   mutable std::vector<Scalar> pos_work_;
+  mutable std::vector<Scalar> spike_;    // FT spike, row-indexed
+  mutable std::vector<Scalar> mu_work_;  // FT multipliers, row-indexed
+  mutable std::vector<LuEntry> mu_entries_;
+  mutable std::vector<std::pair<int, int>> row_hits_;  // (slot, entry index)
   mutable std::vector<char> visited_;
   mutable std::vector<std::pair<int, int>> dfs_stack_;  // (position, edge idx)
   mutable std::vector<int> topo_;

@@ -16,7 +16,16 @@ constexpr long double kInf = std::numeric_limits<long double>::infinity();
 
 RevisedSimplex::RevisedSimplex(const LpProblem& problem,
                                const SimplexOptions& options)
-    : problem_(problem), options_(options) {}
+    : problem_(problem),
+      options_(options),
+      pricing_(ResolveLpPricing(options)),
+      update_kind_(ResolveBasisUpdate(options)) {
+  LuOptions lu_options;
+  lu_options.forrest_tomlin =
+      update_kind_ == BasisUpdateKind::kForrestTomlin;
+  lu_options.max_updates = options_.max_basis_updates;
+  lu_ = LuBasis(lu_options);
+}
 
 RevisedSimplex::Scalar RevisedSimplex::NormalizedRhs(
     int i, const std::vector<double>& rhs) const {
@@ -94,11 +103,19 @@ void RevisedSimplex::Build(const std::vector<double>& rhs) {
   phase2_cost_.assign(cols_, 0.0);
   for (int j = 0; j < n; ++j) phase2_cost_[j] = problem_.objective_coef(j);
 
-  Refactorize();
+  // Initial factorization of the identity starting basis — not counted as
+  // a refactorization in stats_ (those measure re-work after the first).
+  if (!lu_.Factorize(a_, basis_)) {
+    numerical_failure_ = true;
+    return;
+  }
+  x_basic_ = b_;
+  lu_.Ftran(x_basic_);
 }
 
 bool RevisedSimplex::Refactorize() {
   InvalidateReprice();
+  ++stats_.refactorizations;
   if (!lu_.Factorize(a_, basis_)) {
     numerical_failure_ = true;
     return false;
@@ -225,15 +242,32 @@ int RevisedSimplex::ChooseLeavingSlot(const std::vector<Scalar>& w) {
 
 bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
                                 const std::vector<Scalar>& w) {
-  InvalidateReprice();  // every pivot changes B (eta update or refactorize)
+  InvalidateReprice();  // every pivot changes B (FT/eta update or refactor)
   const int out = basis_[leave_slot];
   in_basis_[out] = kNoCol;
   basis_[leave_slot] = enter;
   in_basis_[enter] = leave_slot;
-  // Product-form update; on rejection (tiny eta pivot) or a full eta file,
-  // refactorize against the new basis header. Refactorization also
-  // recomputes the basic values from b_, squashing accumulated drift.
-  if (!lu_.Update(w, leave_slot) || lu_.NeedsRefactorize()) {
+  // Basis update — Forrest–Tomlin rewrites U in place, the legacy mode
+  // appends a product-form eta. On rejection (unstable update) or an
+  // exhausted update/fill budget, refactorize against the new basis
+  // header. Refactorization also recomputes the basic values from b_,
+  // squashing accumulated drift.
+  // spike_ is the pre-U intermediate the entering column's FTRAN captured
+  // (every ApplyPivot call site FTRANs the entering column immediately
+  // before, with no factorization change in between), so the update skips
+  // its own forward solve.
+  const bool updated = lu_.Update(a_, enter, w, leave_slot, &spike_);
+  if (updated) {
+    if (update_kind_ == BasisUpdateKind::kForrestTomlin) {
+      ++stats_.ft_updates;
+    } else {
+      ++stats_.eta_updates;
+    }
+  } else {
+    ++stats_.rejected_updates;
+  }
+  if (!updated || lu_.NeedsRefactorize()) {
+    ++stats_.refactorizations;
     if (!lu_.Factorize(a_, basis_)) {
       // The post-pivot basis is numerically singular: the pivot element
       // cleared eps only through drift in the eta stack. Roll the header
@@ -263,6 +297,10 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
   int consecutive_rejects = 0;
   int stalled = 0;  // degenerate (zero-step) pivots since the last progress
   bland_mode_ = false;
+  // Fresh Devex reference framework per phase: every column starts at
+  // weight 1 (the framework is the phase-start nonbasic set).
+  if (pricing_ == PricingRule::kDevex) devex_w_.assign(cols_, 1.0);
+  price_list_.clear();
   while (true) {
     if (numerical_failure_ || iterations_ >= max_iterations_) return false;
 
@@ -272,33 +310,40 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
     // degenerate LPs — so after a long run of zero-step pivots, switch to
     // Bland's rule (smallest-index pricing + smallest-index tie-break),
     // whose termination guarantee holds from any basis with no invariant
-    // to preserve. Dantzig pricing resumes as soon as a pivot moves.
+    // to preserve. Dantzig/Devex pricing resumes as soon as a pivot moves.
     bland_mode_ = stalled > kBlandStallThreshold;
     // Diagnostic heartbeat (see "Debugging" in src/lp/README.md).
     if (iterations_ % 5000 == 0 && iterations_ > 0 &&
         std::getenv("LPB_RS_DEBUG") != nullptr) {
       Scalar obj = 0.0;
       for (int i = 0; i < rows_; ++i) obj += cost[basis_[i]] * x_basic_[i];
-      std::fprintf(stderr,
-                   "RS iter=%d obj=%.9f stalled=%d bland=%d etas=%d rows=%d\n",
-                   iterations_, static_cast<double>(obj), stalled,
-                   bland_mode_ ? 1 : 0, lu_.eta_count(), rows_);
+      std::fprintf(
+          stderr,
+          "RS iter=%d obj=%.9f stalled=%d bland=%d updates=%d rows=%d\n",
+          iterations_, static_cast<double>(obj), stalled, bland_mode_ ? 1 : 0,
+          lu_.update_count(), rows_);
     }
 
-    // Price: y = B⁻ᵀ c_B once, then one sparse dot per nonbasic column.
+    // Price: y = B⁻ᵀ c_B once, then one sparse dot per priced column.
     ComputeDuals(cost);
     int enter = kNoCol;
     double best = eps;
     const int limit = phase_two ? first_art_ : cols_;  // artificials barred
-    for (int j = 0; j < limit; ++j) {
-      if (in_basis_[j] != kNoCol || frozen_[j]) continue;
-      const double reduced =
-          cost[j] - static_cast<double>(a_.DotColumn(j, y_));
-      if (reduced > best) {
-        best = reduced;
-        enter = j;
-        if (bland_mode_) break;  // smallest eligible index
+    if (bland_mode_) {
+      // Bland's entering rule: the smallest eligible index, always over a
+      // full sweep (partial pricing would break its termination argument).
+      for (int j = 0; j < limit; ++j) {
+        if (in_basis_[j] != kNoCol || frozen_[j]) continue;
+        const double reduced =
+            cost[j] - static_cast<double>(a_.DotColumn(j, y_));
+        if (reduced > best) {
+          best = reduced;
+          enter = j;
+          break;
+        }
       }
+    } else {
+      enter = PriceEntering(cost, limit, best);
     }
     if (enter == kNoCol) return true;  // optimal for this phase
 
@@ -307,13 +352,13 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
          ++e) {
       w_[e->row] = e->value;
     }
-    lu_.Ftran(w_);
+    lu_.Ftran(w_, &spike_);
 
     // Cross-check the BTRAN-priced reduced cost against the FTRAN image
-    // (c_j - c_B'w must match c_j - y'A_j). Disagreement means the eta
-    // stack has drifted; refactorize and re-price rather than pivot on
+    // (c_j - c_B'w must match c_j - y'A_j). Disagreement means the update
+    // chain has drifted; refactorize and re-price rather than pivot on
     // fiction. Skip when the factorization is already fresh.
-    if (lu_.eta_count() > 0) {
+    if (lu_.update_count() > 0) {
       Scalar cbw = 0.0;
       for (int i = 0; i < rows_; ++i) cbw += cb_[i] * w_[i];
       const double ftran_reduced =
@@ -335,6 +380,13 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
       }
       unbounded_ = true;
       return true;
+    }
+    // Devex weights ride the pivot row of the *old* basis, so they are
+    // staged before the factorization absorbs the pivot — and committed
+    // only if the pivot actually goes through (a rejected-and-rolled-back
+    // pivot must not leave phantom weight updates behind).
+    if (pricing_ == PricingRule::kDevex) {
+      PrepareDevexWeights(enter, leave, w_, limit);
     }
     const Scalar step = x_basic_[leave] / w_[leave];
     if (!ApplyPivot(enter, leave, w_)) {
@@ -358,6 +410,7 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
       }
       continue;
     }
+    if (pricing_ == PricingRule::kDevex) CommitDevexWeights();
     consecutive_rejects = 0;
     if (step > 1e-12) {
       stalled = 0;
@@ -365,6 +418,124 @@ bool RevisedSimplex::RunPhase(const std::vector<double>& cost,
       ++stalled;
     }
     ++iterations_;
+    if (phase_two) {
+      ++stats_.phase2_pivots;
+    } else {
+      ++stats_.phase1_pivots;
+    }
+  }
+}
+
+int RevisedSimplex::PriceEntering(const std::vector<double>& cost, int limit,
+                                  double& best) {
+  const double eps = options_.eps;
+  const bool partial = limit >= kPartialPricingMinCols;
+  // Criterion: reduced cost (Dantzig) or reduced²/γ (Devex); ties break to
+  // the lower index via strict comparison, keeping the rule deterministic.
+  auto criterion = [&](int j, double reduced) {
+    return pricing_ == PricingRule::kDevex ? reduced * reduced / devex_w_[j]
+                                           : reduced;
+  };
+  if (partial && !price_list_.empty()) {
+    // Candidate pass: re-price only the list, compacting out columns that
+    // went basic, got frozen, or priced out since the last sweep.
+    int enter = kNoCol;
+    double best_score = 0.0;
+    size_t keep = 0;
+    for (int j : price_list_) {
+      if (in_basis_[j] != kNoCol || frozen_[j]) continue;
+      const double reduced =
+          cost[j] - static_cast<double>(a_.DotColumn(j, y_));
+      if (reduced <= eps) continue;
+      price_list_[keep++] = j;
+      const double score = criterion(j, reduced);
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        best = reduced;
+      }
+    }
+    price_list_.resize(keep);
+    if (enter != kNoCol) return enter;
+    // List ran dry — fall through to a full sweep (which alone may declare
+    // optimality).
+  }
+  int enter = kNoCol;
+  double best_score = 0.0;
+  std::vector<std::pair<double, int>>& ranked = ranked_;
+  ranked.clear();
+  for (int j = 0; j < limit; ++j) {
+    if (in_basis_[j] != kNoCol || frozen_[j]) continue;
+    const double reduced = cost[j] - static_cast<double>(a_.DotColumn(j, y_));
+    if (reduced <= eps) continue;
+    const double score = criterion(j, reduced);
+    if (partial) ranked.emplace_back(score, j);
+    if (score > best_score) {
+      best_score = score;
+      enter = j;
+      best = reduced;
+    }
+  }
+  if (partial) {
+    // Keep the best few dozen candidates for the following iterations.
+    const size_t list_size =
+        std::min(ranked.size(), static_cast<size_t>(64 + limit / 32));
+    std::partial_sort(ranked.begin(), ranked.begin() + list_size,
+                      ranked.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first ||
+                               (a.first == b.first && a.second < b.second);
+                      });
+    price_list_.clear();
+    for (size_t k = 0; k < list_size; ++k) {
+      price_list_.push_back(ranked[k].second);
+    }
+  }
+  return enter;
+}
+
+void RevisedSimplex::PrepareDevexWeights(int enter, int leave_slot,
+                                         const std::vector<Scalar>& w,
+                                         int limit) {
+  devex_pending_.clear();
+  devex_pending_out_ = kNoCol;
+  const Scalar alpha_q = w[leave_slot];
+  if (alpha_q == 0.0) return;
+  const int out = basis_[leave_slot];
+  const double gamma_q = std::max(devex_w_[enter], 1.0);
+  // Pivot row r of B⁻¹A: one unit BTRAN against the pre-pivot basis, then
+  // a sparse dot per priced column — the same shape as a pricing pass.
+  unit_.assign(rows_, 0.0);
+  unit_[leave_slot] = 1.0;
+  lu_.Btran(unit_);
+  for (int j = 0; j < limit; ++j) {
+    if (j == enter || in_basis_[j] != kNoCol || frozen_[j]) continue;
+    const Scalar alpha = a_.DotColumn(j, unit_);
+    if (alpha == 0.0) continue;
+    const double ratio = static_cast<double>(alpha / alpha_q);
+    const double candidate = ratio * ratio * gamma_q;
+    if (candidate > devex_w_[j]) devex_pending_.emplace_back(j, candidate);
+  }
+  const double alpha_q2 = static_cast<double>(alpha_q * alpha_q);
+  devex_pending_out_ = out;
+  devex_pending_out_w_ = std::max(gamma_q / alpha_q2, 1.0);
+  devex_pending_reset_ =
+      devex_pending_out_w_ > kDevexWeightLimit || gamma_q > kDevexWeightLimit;
+}
+
+void RevisedSimplex::CommitDevexWeights() {
+  for (const auto& [j, weight] : devex_pending_) {
+    if (weight > devex_w_[j]) devex_w_[j] = weight;
+  }
+  devex_pending_.clear();
+  if (devex_pending_out_ == kNoCol) return;
+  devex_w_[devex_pending_out_] = devex_pending_out_w_;
+  devex_pending_out_ = kNoCol;
+  if (devex_pending_reset_) {
+    // Weight blow-up: the reference framework no longer approximates the
+    // steepest-edge norms — restart it from the current nonbasic set.
+    devex_w_.assign(cols_, 1.0);
+    ++stats_.devex_resets;
+    devex_pending_reset_ = false;
   }
 }
 
@@ -422,7 +593,7 @@ RevisedSimplex::DualOutcome RevisedSimplex::RunDualSimplex() {
          ++e) {
       w_[e->row] = e->value;
     }
-    lu_.Ftran(w_);
+    lu_.Ftran(w_, &spike_);
     if (std::abs(w_[leave]) <= eps) {
       // The FTRAN image disagrees with the BTRAN row (numerical drift):
       // bail to the caller's cold fallback rather than divide by noise.
@@ -432,6 +603,7 @@ RevisedSimplex::DualOutcome RevisedSimplex::RunDualSimplex() {
       return DualOutcome::kIterationLimit;  // caller falls back to cold
     }
     ++iterations_;
+    ++stats_.dual_pivots;
   }
 }
 
@@ -457,13 +629,14 @@ void RevisedSimplex::EvictArtificials() {
       for (const SparseEntry* e = a_.ColBegin(j); e != a_.ColEnd(j); ++e) {
         w_[e->row] = e->value;
       }
-      lu_.Ftran(w_);
+      lu_.Ftran(w_, &spike_);
       if (std::abs(w_[i]) <= options_.eps) continue;
       if (!ApplyPivot(j, i, w_)) {
         if (numerical_failure_) return;
         continue;  // try another column; the artificial can also stay
       }
       ++iterations_;
+      ++stats_.phase1_pivots;  // artificial eviction is phase-1 cleanup
       break;
     }
   }
@@ -485,6 +658,8 @@ LpResult RevisedSimplex::ExtractOptimal(LpEvalPath path) {
     obj += phase2_cost_[j] * result.x[j];
   }
   result.objective = obj;
+  result.pricing = pricing_;
+  result.stats = stats_;
 
   if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
     // Same basis, same cost: the duals are the previous solve's.
@@ -507,6 +682,8 @@ LpResult RevisedSimplex::Failure(LpStatus status) const {
   LpResult result;
   result.status = status;
   result.iterations = iterations_;
+  result.pricing = pricing_;
+  result.stats = stats_;
   // The LpResult contract: x/duals are sized (zeros) even on failure so
   // callers indexing them unconditionally never read stale data.
   result.x.assign(problem_.num_vars(), 0.0);
@@ -515,11 +692,16 @@ LpResult RevisedSimplex::Failure(LpStatus status) const {
 }
 
 LpResult RevisedSimplex::Solve(const std::vector<double>& rhs) {
+  stats_ = {};
+  return SolveFromScratch(rhs);
+}
+
+LpResult RevisedSimplex::SolveFromScratch(const std::vector<double>& rhs) {
   // First attempt: anti-degeneracy perturbation with exact cleanup (see
   // SolveCore). On the heavily degenerate bound LPs the unperturbed
   // simplex can reach the optimal objective and then wander the optimal
   // face for 100k+ zero-step pivots without proving optimality; the
-  // perturbed problem is nondegenerate, so Dantzig races to the optimum
+  // perturbed problem is nondegenerate, so pricing races to the optimum
   // and the cleanup restores exactness. A user-supplied perturbation
   // (options_.perturb) disables the internal one — matching the dense
   // backend, the caller then owns the perturbed semantics.
@@ -649,7 +831,7 @@ LpResult RevisedSimplex::ResolveCascade(const std::vector<double>& rhs) {
     // inconsistent); only a cold solve can decide feasibility.
     if (basis_[i] >= first_art_ &&
         std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
-      return Solve(rhs);
+      return SolveFromScratch(rhs);
     }
   }
   if (feasible) {
@@ -665,15 +847,16 @@ LpResult RevisedSimplex::ResolveCascade(const std::vector<double>& rhs) {
       // A dual ray certifies primal infeasibility in exact arithmetic, but
       // a cold two-phase solve is cheap insurance against drift in the
       // warmed factorization — and also covers the dual-simplex stall.
-      return Solve(rhs);
+      return SolveFromScratch(rhs);
   }
-  return Solve(rhs);  // unreachable
+  return SolveFromScratch(rhs);  // unreachable
 }
 
 LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
   if (!has_basis_) return Solve(rhs);
   iterations_ = 0;
   numerical_failure_ = false;
+  stats_ = {};
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 50 * (rows_ + cols_) + 1000;
@@ -703,6 +886,7 @@ std::vector<LpResult> RevisedSimplex::ResolveWithRhsBatch(
     }
     iterations_ = 0;
     numerical_failure_ = false;
+    stats_ = {};
     max_iterations_ = batch_max_iterations;
     out.push_back(ResolveCascade(rhs));
   }

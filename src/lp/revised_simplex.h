@@ -9,11 +9,26 @@
 //   BTRAN  y = B⁻ᵀ c_B                duals; reduced cost of column j is
 //                                     c_j - y·A_j, an O(nnz(A_j)) dot
 //   FTRAN  w = B⁻¹ A_enter            the pivot column, for the ratio test
-//   eta    B := B·E                   product-form basis update
+//   update B := B'                    Forrest–Tomlin in-place U rewrite
+//                                     (or a product-form eta, per options)
 //
-// so an iteration costs O(nnz(A) + m + eta work) instead of the dense
+// so an iteration costs O(nnz(A) + m + update work) instead of the dense
 // tableau's O(rows x cols) sweep — the difference between grinding and
 // finishing on the cutting-plane Γn relaxations past n ≈ 7.
+//
+// Pricing is selectable (SimplexOptions::pricing / LPB_LP_PRICING):
+// Dantzig's most-positive-reduced-cost rule, or Devex reference-framework
+// pricing — approximate steepest-edge weights γ_j ≈ ‖B⁻¹A_j‖² maintained
+// per pivot from the pivot row (one extra BTRAN + sparse dots), entering
+// column argmax d_j²/γ_j, and a full reference reset when the weights blow
+// up. Devex pays ~2x per-iteration pricing cost to cut the *number* of
+// iterations on the heavily degenerate cutting-plane relaxations, where
+// Dantzig burns hundreds of zero-step pivots per cut round. On wide
+// problems (cols ≥ kPartialPricingMinCols) both rules additionally price
+// over a candidate list: a full sweep ranks the eligible columns and keeps
+// the best few dozen, later iterations re-price only those, and the next
+// full sweep runs when the list goes dry — optimality is only ever
+// declared by a full sweep.
 //
 // Anti-cycling: the ratio test breaks ties lexicographically on the rows
 // of [B⁻¹b | B⁻¹], exactly the invariant the dense solver maintains over
@@ -29,6 +44,7 @@
 #ifndef LPB_LP_REVISED_SIMPLEX_H_
 #define LPB_LP_REVISED_SIMPLEX_H_
 
+#include <utility>
 #include <vector>
 
 #include "lp/lp_backend.h"
@@ -66,11 +82,15 @@ class RevisedSimplex : public LpBackendImpl {
 
   static constexpr int kNoCol = -1;
   // Degenerate (zero-step) pivots tolerated before the phase falls back
-  // from Dantzig + lexicographic to Bland's rule (see RunPhase).
+  // from Dantzig/Devex + lexicographic to Bland's rule (see RunPhase).
   static constexpr int kBlandStallThreshold = 100;
   // Base magnitude of the internal anti-degeneracy RHS perturbation
   // (graded per row, removed exactly by the cleanup pass in SolveCore).
   static constexpr double kAntiDegeneracyEps = 1e-7;
+  // Candidate-list (partial) pricing engages at this column count.
+  static constexpr int kPartialPricingMinCols = 512;
+  // Devex weights past this trigger a reference-framework reset.
+  static constexpr double kDevexWeightLimit = 1e8;
 
   void Build(const std::vector<double>& rhs);
   // Sets b_ from `rhs` and computes x_basic_ = B⁻¹b. Incremental when the
@@ -84,6 +104,10 @@ class RevisedSimplex : public LpBackendImpl {
   const std::vector<Scalar>& BinvColumn(int j);
   // Called whenever the basis or its factorization changes.
   void InvalidateReprice();
+  // The cold-solve driver (anti-degeneracy attempt + unperturbed rerun)
+  // behind the public Solve(); shared with the cascade's cold fallback so
+  // a fallback accumulates into the call's stats_ instead of resetting it.
+  LpResult SolveFromScratch(const std::vector<double>& rhs);
   // The cold two-phase solve behind Solve(). With `anti_degeneracy`, the
   // normalized RHS gets graded positive shifts so the ratio test is
   // (almost) never tied, and a cleanup pass restores the true RHS from
@@ -96,6 +120,24 @@ class RevisedSimplex : public LpBackendImpl {
   bool Refactorize();
   // Primal phase on `cost`; false on iteration limit or numerical failure.
   bool RunPhase(const std::vector<double>& cost, bool phase_two);
+  // Entering-column choice for RunPhase's non-Bland iterations: Dantzig or
+  // Devex criterion, over the candidate list when partial pricing is
+  // active (falling back to — and rebuilding the list from — a full sweep
+  // when the list goes dry). Returns kNoCol only after a full sweep found
+  // no eligible column; `best` is the entering column's reduced cost.
+  int PriceEntering(const std::vector<double>& cost, int limit, double& best);
+  // Devex weight maintenance for the chosen (enter, leave_slot) pivot, in
+  // two halves: Prepare runs against the *pre-pivot* basis (one BTRAN
+  // materializes the pivot row, and every nonbasic column's candidate
+  // weight is staged — all columns, not just the candidate list: stale
+  // weights were measured to cost far more pivots than the full update
+  // pass costs to maintain), and Commit applies the staged weights only
+  // once ApplyPivot has actually taken the pivot (a rejected-and-rolled-
+  // back pivot must not leave phantom updates behind). Commit also resets
+  // the reference framework when weights blow past kDevexWeightLimit.
+  void PrepareDevexWeights(int enter, int leave_slot,
+                           const std::vector<Scalar>& w, int limit);
+  void CommitDevexWeights();
   enum class DualOutcome { kOptimal, kInfeasible, kIterationLimit };
   DualOutcome RunDualSimplex();
   // The witness / dual-simplex / cold cascade against the cached basis —
@@ -120,6 +162,8 @@ class RevisedSimplex : public LpBackendImpl {
 
   LpProblem problem_;
   SimplexOptions options_;
+  PricingRule pricing_ = PricingRule::kDantzig;        // resolved, pinned
+  BasisUpdateKind update_kind_ = BasisUpdateKind::kForrestTomlin;
 
   int rows_ = 0;
   int cols_ = 0;       // structural + slack/surplus + artificial
@@ -155,14 +199,34 @@ class RevisedSimplex : public LpBackendImpl {
   std::vector<double> cached_duals_;
   std::vector<bool> frozen_;
 
+  // Per-call counters (LpResult::stats): reset at the public entry points
+  // (Solve, ResolveWithRhs, each batch column) and accumulated across the
+  // whole cascade, including cold fallbacks and the anti-degeneracy rerun.
+  LpSolveStats stats_;
+  // Devex reference weights per column (reset to 1 per phase and on
+  // blow-up), the staged updates of the pending pivot (see
+  // PrepareDevexWeights/CommitDevexWeights), and the candidate list of
+  // partial pricing.
+  std::vector<double> devex_w_;
+  std::vector<std::pair<int, double>> devex_pending_;  // (col, new weight)
+  int devex_pending_out_ = kNoCol;
+  double devex_pending_out_w_ = 1.0;
+  bool devex_pending_reset_ = false;
+  std::vector<int> price_list_;
+
   // Scratch (slot/row space, size rows_).
   std::vector<Scalar> y_;     // duals
   std::vector<Scalar> w_;     // FTRAN image of the entering column
+  // Pre-U intermediate of the entering column's FTRAN (the FT spike),
+  // captured so ApplyPivot's basis update skips the duplicate forward
+  // solve. Valid only between the capturing Ftran and the pivot.
+  std::vector<Scalar> spike_;
   std::vector<Scalar> cb_;    // basic costs
   std::vector<Scalar> unit_;  // unit-vector solves (B⁻¹ columns/rows)
   std::vector<Scalar> row_l_;  // leaving row of B⁻¹ (dual simplex, evict)
   std::vector<int> tied_;       // ratio-test tie candidates
   std::vector<int> survivors_;  // tie candidates surviving a coordinate
+  std::vector<std::pair<double, int>> ranked_;  // pricing-sweep scratch
 };
 
 }  // namespace lpb

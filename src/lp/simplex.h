@@ -40,6 +40,65 @@ enum class LpBackendKind { kDefault, kDense, kRevised };
 // "dense" / "revised"; kDefault renders as "default".
 const char* LpBackendName(LpBackendKind kind);
 
+// Pricing rule of the revised backend's primal phases (the dense tableau
+// always prices with Dantzig's rule).
+//   kDefault — consult LPB_LP_PRICING ("dantzig" or "devex"); dantzig when
+//              unset. Like LpBackendKind::kDefault, this is the only value
+//              that honors the env var, so tests pinning a rule stay pinned.
+//   kDantzig — most positive reduced cost (the original rule).
+//   kDevex   — Devex reference-framework pricing: approximate steepest-edge
+//              weights updated per pivot, reference frame reset on weight
+//              blow-up. Cuts iteration counts on the heavily degenerate
+//              cutting-plane relaxations; see src/lp/README.md for the
+//              default-flip criteria.
+// Wide problems additionally price over a candidate list under either rule
+// (partial pricing); see lp/revised_simplex.h.
+enum class PricingRule { kDefault, kDantzig, kDevex };
+
+// "dantzig" / "devex"; kDefault renders as "default".
+const char* PricingRuleName(PricingRule rule);
+
+// How the revised backend's LU basis absorbs a pivot (lp/lu_basis.h).
+//   kDefault       — consult LPB_LP_UPDATE ("eta" or "ft"); Forrest–Tomlin
+//                    when unset.
+//   kForrestTomlin — rewrite U in place (spike column + row elimination);
+//                    long update chains between refactorizations.
+//   kEta           — legacy product-form eta file (refactorize-on-threshold).
+enum class BasisUpdateKind { kDefault, kEta, kForrestTomlin };
+
+// "eta" / "ft"; kDefault renders as "default".
+const char* BasisUpdateName(BasisUpdateKind kind);
+
+// Per-call solver statistics, reported on every LpResult and aggregated
+// upward into BoundResult::lp_stats and the advisor's AdvisorMetrics. All
+// counters cover one logical solver call (a Solve including its internal
+// anti-degeneracy rerun, a ResolveWithRhs including any cascade fallback,
+// or one column of a batch resolve).
+struct LpSolveStats {
+  int phase1_pivots = 0;      // primal phase-1 pivots
+  int phase2_pivots = 0;      // primal phase-2 pivots
+  int dual_pivots = 0;        // dual-simplex (warm repair) pivots
+  int refactorizations = 0;   // full LU factorizations after the first
+  int ft_updates = 0;         // Forrest–Tomlin in-place U updates taken
+  int eta_updates = 0;        // product-form eta updates taken
+  int rejected_updates = 0;   // updates refused (unstable), forcing refactor
+  int devex_resets = 0;       // Devex reference-framework resets
+
+  int TotalPivots() const {
+    return phase1_pivots + phase2_pivots + dual_pivots;
+  }
+  void Add(const LpSolveStats& o) {
+    phase1_pivots += o.phase1_pivots;
+    phase2_pivots += o.phase2_pivots;
+    dual_pivots += o.dual_pivots;
+    refactorizations += o.refactorizations;
+    ft_updates += o.ft_updates;
+    eta_updates += o.eta_updates;
+    rejected_updates += o.rejected_updates;
+    devex_resets += o.devex_resets;
+  }
+};
+
 struct LpResult {
   // NOTE: the default is deliberately a *failure* status. A default-
   // constructed LpResult must never read as solved; every solver path is
@@ -62,6 +121,11 @@ struct LpResult {
   LpEvalPath path = LpEvalPath::kCold;
   // Which solver backend produced this result (never kDefault).
   LpBackendKind backend = LpBackendKind::kDense;
+  // Which pricing rule the primal phases ran (never kDefault; always
+  // kDantzig from the dense backend).
+  PricingRule pricing = PricingRule::kDantzig;
+  // Pivot / update / refactorization counters for this call.
+  LpSolveStats stats;
 };
 
 struct SimplexOptions {
@@ -75,6 +139,17 @@ struct SimplexOptions {
   // the dense tableau; set kDense/kRevised to pin a backend regardless of
   // the environment.
   LpBackendKind backend = LpBackendKind::kDefault;
+  // Pricing rule for the revised backend's primal phases (ignored by the
+  // dense tableau, which always runs Dantzig). kDefault reads
+  // LPB_LP_PRICING and falls back to Dantzig; set kDantzig/kDevex to pin.
+  PricingRule pricing = PricingRule::kDefault;
+  // Basis-update scheme of the revised backend (ignored by dense).
+  // kDefault reads LPB_LP_UPDATE and falls back to Forrest–Tomlin.
+  BasisUpdateKind basis_update = BasisUpdateKind::kDefault;
+  // Basis updates carried between full refactorizations (revised backend).
+  // 0 = automatic: 64 for Forrest–Tomlin, 32 for the eta file. The fill
+  // budget in lp/lu_basis.h can force an earlier refactorization either way.
+  int max_basis_updates = 0;
 };
 
 // Solves the LP. The problem is copied into an internal tableau; `problem`

@@ -160,6 +160,70 @@ TEST(AdvisorConcurrent, EightThreadsBatchEstimatesStayExact) {
   EXPECT_LE(advisor.CompiledCacheSize(), queries.size());
 }
 
+TEST(AdvisorConcurrent, CompiledMapSnapshotSurvivesWriterBursts) {
+  // The compiled-bound map is read via an RCU-style atomic snapshot: a
+  // burst of writers (threads compiling fresh structures) must never
+  // serialize or corrupt concurrent readers of already-compiled entries.
+  // Self-join chains of increasing length give every thread its own
+  // stream of never-before-seen structures (distinct statistic shape
+  // multisets), while reader threads hammer one pre-compiled template.
+  Catalog db = StressDb(29);
+  const Query hot = Parse("R(X,Y), S(Y,Z)");
+  CardinalityAdvisor advisor(db);
+  const double expected = advisor.EstimateLog2(hot);
+
+  // Writer queries: chains R(X1,X2), R(X2,X3), ... of distinct lengths.
+  std::vector<Query> fresh;
+  const char* rels[] = {"R", "S", "T", "U", "V", "W"};
+  for (int len = 2; len <= 5; ++len) {
+    for (const char* rel : rels) {
+      std::string text;
+      for (int a = 0; a < len; ++a) {
+        if (a > 0) text += ", ";
+        text += std::string(rel) + "(X" + std::to_string(a) + ",X" +
+                std::to_string(a + 1) + ")";
+      }
+      fresh.push_back(Parse(text));
+    }
+  }
+  // Ground truth from an isolated advisor.
+  CardinalityAdvisor reference(db);
+  std::vector<double> fresh_expected;
+  for (const Query& q : fresh) {
+    fresh_expected.push_back(reference.EstimateLog2(q));
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        // Writer: compile a disjoint slice of the fresh structures.
+        for (size_t i = t / 2; i < fresh.size(); i += kThreads / 2) {
+          if (Mismatch(advisor.EstimateLog2(fresh[i]), fresh_expected[i])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      } else {
+        // Reader: the hot template must stay exact and lock-free through
+        // every snapshot swap the writers publish.
+        for (int round = 0; round < 300; ++round) {
+          if (Mismatch(advisor.EstimateLog2(hot), expected)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Chain length varies the shape multiset, but chains over different
+  // relations share a structure — the cache holds one entry per length
+  // plus the hot template's.
+  EXPECT_LE(advisor.CompiledCacheSize(), 5u);
+  EXPECT_GE(advisor.CompiledCacheSize(), 4u);
+}
+
 TEST(AdvisorConcurrent, ShardedStoreScalesAcrossRelations) {
   // Pure statistics-store contention: threads repeatedly estimate
   // single-relation queries over distinct relations, which hash to

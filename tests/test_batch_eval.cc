@@ -79,6 +79,20 @@ void ExpectBitwiseEqual(const BoundResult& a, const BoundResult& b,
   EXPECT_EQ(a.lp_backend, b.lp_backend) << context;
   EXPECT_EQ(a.lp_iterations, b.lp_iterations) << context;
   EXPECT_EQ(a.cut_rounds, b.cut_rounds) << context;
+  // The per-call solver statistics are part of the parity contract too:
+  // a batch column must do exactly the pivots, updates, and
+  // refactorizations its scalar twin does.
+  EXPECT_EQ(a.lp_pricing, b.lp_pricing) << context;
+  EXPECT_EQ(a.lp_stats.phase1_pivots, b.lp_stats.phase1_pivots) << context;
+  EXPECT_EQ(a.lp_stats.phase2_pivots, b.lp_stats.phase2_pivots) << context;
+  EXPECT_EQ(a.lp_stats.dual_pivots, b.lp_stats.dual_pivots) << context;
+  EXPECT_EQ(a.lp_stats.refactorizations, b.lp_stats.refactorizations)
+      << context;
+  EXPECT_EQ(a.lp_stats.ft_updates, b.lp_stats.ft_updates) << context;
+  EXPECT_EQ(a.lp_stats.eta_updates, b.lp_stats.eta_updates) << context;
+  EXPECT_EQ(a.lp_stats.rejected_updates, b.lp_stats.rejected_updates)
+      << context;
+  EXPECT_EQ(a.lp_stats.devex_resets, b.lp_stats.devex_resets) << context;
   ASSERT_EQ(a.weights.size(), b.weights.size()) << context;
   for (size_t i = 0; i < a.weights.size(); ++i) {
     EXPECT_EQ(a.weights[i], b.weights[i]) << context << " weight " << i;
@@ -91,14 +105,20 @@ void ExpectBitwiseEqual(const BoundResult& a, const BoundResult& b,
 
 // Compiles `stats`' structure twice with identical options and drives one
 // copy scalar, one batched; every per-column result and the final counters
-// must agree bitwise.
+// must agree bitwise. `pricing` pins the revised backend's pricing rule;
+// `max_basis_updates` = 1 forces a refactorization after every pivot, the
+// worst case for mid-batch factorization churn.
 void CheckEngineBatchParity(const std::string& engine_name,
                             const std::vector<ConcreteStatistic>& stats,
-                            int n, LpBackendKind backend, bool want_h_opt) {
+                            int n, LpBackendKind backend, bool want_h_opt,
+                            PricingRule pricing = PricingRule::kDefault,
+                            int max_basis_updates = 0) {
   const BoundEngine* engine = FindBoundEngine(engine_name);
   ASSERT_NE(engine, nullptr);
   EngineOptions options;
   options.simplex.backend = backend;
+  options.simplex.pricing = pricing;
+  options.simplex.max_basis_updates = max_basis_updates;
   const BoundStructure structure = StructureOf(n, stats);
   ASSERT_TRUE(engine->Supports(structure));
   auto scalar_bound = engine->Compile(structure, options);
@@ -114,9 +134,9 @@ void CheckEngineBatchParity(const std::string& engine_name,
       batch_bound->EvaluateBatch(batch, want_h_opt);
 
   ASSERT_EQ(batch_results.size(), scalar_results.size());
-  const std::string context =
-      engine_name + "/" + LpBackendName(backend) +
-      (want_h_opt ? "/h_opt" : "");
+  const std::string context = engine_name + "/" + LpBackendName(backend) +
+                              "/" + PricingRuleName(pricing) +
+                              (want_h_opt ? "/h_opt" : "");
   for (size_t c = 0; c < batch.size(); ++c) {
     ExpectBitwiseEqual(batch_results[c], scalar_results[c],
                        context + " column " + std::to_string(c));
@@ -146,6 +166,36 @@ TEST(EvaluateBatch, MatchesScalarOnAllEnginesAndBackends) {
                            /*want_h_opt=*/true);
     CheckEngineBatchParity("gamma", NonSimpleStats(), 3, backend,
                            /*want_h_opt=*/true);
+  }
+}
+
+TEST(EvaluateBatch, MatchesScalarUnderDevexPricing) {
+  // The PR-4 bitwise batch≡scalar contract must survive the new pricing
+  // rule: the same suite with Devex pinned as the active rule.
+  for (LpBackendKind backend :
+       {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+    for (const char* name : {"gamma", "normal", "auto", "agm", "panda"}) {
+      CheckEngineBatchParity(name, SimpleStats(), 3, backend,
+                             /*want_h_opt=*/false, PricingRule::kDevex);
+    }
+    CheckEngineBatchParity("gamma", NonSimpleStats(), 3, backend,
+                           /*want_h_opt=*/true, PricingRule::kDevex);
+  }
+}
+
+TEST(EvaluateBatch, MidBatchRefactorizeKeepsParity) {
+  // Regression for the Forrest–Tomlin fallback: max_basis_updates = 1
+  // trips NeedsRefactorize after every pivot, so any warm or cold column
+  // inside a batch refactorizes mid-block — which must not desynchronize
+  // the batch from the scalar sequence (the B⁻¹ memo keys on
+  // factorization identity and must invalidate on every update).
+  for (PricingRule pricing : {PricingRule::kDantzig, PricingRule::kDevex}) {
+    CheckEngineBatchParity("gamma", NonSimpleStats(), 3,
+                           LpBackendKind::kRevised, /*want_h_opt=*/false,
+                           pricing, /*max_basis_updates=*/1);
+    CheckEngineBatchParity("normal", SimpleStats(), 3,
+                           LpBackendKind::kRevised, /*want_h_opt=*/false,
+                           pricing, /*max_basis_updates=*/1);
   }
 }
 

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "lp/lp_problem.h"
+#include "lp/lu_basis.h"
 #include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
 #include "lp/tableau.h"
 #include "util/random.h"
 
@@ -283,6 +285,143 @@ INSTANTIATE_TEST_SUITE_P(BothBackends, LpFailureContract,
                          [](const testing::TestParamInfo<LpBackendKind>& i) {
                            return std::string(LpBackendName(i.param));
                          });
+
+// ---------------------------------------------------------------------------
+// LuBasis unit tests: the Forrest–Tomlin update against a from-scratch
+// refactorization of the updated basis, the unstable-update fallback, and
+// the update/fill budgets.
+
+using Scalar = LuBasis::Scalar;
+
+// A deliberately non-trivial 5x5 sparse matrix plus spare columns to pivot
+// in: column k of the basis is replaced by spare columns during updates.
+SparseMatrix FtTestMatrix() {
+  SparseMatrix a(5);
+  a.AppendColumn({{0, 2.0}, {2, 1.0}});                       // 0
+  a.AppendColumn({{1, 3.0}, {3, -1.0}});                      // 1
+  a.AppendColumn({{0, 1.0}, {2, 4.0}, {4, 0.5}});             // 2
+  a.AppendColumn({{3, 2.0}, {4, 1.0}});                       // 3
+  a.AppendColumn({{1, 1.0}, {4, 3.0}});                       // 4
+  a.AppendColumn({{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}});   // 5 (spare)
+  a.AppendColumn({{2, 2.0}, {3, 1.0}, {4, -2.0}});            // 6 (spare)
+  a.AppendColumn({{0, -1.0}, {4, 2.0}});                      // 7 (spare)
+  return a;
+}
+
+// Reference: factorize the updated basis from scratch and compare solves.
+void ExpectSameSolves(LuBasis& updated, const SparseMatrix& a,
+                      const std::vector<int>& basis, const char* context) {
+  LuBasis fresh;
+  ASSERT_TRUE(fresh.Factorize(a, basis)) << context;
+  Rng rng(99);
+  const int m = static_cast<int>(basis.size());
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Scalar> x(m), y(m);
+    for (int i = 0; i < m; ++i) x[i] = y[i] = -1.0 + 2.0 * rng.NextDouble();
+    std::vector<Scalar> x2 = x, y2 = y;
+    updated.Ftran(x);
+    fresh.Ftran(x2);
+    updated.Btran(y);
+    fresh.Btran(y2);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(static_cast<double>(x[i]), static_cast<double>(x2[i]), 1e-9)
+          << context << " ftran slot " << i << " trial " << trial;
+      EXPECT_NEAR(static_cast<double>(y[i]), static_cast<double>(y2[i]), 1e-9)
+          << context << " btran row " << i << " trial " << trial;
+    }
+  }
+}
+
+// w = B⁻¹ a_col under the current factorization — what the simplex hands
+// Update from the entering column's FTRAN image.
+std::vector<Scalar> FtranColumn(const LuBasis& lu, const SparseMatrix& a,
+                                int col) {
+  std::vector<Scalar> w(lu.m(), 0.0);
+  for (const SparseEntry* e = a.ColBegin(col); e != a.ColEnd(col); ++e) {
+    w[e->row] = e->value;
+  }
+  lu.Ftran(w);
+  return w;
+}
+
+TEST(LuBasisForrestTomlin, UpdateMatchesFreshFactorization) {
+  SparseMatrix a = FtTestMatrix();
+  std::vector<int> basis = {0, 1, 2, 3, 4};
+  LuBasis lu;
+  ASSERT_TRUE(lu.Factorize(a, basis));
+
+  // Chain three FT updates through different slots (first, middle, last in
+  // arbitrary position order); after each, solves must match a fresh
+  // factorization of the updated basis bit-for-tolerance.
+  const int replacements[][2] = {{2, 5}, {0, 6}, {4, 7}};
+  for (const auto& rep : replacements) {
+    const int slot = rep[0], col = rep[1];
+    const std::vector<Scalar> w = FtranColumn(lu, a, col);
+    ASSERT_TRUE(lu.Update(a, col, w, slot)) << "slot " << slot;
+    basis[slot] = col;
+    ExpectSameSolves(lu, a, basis,
+                     ("after replacing slot " + std::to_string(slot)).c_str());
+  }
+  EXPECT_EQ(lu.update_count(), 3);
+  EXPECT_FALSE(lu.NeedsRefactorize());
+}
+
+TEST(LuBasisForrestTomlin, UnstableUpdateIsRefusedAndHarmless) {
+  SparseMatrix a = FtTestMatrix();
+  // Column 8: numerically identical to basis column 0 — replacing any
+  // *other* slot with it makes the basis singular, so the FT diagonal
+  // collapses and the update must refuse.
+  a.AppendColumn({{0, 2.0}, {2, 1.0}});
+  std::vector<int> basis = {0, 1, 2, 3, 4};
+  LuBasis lu;
+  ASSERT_TRUE(lu.Factorize(a, basis));
+
+  const std::vector<Scalar> w = FtranColumn(lu, a, 8);
+  EXPECT_NEAR(static_cast<double>(w[0]), 1.0, 1e-12);  // the duplicate
+  EXPECT_FALSE(lu.Update(a, 8, w, 3));  // would make B singular
+  EXPECT_EQ(lu.update_count(), 0);
+  // A refused update must leave the factorization untouched and usable.
+  ExpectSameSolves(lu, a, basis, "after refused update");
+  // And a legitimate update still goes through afterwards.
+  const std::vector<Scalar> w6 = FtranColumn(lu, a, 6);
+  ASSERT_TRUE(lu.Update(a, 6, w6, 1));
+  basis[1] = 6;
+  ExpectSameSolves(lu, a, basis, "after refused-then-accepted");
+}
+
+TEST(LuBasisForrestTomlin, UpdateBudgetTripsNeedsRefactorize) {
+  SparseMatrix a = FtTestMatrix();
+  std::vector<int> basis = {0, 1, 2, 3, 4};
+  LuOptions options;
+  options.max_updates = 2;
+  LuBasis lu(options);
+  ASSERT_TRUE(lu.Factorize(a, basis));
+  for (int k = 0; k < 2; ++k) {
+    const int slot = k == 0 ? 2 : 0;
+    const int col = k == 0 ? 5 : 6;
+    const std::vector<Scalar> w = FtranColumn(lu, a, col);
+    ASSERT_TRUE(lu.Update(a, col, w, slot));
+    basis[slot] = col;
+  }
+  EXPECT_TRUE(lu.NeedsRefactorize());
+  // Factorize resets the budget.
+  ASSERT_TRUE(lu.Factorize(a, basis));
+  EXPECT_FALSE(lu.NeedsRefactorize());
+  EXPECT_EQ(lu.update_count(), 0);
+}
+
+TEST(LuBasisForrestTomlin, LegacyEtaModeStillWorks) {
+  SparseMatrix a = FtTestMatrix();
+  std::vector<int> basis = {0, 1, 2, 3, 4};
+  LuOptions options;
+  options.forrest_tomlin = false;
+  LuBasis lu(options);
+  ASSERT_TRUE(lu.Factorize(a, basis));
+  const std::vector<Scalar> w = FtranColumn(lu, a, 5);
+  ASSERT_TRUE(lu.Update(a, 5, w, 2));
+  basis[2] = 5;
+  ExpectSameSolves(lu, a, basis, "eta update");
+}
 
 // The bound-LP shape: homogeneous >= rows (Shannon cuts) whose RHS stays 0
 // while only the statistics rows move. The warm path must re-price the RHS

@@ -26,6 +26,7 @@
 #include "bounds/bound_engine.h"
 #include "bounds/engine.h"
 #include "bounds/normal_engine.h"
+#include "datagen/gamma_stats.h"
 #include "lp/lp_problem.h"
 #include "lp/simplex.h"
 #include "lp/tableau.h"
@@ -267,6 +268,65 @@ TEST(SimplexDifferential, RandomResolvesAgree) {
   }
 }
 
+// Pricing-rule differential: the revised backend under Devex must agree
+// with the dense tableau (which always prices Dantzig) on every verdict
+// and objective — the rule changes the pivot path, never the optimum.
+// Covers the same mixed-sense/degenerate generator as the main harness.
+TEST(SimplexDifferential, DevexPricingAgreesWithDense) {
+  const uint64_t seed = HarnessSeed() ^ 0x7e7e7e7eull;
+  Rng rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    LpProblem lp = RandomLp(rng);
+    SimplexTableau dense(lp, Backend(LpBackendKind::kDense));
+    SimplexOptions devex = Backend(LpBackendKind::kRevised);
+    devex.pricing = PricingRule::kDevex;
+    SimplexTableau revised(lp, devex);
+    const LpResult d = dense.Solve();
+    const LpResult r = revised.Solve();
+    ASSERT_EQ(r.pricing, PricingRule::kDevex);
+    const std::string context = "devex seed " + std::to_string(seed) +
+                                " trial " + std::to_string(trial);
+    ExpectAgreement(lp, {}, d, r, context);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// The unstable-update fallback: max_basis_updates = 1 forces the
+// refactorize path after every single pivot, so every pivot exercises the
+// update-then-refactorize transition; results must stay in lockstep with
+// the dense backend across cold solves and warm re-solves alike.
+TEST(SimplexDifferential, PerPivotRefactorizeStaysInLockstep) {
+  const uint64_t seed = HarnessSeed() ^ 0xacceull;
+  Rng rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    LpProblem lp = RandomLp(rng);
+    SimplexTableau dense(lp, Backend(LpBackendKind::kDense));
+    SimplexOptions churn = Backend(LpBackendKind::kRevised);
+    churn.max_basis_updates = 1;
+    SimplexTableau revised(lp, churn);
+    const LpResult d = dense.Solve();
+    const LpResult r = revised.Solve();
+    const std::string context = "per-pivot-refactorize seed " +
+                                std::to_string(seed) + " trial " +
+                                std::to_string(trial);
+    ExpectAgreement(lp, {}, d, r, context);
+    if (testing::Test::HasFatalFailure()) return;
+    if (d.status != LpStatus::kOptimal) continue;
+    std::vector<double> rhs(lp.num_constraints());
+    for (int redraw = 0; redraw < 4; ++redraw) {
+      for (int i = 0; i < lp.num_constraints(); ++i) {
+        const double base = lp.constraint(i).rhs;
+        rhs[i] = redraw % 2 == 0 ? base * (0.9 + 0.2 * rng.NextDouble())
+                                 : GridCoef(rng, -2.0, 6.0);
+      }
+      ExpectAgreement(lp, rhs, dense.ResolveWithRhs(rhs),
+                      revised.ResolveWithRhs(rhs),
+                      context + " redraw " + std::to_string(redraw));
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 // Regression: the revised backend's internal anti-degeneracy perturbation
 // (graded up to ~1e-5 per row) must not change *verdicts*. A problem
 // infeasible by less than the shifts opens up under perturbation, and an
@@ -295,36 +355,14 @@ TEST(SimplexDifferential, PerturbationDoesNotMaskNearInfeasibility) {
 // ---------------------------------------------------------------------------
 // The LPs the revised backend exists for: Γn cutting-plane bounds.
 
+// Cardinality-style statistics over random small variable sets plus
+// simple conditionals deg(V|u): the advisor's statistics shapes. Shared
+// with bench_throughput's CI-gated gamma_n8 pivot workload
+// (datagen/gamma_stats.h) — the pivot baselines gate the LP population
+// this harness validates, so the generator must not fork.
 std::vector<ConcreteStatistic> RandomSimpleStats(Rng& rng, int n,
                                                  int count) {
-  std::vector<ConcreteStatistic> stats;
-  const double norms[] = {1.0, 2.0, 3.0, kInfNorm};
-  // Cardinality-style statistics over random small variable sets plus
-  // simple conditionals deg(V|u): the advisor's statistics shapes.
-  for (int k = 0; k < count; ++k) {
-    ConcreteStatistic s;
-    VarSet v = 0;
-    const int width = 1 + static_cast<int>(rng.Uniform(3));
-    for (int t = 0; t < width; ++t) v |= VarBit(rng.Uniform(n));
-    if (rng.Bernoulli(0.5)) {
-      const int u = static_cast<int>(rng.Uniform(n));
-      s.sigma = Normalize({VarBit(u), v & ~VarBit(u)});
-      if (s.sigma.v == 0) s.sigma.v = VarBit((u + 1) % n);
-      s.p = norms[rng.Uniform(4)];
-    } else {
-      s.sigma = {0, v};
-      s.p = 1.0;
-    }
-    s.log_b = 1.0 + 7.0 * rng.NextDouble();
-    stats.push_back(s);
-  }
-  // A covering cardinality so the bound is finite.
-  ConcreteStatistic cover;
-  cover.sigma = {0, FullSet(n)};
-  cover.p = 1.0;
-  cover.log_b = 9.0;
-  stats.push_back(cover);
-  return stats;
+  return RandomSimpleGammaStats(rng, n, count);
 }
 
 TEST(SimplexDifferential, GammaCuttingPlaneMatchesDenseFullLattice) {
@@ -358,6 +396,45 @@ TEST(SimplexDifferential, GammaCuttingPlaneMatchesDenseFullLattice) {
         }
       }
     }
+  }
+}
+
+// Forrest–Tomlin long-chain differential: with the update budget raised,
+// one solve carries 100+ FT updates between refactorizations, and the
+// factorization must stay accurate across the whole chain — both pricing
+// rules, verified against the exact normal-polymatroid bound.
+TEST(SimplexDifferential, ForrestTomlinCarriesLongUpdateChains) {
+  Rng rng(HarnessSeed() ^ 0xfeedull);
+  const int n = 7;
+  const std::vector<ConcreteStatistic> stats = RandomSimpleStats(rng, n, 10);
+  const BoundResult reference = NormalPolymatroidBound(n, stats).base;
+  ASSERT_EQ(reference.status, LpStatus::kOptimal);
+
+  for (PricingRule rule : {PricingRule::kDantzig, PricingRule::kDevex}) {
+    EngineOptions cut;
+    cut.full_lattice_max_n = 4;  // force cutting-plane mode
+    cut.simplex.backend = LpBackendKind::kRevised;
+    cut.simplex.pricing = rule;
+    cut.simplex.max_basis_updates = 100000;  // budget >> any solve's pivots
+    auto compiled =
+        FindBoundEngine("gamma")->Compile(StructureOf(n, stats), cut);
+    BoundResult result = compiled->Evaluate(ValuesOf(stats));
+    const std::string context =
+        std::string("long-chain ") + PricingRuleName(rule);
+    ASSERT_EQ(result.status, LpStatus::kOptimal) << context;
+    EXPECT_NEAR(result.log2_bound, reference.log2_bound,
+                1e-6 * std::max(1.0, std::abs(reference.log2_bound)))
+        << context;
+    // The chains actually ran long: hundreds of FT updates total, and the
+    // only refactorizations left are fill-budget or stability-forced ones
+    // — far fewer than the update count (the 32-pivot eta cadence would
+    // have refactorized ~once per 32 updates).
+    EXPECT_GE(result.lp_stats.ft_updates, 100) << context;
+    EXPECT_EQ(result.lp_stats.eta_updates, 0) << context;
+    EXPECT_LT(result.lp_stats.refactorizations,
+              result.lp_stats.ft_updates / 50 + 5)
+        << context << " refac=" << result.lp_stats.refactorizations
+        << " ft=" << result.lp_stats.ft_updates;
   }
 }
 
