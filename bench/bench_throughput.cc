@@ -53,6 +53,8 @@
 #include "datagen/gamma_stats.h"
 #include "datagen/job_gen.h"
 #include "estimator/advisor.h"
+#include "lp/kernels.h"
+#include "lp/lp_backend.h"
 #include "relation/degree_sequence.h"
 #include "util/random.h"
 
@@ -67,6 +69,35 @@ constexpr int kBatchSize = 64;
 // least this long — sub-50ms samples swing 2x run to run, which no perf
 // gate tolerance can absorb.
 constexpr double kMinMeasureSeconds = 0.5;
+
+// CPU feature flags for the JSON header, finer-grained than the combined
+// CpuHasAvx2Fma dispatch predicate (an avx2-without-fma machine dispatches
+// scalar, and the artifact should say why).
+bool CpuFlagAvx2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuFlagFma() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const char* CompilerId() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
 
 JobWorkload& Workload() {
   static JobWorkload wl = [] {
@@ -95,7 +126,38 @@ struct RegimeRun {
   // is the Forrest–Tomlin acceptance metric — the eta-file scheme
   // refactorized every 32 updates, FT carries 64 plus a fill budget.
   uint64_t pivots = 0, refactorizations = 0;
+  // Per-kernel call/cycle table (lp/kernels.h), collected in ONE extra
+  // workload sweep with cycle timing on — the timed measurement above runs
+  // with timing off, so the rdtsc pairs never skew the gated est/s.
+  unsigned long long kernel_calls[kNumLpKernels] = {};
+  unsigned long long kernel_cycles[kNumLpKernels] = {};
 };
+
+// Workload sweeps per kernel-table collection. The hot kernels run a few
+// hundred cycles per call, so a single sweep's cycle totals are dominated
+// by whichever calls absorbed a timer interrupt — several sweeps average
+// that out enough for the share-based gate in compare_throughput.py.
+// (Calls, by contrast, are exactly deterministic across runs, which is
+// what the stricter per-kernel call-count gate relies on.)
+constexpr int kKernelTableSweeps = 16;
+
+// Runs `sweep` kKernelTableSweeps times with kernel cycle timing enabled
+// and stores the thread-local counter deltas in `run`. The timed regime
+// measurement runs with timing off; this extra pass is the only place the
+// rdtsc pairs execute, so they never skew the gated est/s. Calls are
+// deterministic per sweep; cycles are machine-dependent but their shares
+// within one regime are what the gate compares.
+template <typename SweepFn>
+void CollectKernelTable(RegimeRun& run, const SweepFn& sweep) {
+  SetLpKernelCycleTiming(true);
+  const LpKernelCounters base = g_lp_kernel_counters;
+  for (int s = 0; s < kKernelTableSweeps; ++s) sweep();
+  SetLpKernelCycleTiming(false);
+  for (int k = 0; k < kNumLpKernels; ++k) {
+    run.kernel_calls[k] = g_lp_kernel_counters.calls[k] - base.calls[k];
+    run.kernel_cycles[k] = g_lp_kernel_counters.cycles[k] - base.cycles[k];
+  }
+}
 
 void FillLpWork(RegimeRun& run, const AdvisorMetrics& before,
                 const AdvisorMetrics& after) {
@@ -141,6 +203,11 @@ RegimeRun MeasureWarm(LpBackendKind backend, const char* label, int repeats,
   run.repeats = sweeps;
   run.est_per_s = static_cast<double>(sweeps) * m / secs;
   FillLpWork(run, before, after);
+  CollectKernelTable(run, [&] {
+    for (size_t i = 0; i < m; ++i) {
+      benchmark::DoNotOptimize(advisor.EstimateLog2(wl.queries[i]));
+    }
+  });
   return run;
 }
 
@@ -202,6 +269,13 @@ RegimeRun MeasureBatch(LpBackendKind backend, const char* label, int repeats,
   run.repeats = sweeps;
   run.est_per_s = static_cast<double>(sweeps) * m * kBatchSize / secs;
   FillLpWork(run, before, after);
+  CollectKernelTable(run, [&] {
+    for (size_t i = 0; i < m; ++i) {
+      const std::vector<double> ests =
+          advisor.EstimateLog2Batch(wl.queries[i], batches[i]);
+      benchmark::DoNotOptimize(ests.data());
+    }
+  });
   return run;
 }
 
@@ -282,6 +356,21 @@ void PrintCounters(const RegimeRun& run) {
       static_cast<unsigned long long>(run.refactorizations));
 }
 
+// Human-readable per-kernel cycles/call for one regime — the table the CI
+// perf artifact keeps next to the throughput numbers, so a regression can
+// be pinned to a kernel, not just a backend.
+void PrintKernelTable(const RegimeRun& run) {
+  std::printf("  kernels (%s):", run.label);
+  for (int k = 0; k < kNumLpKernels; ++k) {
+    if (run.kernel_calls[k] == 0) continue;
+    std::printf(" %s=%llu/%.0fc", LpKernelName(static_cast<LpKernelId>(k)),
+                run.kernel_calls[k],
+                static_cast<double>(run.kernel_cycles[k]) /
+                    static_cast<double>(run.kernel_calls[k]));
+  }
+  std::printf("\n");
+}
+
 void DumpRunsJson(std::FILE* f, const char* section,
                   const std::vector<RegimeRun>& runs) {
   std::fprintf(f, "  \"%s\": [\n", section);
@@ -292,15 +381,25 @@ void DumpRunsJson(std::FILE* f, const char* section,
                  "\"speedup\": %.2f, \"batch_size\": %d, "
                  "\"repeats\": %d, "
                  "\"witness\": %llu, \"warm\": %llu, \"cold\": %llu, "
-                 "\"pivots\": %llu, \"refactorizations\": %llu}%s\n",
+                 "\"pivots\": %llu, \"refactorizations\": %llu,\n"
+                 "     \"kernels\": [",
                  run.backend, run.est_per_s, run.speedup, run.batch_size,
                  run.repeats,
                  static_cast<unsigned long long>(run.witness),
                  static_cast<unsigned long long>(run.warm),
                  static_cast<unsigned long long>(run.cold),
                  static_cast<unsigned long long>(run.pivots),
-                 static_cast<unsigned long long>(run.refactorizations),
-                 i + 1 < runs.size() ? "," : "");
+                 static_cast<unsigned long long>(run.refactorizations));
+    bool first = true;
+    for (int k = 0; k < kNumLpKernels; ++k) {
+      if (run.kernel_calls[k] == 0) continue;
+      std::fprintf(f, "%s\n      {\"name\": \"%s\", \"calls\": %llu, "
+                   "\"cycles\": %llu}",
+                   first ? "" : ",", LpKernelName(static_cast<LpKernelId>(k)),
+                   run.kernel_calls[k], run.kernel_cycles[k]);
+      first = false;
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]");
 }
@@ -373,6 +472,10 @@ void PrintTable() {
   for (const RegimeRun& run : warm_runs) PrintCounters(run);
   for (const RegimeRun& run : batch_runs) PrintCounters(run);
   for (const RegimeRun& run : jitter_runs) PrintCounters(run);
+  std::printf("-- per-kernel calls/cycles-per-call (one timing-on sweep) --\n");
+  for (const auto* runs : {&warm_runs, &batch_runs, &jitter_runs}) {
+    for (const RegimeRun& run : *runs) PrintKernelTable(run);
+  }
   for (size_t i = 0; i < warm_runs.size() && i < batch_runs.size(); ++i) {
     std::printf("%-28s %14.2fx  (batch of %d vs scalar warm, %s)\n",
                 "batch/scalar", batch_runs[i].est_per_s / warm_runs[i].est_per_s,
@@ -402,12 +505,20 @@ void PrintTable() {
 
   if (const char* json_path = std::getenv("LPB_BENCH_JSON")) {
     if (std::FILE* f = std::fopen(json_path, "w")) {
+      // CPU/compiler/dispatch header: per-kernel cycle tables are only
+      // comparable between artifacts produced by the same feature set —
+      // compare_throughput.py warns (without failing) on a mismatch.
       std::fprintf(f,
                    "{\n  \"workload\": \"job-templates\",\n"
                    "  \"templates\": %zu,\n  \"cold_warm_repeats\": %d,\n"
                    "  \"batch_size\": %d,\n"
+                   "  \"cpu_avx2\": %s,\n  \"cpu_fma\": %s,\n"
+                   "  \"compiler\": \"%s\",\n  \"simd_dispatch\": \"%s\",\n"
                    "  \"cold_est_per_s\": %.1f,\n",
-                   m, kRepeats, kBatchSize, cold_rate);
+                   m, kRepeats, kBatchSize, CpuFlagAvx2() ? "true" : "false",
+                   CpuFlagFma() ? "true" : "false", CompilerId(),
+                   LpKernelDispatchName(ResolveSimdMode(SimplexOptions{})),
+                   cold_rate);
       DumpRunsJson(f, "warm", warm_runs);
       std::fprintf(f, ",\n");
       DumpRunsJson(f, "batch", batch_runs);

@@ -5,6 +5,8 @@ Usage:
     compare_throughput.py BASELINE.json NEW.json [--tolerance 0.25]
                           [--min-batch-speedup 2.0] [--strict-absolute]
                           [--pivot-tolerance 0.15] [--max-devex-ratio 0.85]
+                          [--kernel-share-tolerance 0.25]
+                          [--kernel-calls-tolerance 0.25]
 
 Fails (exit 1) when
   * any warm or batch regime's *cold-normalized* estimates/s (the JSON's
@@ -21,7 +23,27 @@ Fails (exit 1) when
     lane's pivots on that workload (the Devex pricing acceptance bar:
     measured ~0.73 at introduction, i.e. ~27% fewer pivots than the
     candidate-list Dantzig lane and ~33% fewer than the PR-3/4 full-sweep
-    Dantzig baseline).
+    Dantzig baseline), or
+  * a kernel's call count in a regime's table (a fixed number of workload
+    sweeps, so calls are deterministic per build) grows more than
+    --kernel-calls-tolerance above its baseline — the sharpest signal:
+    a broken unchanged-RHS fast exit or B^-1 memoization shows up here as
+    a call-count explosion long before wall-clock notices, or
+  * a kernel's share of a regime's total kernel cycles grows more than
+    --kernel-share-tolerance above its baseline share — shares are
+    ratios within one process, so this pins a *slower kernel* (same
+    calls, more cycles) to a name without flaking on absolute machine
+    speed. The hot kernels run ~100 cycles/call, so their measured
+    shares still wobble with timer-interrupt placement; the tolerance is
+    deliberately loose and the call gate is the tight one.
+
+The kernel-share gate is skipped (with a warning) when the baseline was
+recorded under a different CPU feature set, compiler, or SIMD dispatch
+than the new artifact — the headers carry cpu_avx2 / cpu_fma / compiler /
+simd_dispatch for exactly this comparison. A feature mismatch alone never
+fails the gate: runners legitimately differ. The call-count gate runs
+either way (dispatch changes which code implements a kernel, never how
+often it is called).
 
 The gating checks are ratios of numbers measured in the same process on
 the same machine (or deterministic pivot counts), so they catch real
@@ -58,6 +80,12 @@ def main():
                         help="allowed fractional gamma_n8 pivot-count growth")
     parser.add_argument("--max-devex-ratio", type=float, default=0.85,
                         help="max devex/dantzig pivot ratio on gamma_n8")
+    parser.add_argument("--kernel-share-tolerance", type=float, default=0.25,
+                        help="allowed absolute growth of a kernel's share "
+                             "of its regime's total kernel cycles")
+    parser.add_argument("--kernel-calls-tolerance", type=float, default=0.25,
+                        help="allowed fractional growth of a kernel's call "
+                             "count in a regime's kernel table")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -66,6 +94,19 @@ def main():
         new = json.load(f)
 
     failures = []
+
+    # Feature-set comparability check: warn (never fail) when the baseline
+    # artifact came from a different CPU/compiler/dispatch, and skip the
+    # per-kernel cycle-share gate in that case — cycle distributions are
+    # only meaningful within one feature set.
+    features_match = True
+    for key in ("cpu_avx2", "cpu_fma", "compiler", "simd_dispatch"):
+        base_v, new_v = baseline.get(key), new.get(key)
+        if base_v != new_v:
+            features_match = False
+            print(f"WARNING: baseline {key}={base_v!r} but new {key}={new_v!r}"
+                  f" — per-kernel cycle shares are not comparable",
+                  file=sys.stderr)
     print(f"{'metric':<34} {'baseline':>12} {'new':>12} {'ratio':>8}")
     for section in ("warm", "batch"):
         base_runs = by_backend(baseline.get(section, []))
@@ -86,6 +127,51 @@ def main():
                     failures.append(
                         f"{section}/{backend}: {metric} {new_v:.1f} is "
                         f">{args.tolerance:.0%} below baseline {base_v:.1f}")
+
+    # Per-kernel gates over the fixed-sweep kernel tables. Calls are
+    # deterministic per build (same workload, same sweep count), so the
+    # call gate is tight and runs regardless of the feature headers; a
+    # call-count explosion means a fast exit or memoization broke. Cycle
+    # *shares* are machine-independent ratios but still noisy for the
+    # ~100-cycle kernels, so that gate is loose and only runs when the
+    # feature headers match.
+    for section in ("warm", "batch", "batch_what_if"):
+        base_runs = by_backend(baseline.get(section, []))
+        new_runs = by_backend(new.get(section, []))
+        for backend, base_run in sorted(base_runs.items()):
+            new_run = new_runs.get(backend)
+            if new_run is None or "kernels" not in base_run:
+                continue
+            base_total = sum(k["cycles"] for k in base_run["kernels"])
+            new_total = sum(k["cycles"] for k in new_run.get("kernels", []))
+            new_by_name = {k["name"]: k for k in new_run.get("kernels", [])}
+            for kern in base_run["kernels"]:
+                new_kern = new_by_name.get(kern["name"],
+                                           {"calls": 0, "cycles": 0})
+                base_calls, new_calls = kern["calls"], new_kern["calls"]
+                ratio = new_calls / base_calls if base_calls else float("inf")
+                label = f"{section} {backend} {kern['name']} calls"
+                print(f"{label:<34} {base_calls:>12} {new_calls:>12} "
+                      f"{ratio:>7.2f}x")
+                if new_calls > (1.0 + args.kernel_calls_tolerance) * base_calls:
+                    failures.append(
+                        f"{section}/{backend}: kernel {kern['name']} "
+                        f"called {new_calls}x vs baseline {base_calls} "
+                        f"(>{args.kernel_calls_tolerance:.0%} growth — "
+                        f"fast-exit/memoization regression?)")
+                if not features_match or base_total <= 0 or new_total <= 0:
+                    continue
+                base_share = kern["cycles"] / base_total
+                new_share = new_kern["cycles"] / new_total
+                label = f"{section} {backend} {kern['name']} share"
+                print(f"{label:<34} {base_share:>12.3f} "
+                      f"{new_share:>12.3f}")
+                if new_share > base_share + args.kernel_share_tolerance:
+                    failures.append(
+                        f"{section}/{backend}: kernel {kern['name']} "
+                        f"cycle share {new_share:.2f} is more than "
+                        f"{args.kernel_share_tolerance:.2f} above "
+                        f"baseline {base_share:.2f}")
 
     # gamma_n8 pivot gates: deterministic per seed, so a tight tolerance is
     # safe (the slack absorbs compiler-to-compiler floating-point drift).

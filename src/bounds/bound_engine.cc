@@ -160,27 +160,46 @@ BoundResult MakeGammaResult(const LpResult& lp, int n, int num_stats,
 // therefore just get their result replaced with the shortcut result —
 // their speculative solve touched no state the scalar sequence could
 // observe — and every other column keeps its block result unchanged.
-template <typename MakeRhs, typename Finalize>
+// Allocation discipline: the run's RHS buffers and the LpResult vector
+// persist across runs (fill_rhs writes into a reused std::vector, and the
+// tableau's out-param batch overload reuses each LpResult's x/duals
+// capacity), so the steady-state per-column cost is the LP work itself,
+// not allocator traffic.
+// Caller-owned scratch for BatchThroughTableau: the run's RHS buffers and
+// the LpResult vector survive across batches (each engine keeps one as a
+// member), so their steady-state cost is a fill, not an allocation — and
+// fill_rhs callbacks may exploit the persistence (a buffer already sized
+// for this LP keeps its zero tail, see the Γn engine).
+struct BatchScratch {
+  std::vector<std::vector<double>> run;
+  std::vector<LpResult> lps;
+};
+
+template <typename FillRhs, typename Finalize>
 std::vector<BoundResult> BatchThroughTableau(
     std::span<const std::vector<double>> batch, SimplexTableau& tableau,
-    bool& structurally_unbounded, const MakeRhs& make_rhs,
-    const Finalize& finalize) {
+    bool& structurally_unbounded, BatchScratch& scratch,
+    const FillRhs& fill_rhs, const Finalize& finalize) {
   std::vector<BoundResult> out(batch.size());
-  std::vector<std::vector<double>> run;
+  std::vector<std::vector<double>>& run = scratch.run;
+  std::vector<LpResult>& lps = scratch.lps;
   size_t i = 0;
   while (i < batch.size()) {
     if (structurally_unbounded && AllNonNegative(batch[i])) {
       out[i++] = StructurallyUnboundedResult(tableau.backend());
       continue;
     }
-    run.clear();
+    size_t run_size = 0;
     size_t end = i;
     while (end < batch.size() &&
            !(structurally_unbounded && AllNonNegative(batch[end]))) {
-      run.push_back(make_rhs(batch[end]));
+      if (run.size() <= run_size) run.emplace_back();
+      fill_rhs(batch[end], run[run_size]);
+      ++run_size;
       ++end;
     }
-    const std::vector<LpResult> lps = tableau.ResolveWithRhsBatch(run);
+    tableau.ResolveWithRhsBatch(
+        std::span<const std::vector<double>>(run.data(), run_size), lps);
     bool flipped_mid_run = false;
     for (size_t k = 0; k < lps.size(); ++k) {
       if (flipped_mid_run && AllNonNegative(batch[i + k])) {
@@ -320,11 +339,16 @@ class CompiledGammaBound : public CompiledBound {
     }
     const int n = structure_.n;
     return BatchThroughTableau(
-        log_b_batch, *tableau_, structurally_unbounded_,
-        [this](const std::vector<double>& log_b) {
-          std::vector<double> rhs(lp_.num_constraints(), 0.0);
+        log_b_batch, *tableau_, structurally_unbounded_, batch_scratch_,
+        [this](const std::vector<double>& log_b, std::vector<double>& rhs) {
+          // Only the first num_stats entries are ever nonzero; a persistent
+          // buffer already sized for this LP keeps its zero tail, so the
+          // per-column cost is the statistics copy, not an O(rows) clear.
+          // (Full mode never grows lp_, so a matching size is conclusive.)
+          if (rhs.size() != static_cast<size_t>(lp_.num_constraints())) {
+            rhs.assign(lp_.num_constraints(), 0.0);
+          }
           std::copy(log_b.begin(), log_b.end(), rhs.begin());
-          return rhs;
         },
         [&](const LpResult& lp) {
           return MakeGammaResult(lp, n, num_stats_, 0, want_h_opt);
@@ -346,6 +370,7 @@ class CompiledGammaBound : public CompiledBound {
   std::set<uint64_t> present_;
   int box_row_ = -1;
   bool structurally_unbounded_ = false;
+  BatchScratch batch_scratch_;
 };
 
 class GammaEngine : public BoundEngine {
@@ -390,8 +415,10 @@ class CompiledNormalBound : public CompiledBound {
     // The Nn LP's RHS is the value vector itself, so each run feeds the
     // tableau's multi-RHS resolve directly.
     return BatchThroughTableau(
-        log_b_batch, tableau_, structurally_unbounded_,
-        [](const std::vector<double>& log_b) { return log_b; },
+        log_b_batch, tableau_, structurally_unbounded_, batch_scratch_,
+        [](const std::vector<double>& log_b, std::vector<double>& rhs) {
+          rhs.assign(log_b.begin(), log_b.end());
+        },
         [&](const LpResult& lp) { return ResultFromLp(lp, want_h_opt); });
   }
 
@@ -435,6 +462,7 @@ class CompiledNormalBound : public CompiledBound {
 
   SimplexTableau tableau_;
   bool structurally_unbounded_ = false;
+  BatchScratch batch_scratch_;
 };
 
 class NormalEngine : public BoundEngine {

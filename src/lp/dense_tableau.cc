@@ -13,7 +13,9 @@ constexpr long double kLexEps = 1e-12L;
 
 DenseTableau::DenseTableau(const LpProblem& problem,
                            const SimplexOptions& options)
-    : problem_(problem), options_(options) {}
+    : problem_(problem),
+      options_(options),
+      kernels_(&GetLpKernels(ResolveSimdMode(options))) {}
 
 DenseTableau::Scalar DenseTableau::NormalizedRhs(
     int i, const std::vector<double>& rhs) const {
@@ -26,6 +28,7 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
   has_basis_ = false;
   cached_duals_.clear();
   reprice_valid_ = false;
+  witness_scan_ok_ = false;
 
   // Row normalization shared with the revised backend (lp/lp_backend.h):
   // from it we know how many slack and artificial columns are needed.
@@ -35,7 +38,27 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
 
   first_art_ = n + normalized.num_slack;
   cols_ = first_art_ + normalized.num_art;
-  t_.assign(rows_, std::vector<Scalar>(cols_ + 1, 0.0));
+  stride_ = cols_ + 1;
+
+  // One flat block from the arena instead of a vector per row. Reset first:
+  // everything below is rebuilt, and the re-pricing scratch is invalid
+  // anyway (reprice_valid_ cleared above), so reclaiming the chunks is
+  // safe — repeated Builds of the same problem shape never hit malloc.
+  arena_.Reset();
+  t_ = arena_.AllocArray<Scalar>(static_cast<std::size_t>(rows_) * stride_);
+  std::fill(t_, t_ + static_cast<std::size_t>(rows_) * stride_, Scalar{0.0});
+  problem_rhs_ = arena_.AllocArray<double>(rows_);
+  perturb_term_ = arena_.AllocArray<double>(rows_);
+  norm_b_ = arena_.AllocArray<double>(rows_);
+  last_b_ = arena_.AllocArray<double>(rows_);
+  reprice_ = arena_.AllocArray<Scalar>(rows_);
+  for (int i = 0; i < rows_; ++i) {
+    problem_rhs_[i] = problem_.constraint(i).rhs;
+    // The graded perturbation of NormalizedRhsEntry, precomputed so the
+    // re-pricing normalization is one vectorizable sign*b + term pass.
+    perturb_term_[i] = options_.perturb * (1 + i % 101);
+  }
+
   basis_.assign(rows_, kNoCol);
   dual_col_.assign(rows_, kNoCol);
 
@@ -43,7 +66,7 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
   int next_art = first_art_;
   for (int i = 0; i < rows_; ++i) {
     const LpConstraint& c = problem_.constraint(i);
-    std::vector<Scalar>& row = t_[i];
+    Scalar* row = Row(i);
     for (const LpTerm& term : c.terms) row[term.var] += row_sign_[i] * term.coef;
     row[cols_] = NormalizedRhs(i, rhs);
 
@@ -80,29 +103,30 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
 
 void DenseTableau::ComputeReducedCosts(const std::vector<double>& cost) {
   reduced_.assign(cols_, 0.0);
-  // reduced = cost - cB' * T. Accumulate row-wise for cache friendliness.
+  // reduced = cost - cB' * T. Accumulate row-wise for cache friendliness;
+  // each row is one elimination-shaped sweep (reduced[j] -= cb * row[j]).
   for (int i = 0; i < rows_; ++i) {
     const Scalar cb = cost[basis_[i]];
     if (cb == 0.0) continue;
-    const std::vector<Scalar>& row = t_[i];
-    for (int j = 0; j < cols_; ++j) reduced_[j] -= cb * row[j];
+    LpSweepLd(reduced_.data(), Row(i), cb, cols_);
   }
   for (int j = 0; j < cols_; ++j) reduced_[j] += cost[j];
 }
 
 void DenseTableau::Pivot(int row, int col) {
   reprice_valid_ = false;  // B changes: incremental re-pricing is stale
-  std::vector<Scalar>& prow = t_[row];
+  witness_scan_ok_ = false;
+  Scalar* prow = Row(row);
   const Scalar p = prow[col];
   const Scalar inv = 1.0L / p;
-  for (Scalar& v : prow) v *= inv;
+  LpScaleLd(prow, inv, cols_ + 1);
   prow[col] = 1.0;  // exact
   for (int i = 0; i < rows_; ++i) {
     if (i == row) continue;
-    std::vector<Scalar>& r = t_[i];
+    Scalar* r = Row(i);
     const Scalar f = r[col];
     if (f == 0.0) continue;
-    for (int j = 0; j <= cols_; ++j) r[j] -= f * prow[j];
+    LpSweepLd(r, prow, f, cols_ + 1);
     r[col] = 0.0;  // exact
   }
   basis_[row] = col;
@@ -139,9 +163,9 @@ bool DenseTableau::RunPhase(const std::vector<double>& cost, bool phase_two) {
     int leave = -1;
     Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
     for (int i = 0; i < rows_; ++i) {
-      const Scalar a = t_[i][enter];
+      const Scalar a = Row(i)[enter];
       if (a <= eps) continue;
-      const Scalar ratio = t_[i][cols_] / a;
+      const Scalar ratio = Row(i)[cols_] / a;
       if (leave == -1 || ratio < best_ratio - kLexEps) {
         best_ratio = ratio;
         leave = i;
@@ -152,9 +176,9 @@ bool DenseTableau::RunPhase(const std::vector<double>& cost, bool phase_two) {
       // entries, over the slack/artificial block (initially the identity,
       // so rows are lexicographically positive and the classic termination
       // argument applies).
-      const Scalar a_leave = t_[leave][enter];
+      const Scalar a_leave = Row(leave)[enter];
       for (int j = problem_.num_vars(); j < cols_; ++j) {
-        const Scalar d = t_[i][j] / a - t_[leave][j] / a_leave;
+        const Scalar d = Row(i)[j] / a - Row(leave)[j] / a_leave;
         if (d < -kLexEps) {
           leave = i;
           best_ratio = ratio;
@@ -193,8 +217,8 @@ DenseTableau::DualOutcome DenseTableau::RunDualSimplex() {
     int leave = -1;
     Scalar most = -eps;
     for (int i = 0; i < rows_; ++i) {
-      if (t_[i][cols_] < most) {
-        most = t_[i][cols_];
+      if (Row(i)[cols_] < most) {
+        most = Row(i)[cols_];
         leave = i;
       }
     }
@@ -208,7 +232,7 @@ DenseTableau::DualOutcome DenseTableau::RunDualSimplex() {
     int enter = kNoCol;
     Scalar best_ratio = std::numeric_limits<Scalar>::infinity();
     for (int j = 0; j < first_art_; ++j) {
-      const Scalar a = t_[leave][j];
+      const Scalar a = Row(leave)[j];
       if (a >= -eps) continue;
       const Scalar ratio = reduced_[j] / a;
       if (ratio < best_ratio - kLexEps) {
@@ -230,13 +254,22 @@ void DenseTableau::EvictArtificials() {
     // non-artificial column with a nonzero entry; if none exists the row is
     // redundant and the artificial stays basic at zero, which is harmless.
     for (int j = 0; j < first_art_; ++j) {
-      if (std::abs(static_cast<double>(t_[i][j])) > options_.eps) {
+      if (std::abs(static_cast<double>(Row(i)[j])) > options_.eps) {
         Pivot(i, j);
         ++iterations_;
         ++stats_.phase1_pivots;  // artificial eviction is phase-1 cleanup
         break;
       }
     }
+  }
+}
+
+void DenseTableau::FillKernelStats() {
+  for (int k = 0; k < kNumLpKernels; ++k) {
+    stats_.kernel_calls[k] =
+        g_lp_kernel_counters.calls[k] - kernel_base_.calls[k];
+    stats_.kernel_cycles[k] =
+        g_lp_kernel_counters.cycles[k] - kernel_base_.cycles[k];
   }
 }
 
@@ -248,15 +281,12 @@ LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
   result.x.assign(problem_.num_vars(), 0.0);
   for (int i = 0; i < rows_; ++i) {
     if (basis_[i] < problem_.num_vars()) {
-      result.x[basis_[i]] = static_cast<double>(t_[i][cols_]);
+      result.x[basis_[i]] = static_cast<double>(Row(i)[cols_]);
     }
   }
-  double obj = 0.0;
-  for (int j = 0; j < problem_.num_vars(); ++j) {
-    obj += phase2_cost_[j] * result.x[j];
-  }
-  result.objective = obj;
-  result.stats = stats_;
+  result.objective =
+      LpDotD(*kernels_, phase2_cost_.data(), result.x.data(),
+             problem_.num_vars());
 
   if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
     // Same basis, same cost: the duals are the previous solve's.
@@ -272,13 +302,16 @@ LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
     cached_duals_ = result.duals;
   }
   has_basis_ = true;
+  FillKernelStats();
+  result.stats = stats_;
   return result;
 }
 
-LpResult DenseTableau::Failure(LpStatus status) const {
+LpResult DenseTableau::Failure(LpStatus status) {
   LpResult result;
   result.status = status;
   result.iterations = iterations_;
+  FillKernelStats();
   result.stats = stats_;
   // The LpResult contract: x/duals are sized (zeros) even on failure so
   // callers indexing them unconditionally never read stale data.
@@ -288,7 +321,8 @@ LpResult DenseTableau::Failure(LpStatus status) const {
 }
 
 LpResult DenseTableau::Solve(const std::vector<double>& rhs) {
-  stats_ = {};
+  stats_.ResetPivots();
+  kernel_base_ = g_lp_kernel_counters;
   return SolveInternal(rhs);
 }
 
@@ -308,7 +342,7 @@ LpResult DenseTableau::SolveInternal(const std::vector<double>& rhs) {
     }
     Scalar infeas = 0.0;
     for (int i = 0; i < rows_; ++i) {
-      if (basis_[i] >= first_art_) infeas += t_[i][cols_];
+      if (basis_[i] >= first_art_) infeas += Row(i)[cols_];
     }
     if (infeas > 1e-7) {
       return Failure(LpStatus::kInfeasible);
@@ -329,6 +363,23 @@ LpResult DenseTableau::SolveInternal(const std::vector<double>& rhs) {
 }
 
 void DenseTableau::RepriceRhs(const std::vector<double>& rhs) {
+  // Normalize the whole RHS in one vectorized pass (this is the historical
+  // per-entry NormalizedRhsEntry — all-double arithmetic — with the graded
+  // perturbation precomputed in Build). Profiling showed the per-entry
+  // cross-TU call was ~13% of the batch path on its own.
+  const double* b = rhs.empty() ? problem_rhs_ : rhs.data();
+  LpNormalizeRhsD(*kernels_, row_sign_.data(), b, perturb_term_, norm_b_,
+                  rows_);
+
+  // Unchanged-RHS fast exit: bitwise-equal normalized RHS means the
+  // tableau's RHS column is already B⁻¹b — no deltas, no mirror pass, and
+  // no tick of the drift interval (an untouched column accumulates none).
+  if (reprice_valid_ && LpEqualD(*kernels_, norm_b_, last_b_, rows_)) {
+    rhs_unchanged_ = true;
+    return;
+  }
+  rhs_unchanged_ = false;
+
   // Column dual_col_[j] of the current tableau is the j-th column of B⁻¹.
   if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval) {
     // Incremental: B⁻¹b_new = B⁻¹b_old + Σ_j Δ_j · (B⁻¹ e_j) over the rows
@@ -337,37 +388,39 @@ void DenseTableau::RepriceRhs(const std::vector<double>& rhs) {
     // coordinate contributes an exact zero delta.
     ++reprices_since_full_;
     for (int j = 0; j < rows_; ++j) {
-      const Scalar b = NormalizedRhs(j, rhs);
-      if (b == last_b_[j]) continue;
-      const Scalar d = b - last_b_[j];
-      last_b_[j] = b;
-      const int col = dual_col_[j];
-      for (int i = 0; i < rows_; ++i) reprice_[i] += t_[i][col] * d;
+      const double bj = norm_b_[j];
+      if (bj == last_b_[j]) continue;
+      const Scalar d = static_cast<Scalar>(bj) - static_cast<Scalar>(last_b_[j]);
+      last_b_[j] = bj;
+      LpGatherAxpyLd(reprice_, Row(0) + dual_col_[j], stride_, d, rows_);
     }
   } else {
     // Full re-price: only rows with a nonzero normalized RHS contribute —
     // in the bound LPs that is just the statistics rows, so this is a
     // (rows × nnz(b')) multiply, not (rows × rows). Also the periodic
     // refresh that squashes incremental-accumulation drift.
-    last_b_.assign(rows_, 0.0);
-    reprice_.assign(rows_, 0.0);
+    std::fill(reprice_, reprice_ + rows_, Scalar{0.0});
     for (int j = 0; j < rows_; ++j) {
-      const Scalar b = NormalizedRhs(j, rhs);
-      last_b_[j] = b;
-      if (b == 0.0) continue;
-      const int col = dual_col_[j];
-      for (int i = 0; i < rows_; ++i) reprice_[i] += t_[i][col] * b;
+      const double bj = norm_b_[j];
+      last_b_[j] = bj;
+      if (bj == 0.0) continue;
+      LpGatherAxpyLd(reprice_, Row(0) + dual_col_[j], stride_,
+                     static_cast<Scalar>(bj), rows_);
     }
     reprice_valid_ = true;
     reprices_since_full_ = 0;
   }
-  for (int i = 0; i < rows_; ++i) t_[i][cols_] = reprice_[i];
+  for (int i = 0; i < rows_; ++i) Row(i)[cols_] = reprice_[i];
 }
 
 LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
-  if (!has_basis_) return Solve(rhs);
+  kernel_base_ = g_lp_kernel_counters;
+  if (!has_basis_) {
+    stats_.ResetPivots();
+    return SolveInternal(rhs);
+  }
   iterations_ = 0;
-  stats_ = {};
+  stats_.ResetPivots();
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 50 * (rows_ + cols_) + 1000;
@@ -376,9 +429,14 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   // is B⁻¹ b'_norm (incremental against the previous re-price when the
   // basis is unchanged; see RepriceRhs).
   RepriceRhs(rhs);
+  // Memoized scan: an unchanged RHS column that already passed the scan
+  // below passes it again — rescanning identical bits is pure overhead.
+  if (rhs_unchanged_ && witness_scan_ok_) {
+    return ExtractOptimal(LpEvalPath::kWitness);
+  }
   bool feasible = true;
   for (int i = 0; i < rows_; ++i) {
-    const Scalar fresh = t_[i][cols_];
+    const Scalar fresh = Row(i)[cols_];
     if (fresh < -options_.eps) feasible = false;
     // A basic artificial forced away from zero means the cached basis
     // cannot represent this RHS at all (a previously-redundant row became
@@ -390,8 +448,10 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   }
   if (feasible) {
     // Witness reuse: the basis is still optimal; zero pivots needed.
+    witness_scan_ok_ = true;
     return ExtractOptimal(LpEvalPath::kWitness);
   }
+  witness_scan_ok_ = false;
 
   switch (RunDualSimplex()) {
     case DualOutcome::kOptimal:

@@ -7,14 +7,22 @@
 // elements whose reciprocals amplify rounding error). Every pivot sweeps
 // the whole tableau, so cost per iteration is O(rows x cols); see
 // lp/revised_simplex.h for the sparse backend that avoids that sweep.
+//
+// The tableau and the re-pricing scratch live in a per-instance Arena as
+// one flat rows x (cols+1) block (util/arena.h): a cold Build is a
+// pointer bump plus a fill instead of rows+3 vector allocations, and the
+// inner loops run through the kernel layer (lp/kernels.h) so they show up
+// in the per-kernel call/cycle table of LpSolveStats.
 #ifndef LPB_LP_DENSE_TABLEAU_H_
 #define LPB_LP_DENSE_TABLEAU_H_
 
 #include <vector>
 
+#include "lp/kernels.h"
 #include "lp/lp_backend.h"
 #include "lp/lp_problem.h"
 #include "lp/simplex.h"
+#include "util/arena.h"
 
 namespace lpb {
 
@@ -59,15 +67,28 @@ class DenseTableau : public LpBackendImpl {
   // Reads the optimal result off the current tableau.
   LpResult ExtractOptimal(LpEvalPath path);
   // Non-optimal result with x/duals sized per the LpResult contract.
-  LpResult Failure(LpStatus status) const;
+  LpResult Failure(LpStatus status);
+  // Copies this call's kernel-counter deltas into stats_ (see
+  // lp/kernels.h); called on every exit path so LpResult::stats carries
+  // the whole cascade.
+  void FillKernelStats();
+
+  // Row i of the flat tableau (stride_ = cols_ + 1 entries per row).
+  Scalar* Row(int i) { return t_ + static_cast<std::size_t>(i) * stride_; }
+  const Scalar* Row(int i) const {
+    return t_ + static_cast<std::size_t>(i) * stride_;
+  }
 
   LpProblem problem_;
   SimplexOptions options_;
+  const LpKernels* kernels_;  // dispatch table per SimplexOptions::simd
 
   int rows_ = 0;
   int cols_ = 0;        // total variable columns (structural+slack+artificial)
   int first_art_ = 0;   // first artificial column index
-  std::vector<std::vector<Scalar>> t_;  // rows_ x (cols_ + 1)
+  int stride_ = 0;      // cols_ + 1 (row length incl. the RHS column)
+  // Flat rows_ x stride_ tableau in arena_, rebuilt per cold Build.
+  Scalar* t_ = nullptr;
   std::vector<int> basis_;              // basic column per row
   std::vector<Scalar> reduced_;         // reduced costs, size cols_
   // For each original constraint: the column whose original A-column is
@@ -79,14 +100,31 @@ class DenseTableau : public LpBackendImpl {
   std::vector<double> row_sign_;
   std::vector<double> phase2_cost_;     // structural objective, padded to cols_
 
+  // Arena-backed per-row scratch, (re)allocated in Build. The normalized
+  // RHS pipeline is all double — NormalizedRhsEntry computes in double —
+  // so norm_b_/last_b_ hold doubles with zero precision change, and the
+  // normalization runs through the vectorized kernel.
+  Arena arena_;
+  double* problem_rhs_ = nullptr;   // constraint(i).rhs, for the empty-rhs case
+  double* perturb_term_ = nullptr;  // perturb * (1 + i % 101)
+  double* norm_b_ = nullptr;        // row_sign * b + perturb_term (this call)
+  double* last_b_ = nullptr;        // normalized RHS of the last re-price
+  Scalar* reprice_ = nullptr;       // B⁻¹ last_b_
+
   // Incremental re-pricing state (see RepriceRhs). Any pivot or rebuild
   // invalidates it; a periodic full re-price bounds delta-accumulation
   // drift.
   static constexpr int kFullRepriceInterval = 64;
-  std::vector<Scalar> last_b_;    // normalized RHS of the last re-price
-  std::vector<Scalar> reprice_;   // B⁻¹ last_b_
   bool reprice_valid_ = false;
   int reprices_since_full_ = 0;
+  // Exact memoization of the warm-resolve fast path (same contract as the
+  // revised backend, lp/revised_simplex.h): rhs_unchanged_ — this call's
+  // normalized RHS was bitwise-equal to the previous re-price's, so the
+  // tableau's RHS column is untouched; witness_scan_ok_ — that column
+  // already passed the feasibility scan. Together they let a repeated-RHS
+  // resolve skip straight to the witness extraction.
+  bool rhs_unchanged_ = false;
+  bool witness_scan_ok_ = false;
 
   int iterations_ = 0;
   int max_iterations_ = 0;
@@ -99,8 +137,12 @@ class DenseTableau : public LpBackendImpl {
   // Columns disabled for the current phase (numerically dead, see RunPhase).
   std::vector<bool> frozen_;
   // Per-call pivot counters (LpResult::stats); the dense tableau has no
-  // factorization, so only the phase/dual pivot fields are ever nonzero.
+  // factorization, so of the pivot counters only the phase/dual fields are
+  // ever nonzero. The kernel table is filled on every exit.
   LpSolveStats stats_;
+  // Thread-local kernel counters at the last public entry (Solve /
+  // ResolveWithRhs); FillKernelStats reports the delta.
+  LpKernelCounters kernel_base_;
 };
 
 }  // namespace lpb

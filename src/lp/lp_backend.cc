@@ -8,16 +8,16 @@
 
 namespace lpb {
 
-std::vector<LpResult> LpBackendImpl::ResolveWithRhsBatch(
-    std::span<const std::vector<double>> rhs_batch) {
+void LpBackendImpl::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch, std::vector<LpResult>& out) {
   // Reference semantics for the batch contract: the sequential scalar
-  // cascade. Backends override only to amortize, never to reorder.
-  std::vector<LpResult> out;
-  out.reserve(rhs_batch.size());
-  for (const std::vector<double>& rhs : rhs_batch) {
-    out.push_back(ResolveWithRhs(rhs));
+  // cascade. Backends override only to amortize, never to reorder. Move-
+  // assigning into the resized slot (rather than push_back into a fresh
+  // vector) keeps the caller's element capacity alive across batches.
+  out.resize(rhs_batch.size());
+  for (std::size_t c = 0; c < rhs_batch.size(); ++c) {
+    out[c] = ResolveWithRhs(rhs_batch[c]);
   }
-  return out;
 }
 
 NormalizedRows NormalizeRows(const LpProblem& problem,
@@ -124,6 +124,55 @@ BasisUpdateKind ResolveBasisUpdate(const SimplexOptions& options) {
     return BasisUpdateKind::kEta;
   }
   return BasisUpdateKind::kForrestTomlin;
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kDefault:
+      return "default";
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+SimdMode ResolveSimdMode(const SimplexOptions& options) {
+  if (options.simd != SimdMode::kDefault) return options.simd;
+  // Like the other knobs, read the environment on every resolution so the
+  // SIMD parity tests can flip LPB_LP_SIMD within one process.
+  const char* env = std::getenv("LPB_LP_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return SimdMode::kScalar;
+  }
+  // Results are bit-identical either way, so auto is always safe; unknown
+  // values also fall back here.
+  return SimdMode::kAuto;
+}
+
+const char* LpKernelName(LpKernelId id) {
+  switch (id) {
+    case kLpKernelAxpy:
+      return "axpy_d";
+    case kLpKernelDot:
+      return "dot_d";
+    case kLpKernelNormalizeRhs:
+      return "normalize_rhs_d";
+    case kLpKernelEqual:
+      return "equal_d";
+    case kLpKernelGather:
+      return "gather_axpy_ld";
+    case kLpKernelSweep:
+      return "sweep_ld";
+    case kLpKernelScale:
+      return "scale_ld";
+    case kLpKernelFtranBlock:
+      return "ftran_block_ld";
+    case kNumLpKernels:
+      break;
+  }
+  return "unknown";
 }
 
 std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,

@@ -47,8 +47,22 @@ class LpBackendImpl {
   // columns through one cached LU factorization and shares the cost-row
   // BTRAN (the cached duals) across every witness-valid column, falling
   // back to the scalar cascade only for columns whose basis goes stale.
-  virtual std::vector<LpResult> ResolveWithRhsBatch(
-      std::span<const std::vector<double>> rhs_batch);
+  //
+  // The out-parameter form is the primary one: `out` is resized to the
+  // batch and every element is fully overwritten (every LpResult field set,
+  // no stale reads), so a caller looping over batches can reuse one result
+  // vector and its per-element x/duals capacity instead of re-allocating
+  // ~2 vectors per estimate — which profiling showed was a quarter of the
+  // batch path. The value-returning form is a convenience forwarder.
+  virtual void ResolveWithRhsBatch(
+      std::span<const std::vector<double>> rhs_batch,
+      std::vector<LpResult>& out);
+  std::vector<LpResult> ResolveWithRhsBatch(
+      std::span<const std::vector<double>> rhs_batch) {
+    std::vector<LpResult> out;
+    ResolveWithRhsBatch(rhs_batch, out);
+    return out;
+  }
 
   virtual bool has_optimal_basis() const = 0;
   // Basic column per row, internal column ids (structural, then
@@ -90,6 +104,10 @@ PricingRule ResolveLpPricing(const SimplexOptions& options);
 // Resolves kDefault against LPB_LP_UPDATE ("eta" / "ft"; anything else
 // falls back to Forrest–Tomlin). Never returns kDefault.
 BasisUpdateKind ResolveBasisUpdate(const SimplexOptions& options);
+
+// Resolves kDefault against LPB_LP_SIMD ("auto" / "scalar"; anything else
+// falls back to auto). Never returns kDefault.
+SimdMode ResolveSimdMode(const SimplexOptions& options);
 
 // Constructs the backend selected by `options` for `problem`.
 std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "lp/kernels.h"
+
 namespace lpb {
 
 LuBasis::LuBasis(LuOptions options) : options_(options) {
@@ -216,6 +218,63 @@ void LuBasis::Ftran(std::vector<Scalar>& x,
     x[eta.slot] = v;
     if (v == 0.0) continue;
     for (const LuEntry& e : eta.off) x[e.row] -= e.value * v;
+  }
+}
+
+void LuBasis::FtranBlock(Scalar* x, int lanes) const {
+  LpKernelTimer timer(kLpKernelFtranBlock);
+  // Mirrors Ftran pass for pass; every lane's own arithmetic sequence —
+  // including the skip-on-exact-zero guards, which also preserve signed
+  // zeros — is identical to a solo Ftran of that lane. Only the entry
+  // metadata traversal is shared across lanes.
+  for (int k = 0; k < m_; ++k) {
+    const Scalar* xt = x + static_cast<std::size_t>(l_pivot_row_[k]) * lanes;
+    for (const LuEntry& e : l_cols_[k]) {
+      Scalar* xr = x + static_cast<std::size_t>(e.row) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        const Scalar v = xt[l];
+        if (v == 0.0) continue;
+        xr[l] -= e.value * v;
+      }
+    }
+  }
+  for (const FtEta& eta : ft_etas_) {
+    Scalar acc[kMaxFtranBlockLanes] = {};
+    for (const LuEntry& e : eta.mu) {
+      const Scalar* xr = x + static_cast<std::size_t>(e.row) * lanes;
+      for (int l = 0; l < lanes; ++l) acc[l] += e.value * xr[l];
+    }
+    Scalar* xrho = x + static_cast<std::size_t>(eta.row) * lanes;
+    for (int l = 0; l < lanes; ++l) xrho[l] -= acc[l];
+  }
+  block_pos_work_.resize(static_cast<std::size_t>(m_) * lanes);
+  for (int k = m_; k-- > 0;) {
+    const int slot = col_slot_[k];
+    const Scalar* xp = x + static_cast<std::size_t>(pivot_row_[k]) * lanes;
+    Scalar* pw = block_pos_work_.data() + static_cast<std::size_t>(slot) * lanes;
+    for (int l = 0; l < lanes; ++l) pw[l] = xp[l] / diag_[slot];
+    for (const LuEntry& e : u_cols_[slot]) {
+      Scalar* xr = x + static_cast<std::size_t>(e.row) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        const Scalar zk = pw[l];
+        if (zk == 0.0) continue;
+        xr[l] -= e.value * zk;
+      }
+    }
+  }
+  std::copy(block_pos_work_.begin(),
+            block_pos_work_.begin() + static_cast<std::size_t>(m_) * lanes, x);
+  for (const Eta& eta : etas_) {
+    Scalar* xs = x + static_cast<std::size_t>(eta.slot) * lanes;
+    for (int l = 0; l < lanes; ++l) xs[l] = xs[l] / eta.diag;
+    for (const LuEntry& e : eta.off) {
+      Scalar* xr = x + static_cast<std::size_t>(e.row) * lanes;
+      for (int l = 0; l < lanes; ++l) {
+        const Scalar v = xs[l];
+        if (v == 0.0) continue;
+        xr[l] -= e.value * v;
+      }
+    }
   }
 }
 

@@ -115,6 +115,18 @@ class LuBasis {
   void Ftran(std::vector<Scalar>& x,
              std::vector<Scalar>* spike_out = nullptr) const;
 
+  // Blocked multi-RHS FTRAN: solves `lanes` (≤ kMaxFtranBlockLanes)
+  // right-hand sides at once, laid out lane-interleaved — element i of
+  // lane l at x[i * lanes + l] — so each L/U entry's metadata is loaded
+  // once and applied across all lanes from one cache line. Every lane is
+  // bitwise-identical to a sequential Ftran of that lane alone: the
+  // per-lane operation order is unchanged (only the interleaving across
+  // independent lanes differs), including the skip-on-exact-zero guards.
+  // No spike capture — the block path is for B⁻¹ column materialization
+  // (lp/revised_simplex.cc), not for pivoting.
+  static constexpr int kMaxFtranBlockLanes = 8;
+  void FtranBlock(Scalar* x, int lanes) const;
+
   // y := B⁻ᵀ y. In: y indexed by basis slot (e.g. the basic costs).
   // Out: y indexed by constraint row (e.g. the duals). Btran(e_slot)
   // yields row `slot` of B⁻¹ — the ratio test's lexicographic tie-break.
@@ -192,6 +204,7 @@ class LuBasis {
   // instance, like the CompiledBound that owns the tableau).
   mutable std::vector<Scalar> work_;
   mutable std::vector<Scalar> pos_work_;
+  mutable std::vector<Scalar> block_pos_work_;  // FtranBlock, m_ x lanes
   mutable std::vector<Scalar> spike_;    // FT spike, row-indexed
   mutable std::vector<Scalar> mu_work_;  // FT multipliers, row-indexed
   mutable std::vector<LuEntry> mu_entries_;

@@ -19,7 +19,8 @@ RevisedSimplex::RevisedSimplex(const LpProblem& problem,
     : problem_(problem),
       options_(options),
       pricing_(ResolveLpPricing(options)),
-      update_kind_(ResolveBasisUpdate(options)) {
+      update_kind_(ResolveBasisUpdate(options)),
+      kernels_(&GetLpKernels(ResolveSimdMode(options))) {
   LuOptions lu_options;
   lu_options.forrest_tomlin =
       update_kind_ == BasisUpdateKind::kForrestTomlin;
@@ -37,7 +38,30 @@ void RevisedSimplex::Build(const std::vector<double>& rhs) {
   rows_ = problem_.num_constraints();
   has_basis_ = false;
   cached_duals_.clear();
+  result_cache_valid_ = false;
+  binv_valid_.assign(rows_, 0);
   InvalidateReprice();
+
+  // Arena-backed re-pricing scratch: one Reset and a few pointer bumps per
+  // cold Build (the chunks are reused, so repeated Builds of the same
+  // shape never hit the allocator). The B⁻¹ pool is uninitialized on
+  // purpose — binv_valid_ gates every read.
+  arena_.Reset();
+  problem_rhs_ = arena_.AllocArray<double>(rows_);
+  perturb_term_ = arena_.AllocArray<double>(rows_);
+  norm_b_ = arena_.AllocArray<double>(rows_);
+  last_b_ = arena_.AllocArray<double>(rows_);
+  x_reprice_ = arena_.AllocArray<double>(rows_);
+  binv_pool_ =
+      arena_.AllocArray<double>(static_cast<std::size_t>(rows_) * rows_);
+  binv_block_ = arena_.AllocArray<Scalar>(static_cast<std::size_t>(rows_) *
+                                          kBinvBlockLanes);
+  for (int i = 0; i < rows_; ++i) {
+    problem_rhs_[i] = problem_.constraint(i).rhs;
+    // The graded perturbation of NormalizedRhsEntry, precomputed so RHS
+    // normalization is one vectorizable sign*b + term kernel pass.
+    perturb_term_[i] = options_.perturb * (1 + i % 101);
+  }
 
   // Row normalization shared with the dense backend (lp/lp_backend.h) —
   // backend parity depends on the two applying the identical transform.
@@ -127,46 +151,107 @@ bool RevisedSimplex::Refactorize() {
 
 void RevisedSimplex::InvalidateReprice() {
   reprice_valid_ = false;
-  binv_valid_.assign(binv_valid_.size(), 0);
+  witness_scan_ok_ = false;
+  std::fill(binv_valid_.begin(), binv_valid_.end(), 0);
 }
 
-const std::vector<RevisedSimplex::Scalar>& RevisedSimplex::BinvColumn(int j) {
-  if (static_cast<int>(binv_cols_.size()) != rows_) {
-    binv_cols_.assign(rows_, {});
-    binv_valid_.assign(rows_, 0);
+void RevisedSimplex::MaterializeBinvColumns(const std::vector<int>& rows) {
+  missing_.clear();
+  for (int j : rows) {
+    if (!binv_valid_[j]) missing_.push_back(j);
   }
-  if (!binv_valid_[j]) {
-    unit_.assign(rows_, 0.0);
-    unit_[j] = 1.0;
-    lu_.Ftran(unit_);
-    binv_cols_[j] = unit_;
-    binv_valid_[j] = 1;
+  std::size_t p = 0;
+  while (p < missing_.size()) {
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kBinvBlockLanes, missing_.size() - p));
+    if (lanes == 1) {
+      // A lone column: the plain FTRAN, skipping the block staging.
+      const int j = missing_[p];
+      unit_.assign(rows_, 0.0);
+      unit_[j] = 1.0;
+      lu_.Ftran(unit_);
+      double* colj = binv_pool_ + static_cast<std::size_t>(j) * rows_;
+      for (int i = 0; i < rows_; ++i) colj[i] = static_cast<double>(unit_[i]);
+      binv_valid_[j] = 1;
+      ++p;
+      continue;
+    }
+    // Blocked: `lanes` unit vectors through one FtranBlock — the L/U entry
+    // lists are traversed once for the whole block instead of once per
+    // column (each lane's arithmetic is bitwise the solo FTRAN's).
+    std::fill(binv_block_,
+              binv_block_ + static_cast<std::size_t>(rows_) * lanes,
+              Scalar{0.0});
+    for (int l = 0; l < lanes; ++l) {
+      binv_block_[static_cast<std::size_t>(missing_[p + l]) * lanes + l] = 1.0;
+    }
+    lu_.FtranBlock(binv_block_, lanes);
+    for (int l = 0; l < lanes; ++l) {
+      const int j = missing_[p + l];
+      double* colj = binv_pool_ + static_cast<std::size_t>(j) * rows_;
+      for (int i = 0; i < rows_; ++i) {
+        colj[i] = static_cast<double>(
+            binv_block_[static_cast<std::size_t>(i) * lanes + l]);
+      }
+      binv_valid_[j] = 1;
+    }
+    p += lanes;
   }
-  return binv_cols_[j];
 }
 
 void RevisedSimplex::RepriceRhs(const std::vector<double>& rhs) {
-  if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval) {
+  // Normalize the whole RHS in one kernel pass (the historical per-entry
+  // NormalizedRhsEntry, all-double arithmetic, with the perturbation term
+  // precomputed in Build).
+  const double* bsrc = rhs.empty() ? problem_rhs_ : rhs.data();
+  LpNormalizeRhsD(*kernels_, row_sign_.data(), bsrc, perturb_term_, norm_b_,
+                  rows_);
+  // Unchanged-RHS fast exit: bitwise-equal normalized RHS means x_basic_
+  // (= B⁻¹ last_b_) is already the answer — no delta work, no widen, and
+  // no tick of the drift interval (an untouched x accumulates none). This
+  // is the steady state of a batch re-pricing the same template values.
+  if (reprice_valid_ && LpEqualD(*kernels_, norm_b_, last_b_, rows_)) {
+    rhs_unchanged_ = true;
+    return;
+  }
+  rhs_unchanged_ = false;
+  if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval &&
+      options_.perturb == 0.0) {
     // Incremental: x_new = x_old + Σ_j Δ_j · (B⁻¹ e_j) over the moved
-    // coordinates. Exact comparison is deliberate — an unchanged
-    // coordinate contributes an exact zero delta.
+    // coordinates — memoized double B⁻¹ columns folded in with the fma
+    // axpy kernel. Exact comparison is deliberate: an unchanged coordinate
+    // contributes an exact zero delta. (A user-supplied perturbation
+    // forces the full path; perturbed resolves are rare and cold-heavy,
+    // and keeping them out of the delta path keeps it exactly the
+    // unperturbed b-difference.)
     ++reprices_since_full_;
+    moved_.clear();
     for (int j = 0; j < rows_; ++j) {
-      const Scalar b = NormalizedRhs(j, rhs);
-      if (b == last_b_[j]) continue;
-      const Scalar d = b - last_b_[j];
-      last_b_[j] = b;
-      b_[j] = b;
-      const std::vector<Scalar>& col = BinvColumn(j);
-      for (int i = 0; i < rows_; ++i) x_reprice_[i] += d * col[i];
+      if (norm_b_[j] != last_b_[j]) moved_.push_back(j);
     }
-    x_basic_ = x_reprice_;
+    if (!moved_.empty()) {
+      MaterializeBinvColumns(moved_);
+      for (int j : moved_) {
+        const double d = norm_b_[j] - last_b_[j];
+        last_b_[j] = norm_b_[j];
+        b_[j] = norm_b_[j];
+        LpAxpyD(*kernels_, d,
+                binv_pool_ + static_cast<std::size_t>(j) * rows_, x_reprice_,
+                rows_);
+      }
+    }
+    // Widen the double master copy for the pivot-precision consumers
+    // (feasibility scan, dual simplex). Drift of the double accumulation
+    // is bounded by the periodic full re-price, same as before.
+    for (int i = 0; i < rows_; ++i) x_basic_[i] = x_reprice_[i];
   } else {
-    for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+    for (int i = 0; i < rows_; ++i) b_[i] = norm_b_[i];
     x_basic_ = b_;
     lu_.Ftran(x_basic_);
-    x_reprice_ = x_basic_;
-    last_b_ = b_;
+    for (int i = 0; i < rows_; ++i) {
+      x_reprice_[i] = static_cast<double>(x_basic_[i]);
+      last_b_[i] = norm_b_[i];
+    }
     reprice_valid_ = true;
     reprices_since_full_ = 0;
   }
@@ -284,7 +369,7 @@ bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
   }
   const Scalar theta = x_basic_[leave_slot] / w[leave_slot];
   if (theta != 0.0) {
-    for (int i = 0; i < rows_; ++i) x_basic_[i] -= theta * w[i];
+    LpSweepLd(x_basic_.data(), w.data(), theta, rows_);
   }
   x_basic_[leave_slot] = theta;
   return true;
@@ -642,24 +727,47 @@ void RevisedSimplex::EvictArtificials() {
   }
 }
 
-LpResult RevisedSimplex::ExtractOptimal(LpEvalPath path) {
-  LpResult result;
+void RevisedSimplex::FillKernelStats() {
+  for (int k = 0; k < kNumLpKernels; ++k) {
+    stats_.kernel_calls[k] =
+        g_lp_kernel_counters.calls[k] - kernel_base_.calls[k];
+    stats_.kernel_cycles[k] =
+        g_lp_kernel_counters.cycles[k] - kernel_base_.cycles[k];
+  }
+}
+
+void RevisedSimplex::ExtractOptimal(LpEvalPath path, LpResult& result,
+                                    bool repeat) {
   result.status = LpStatus::kOptimal;
   result.iterations = iterations_;
   result.path = path;
+  if (repeat && result_cache_valid_) {
+    // x_basic_ is bitwise-unchanged since the extraction that filled the
+    // cache (the caller holds rhs_unchanged_ && witness_scan_ok_), so the
+    // x/objective/duals here are the cached ones by construction. Serving
+    // them as flat double copies skips the per-entry long-double→double
+    // scatter and the objective dot on the repeated-RHS hot path.
+    result.x = cached_x_;
+    result.objective = cached_objective_;
+    result.pricing = pricing_;
+    result.duals = cached_duals_;
+    has_basis_ = true;
+    FillKernelStats();
+    result.stats = stats_;
+    return;
+  }
   result.x.assign(problem_.num_vars(), 0.0);
   for (int i = 0; i < rows_; ++i) {
     if (basis_[i] < problem_.num_vars()) {
       result.x[basis_[i]] = static_cast<double>(x_basic_[i]);
     }
   }
-  double obj = 0.0;
-  for (int j = 0; j < problem_.num_vars(); ++j) {
-    obj += phase2_cost_[j] * result.x[j];
-  }
-  result.objective = obj;
+  result.objective = LpDotD(*kernels_, phase2_cost_.data(), result.x.data(),
+                            problem_.num_vars());
+  cached_x_ = result.x;
+  cached_objective_ = result.objective;
+  result_cache_valid_ = true;
   result.pricing = pricing_;
-  result.stats = stats_;
 
   if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
     // Same basis, same cost: the duals are the previous solve's.
@@ -675,28 +783,34 @@ LpResult RevisedSimplex::ExtractOptimal(LpEvalPath path) {
     cached_duals_ = result.duals;
   }
   has_basis_ = true;
-  return result;
+  FillKernelStats();
+  result.stats = stats_;
 }
 
-LpResult RevisedSimplex::Failure(LpStatus status) const {
-  LpResult result;
+void RevisedSimplex::Failure(LpStatus status, LpResult& result) {
   result.status = status;
+  result.objective = 0.0;
   result.iterations = iterations_;
+  result.path = LpEvalPath::kCold;
   result.pricing = pricing_;
+  FillKernelStats();
   result.stats = stats_;
   // The LpResult contract: x/duals are sized (zeros) even on failure so
   // callers indexing them unconditionally never read stale data.
   result.x.assign(problem_.num_vars(), 0.0);
   result.duals.assign(problem_.num_constraints(), 0.0);
-  return result;
 }
 
 LpResult RevisedSimplex::Solve(const std::vector<double>& rhs) {
-  stats_ = {};
-  return SolveFromScratch(rhs);
+  LpResult result;
+  stats_.ResetPivots();
+  kernel_base_ = g_lp_kernel_counters;
+  SolveFromScratch(rhs, result);
+  return result;
 }
 
-LpResult RevisedSimplex::SolveFromScratch(const std::vector<double>& rhs) {
+void RevisedSimplex::SolveFromScratch(const std::vector<double>& rhs,
+                                      LpResult& result) {
   // First attempt: anti-degeneracy perturbation with exact cleanup (see
   // SolveCore). On the heavily degenerate bound LPs the unperturbed
   // simplex can reach the optimal objective and then wander the optimal
@@ -706,14 +820,14 @@ LpResult RevisedSimplex::SolveFromScratch(const std::vector<double>& rhs) {
   // (options_.perturb) disables the internal one — matching the dense
   // backend, the caller then owns the perturbed semantics.
   if (options_.perturb == 0.0) {
-    LpResult result = SolveCore(rhs, /*anti_degeneracy=*/true);
-    if (!cleanup_failed_) return result;
+    SolveCore(rhs, /*anti_degeneracy=*/true, result);
+    if (!cleanup_failed_) return;
   }
-  return SolveCore(rhs, /*anti_degeneracy=*/false);
+  SolveCore(rhs, /*anti_degeneracy=*/false, result);
 }
 
-LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
-                                   bool anti_degeneracy) {
+void RevisedSimplex::SolveCore(const std::vector<double>& rhs,
+                               bool anti_degeneracy, LpResult& result) {
   iterations_ = 0;
   numerical_failure_ = false;
   cleanup_failed_ = false;
@@ -721,7 +835,7 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 50 * (rows_ + cols_) + 1000;
-  if (numerical_failure_) return Failure(LpStatus::kIterationLimit);
+  if (numerical_failure_) return Failure(LpStatus::kIterationLimit, result);
   if (anti_degeneracy) {
     // Graded positive shifts, the same shape as SimplexOptions::perturb.
     // Magnitude: far above the long-double noise floor, far below the
@@ -740,7 +854,7 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
     for (int j = first_art_; j < cols_; ++j) cost[j] = -1.0;
     if (!RunPhase(cost, /*phase_two=*/false)) {
       cleanup_failed_ = anti_degeneracy;
-      return Failure(LpStatus::kIterationLimit);
+      return Failure(LpStatus::kIterationLimit, result);
     }
     Scalar infeas = 0.0;
     for (int i = 0; i < rows_; ++i) {
@@ -752,12 +866,12 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
       // manufactures inconsistency a feasible problem never had. Only the
       // unperturbed run may declare infeasible.
       cleanup_failed_ = anti_degeneracy;
-      return Failure(LpStatus::kInfeasible);
+      return Failure(LpStatus::kInfeasible, result);
     }
     EvictArtificials();
     if (numerical_failure_) {
       cleanup_failed_ = anti_degeneracy;
-      return Failure(LpStatus::kIterationLimit);
+      return Failure(LpStatus::kIterationLimit, result);
     }
   }
 
@@ -765,7 +879,7 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
   unbounded_ = false;
   if (!RunPhase(phase2_cost_, /*phase_two=*/true)) {
     cleanup_failed_ = anti_degeneracy;
-    return Failure(LpStatus::kIterationLimit);
+    return Failure(LpStatus::kIterationLimit, result);
   }
   if (unbounded_) {
     // The certifying ray lives in the recession cone, which no RHS shift
@@ -787,9 +901,9 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
         }
       }
     }
-    return Failure(LpStatus::kUnbounded);
+    return Failure(LpStatus::kUnbounded, result);
   }
-  if (!anti_degeneracy) return ExtractOptimal(LpEvalPath::kCold);
+  if (!anti_degeneracy) return ExtractOptimal(LpEvalPath::kCold, result);
 
   // Cleanup: drop the perturbation and re-price the true RHS under the
   // perturbed-optimal basis. The basis stays dual-feasible (costs are
@@ -805,23 +919,29 @@ LpResult RevisedSimplex::SolveCore(const std::vector<double>& rhs,
     if (basis_[i] >= first_art_ &&
         std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
       cleanup_failed_ = true;
-      return Failure(LpStatus::kIterationLimit);
+      return Failure(LpStatus::kIterationLimit, result);
     }
   }
-  if (feasible) return ExtractOptimal(LpEvalPath::kCold);
+  if (feasible) return ExtractOptimal(LpEvalPath::kCold, result);
   if (RunDualSimplex() == DualOutcome::kOptimal) {
-    return ExtractOptimal(LpEvalPath::kCold);
+    return ExtractOptimal(LpEvalPath::kCold, result);
   }
   cleanup_failed_ = true;
-  return Failure(LpStatus::kIterationLimit);
+  return Failure(LpStatus::kIterationLimit, result);
 }
 
-LpResult RevisedSimplex::ResolveCascade(const std::vector<double>& rhs) {
+void RevisedSimplex::ResolveCascade(const std::vector<double>& rhs,
+                                    LpResult& result) {
   // Re-price the RHS under the cached factorization: B⁻¹b' — incremental
   // against the previous re-price when the factorization is unchanged
   // (O(rows × moved coordinates)), one fresh FTRAN otherwise. No pivots,
   // no matrix rebuild either way (see RepriceRhs).
   RepriceRhs(rhs);
+  // Memoized scan: an unchanged x_basic_ that already passed the scan
+  // below passes it again — rescanning identical bits is pure overhead.
+  if (rhs_unchanged_ && witness_scan_ok_) {
+    return ExtractOptimal(LpEvalPath::kWitness, result, /*repeat=*/true);
+  }
 
   bool feasible = true;
   for (int i = 0; i < rows_; ++i) {
@@ -831,66 +951,77 @@ LpResult RevisedSimplex::ResolveCascade(const std::vector<double>& rhs) {
     // inconsistent); only a cold solve can decide feasibility.
     if (basis_[i] >= first_art_ &&
         std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
-      return SolveFromScratch(rhs);
+      return SolveFromScratch(rhs, result);
     }
   }
   if (feasible) {
     // Witness reuse: the basis is still optimal; zero pivots needed.
-    return ExtractOptimal(LpEvalPath::kWitness);
+    witness_scan_ok_ = true;
+    return ExtractOptimal(LpEvalPath::kWitness, result);
   }
+  witness_scan_ok_ = false;
 
   switch (RunDualSimplex()) {
     case DualOutcome::kOptimal:
-      return ExtractOptimal(LpEvalPath::kWarm);
+      return ExtractOptimal(LpEvalPath::kWarm, result);
     case DualOutcome::kInfeasible:
     case DualOutcome::kIterationLimit:
       // A dual ray certifies primal infeasibility in exact arithmetic, but
       // a cold two-phase solve is cheap insurance against drift in the
       // warmed factorization — and also covers the dual-simplex stall.
-      return SolveFromScratch(rhs);
+      return SolveFromScratch(rhs, result);
   }
-  return SolveFromScratch(rhs);  // unreachable
+  return SolveFromScratch(rhs, result);  // unreachable
 }
 
 LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
-  if (!has_basis_) return Solve(rhs);
+  LpResult result;
+  kernel_base_ = g_lp_kernel_counters;
+  stats_.ResetPivots();
+  if (!has_basis_) {
+    SolveFromScratch(rhs, result);
+    return result;
+  }
   iterations_ = 0;
   numerical_failure_ = false;
-  stats_ = {};
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 50 * (rows_ + cols_) + 1000;
-  return ResolveCascade(rhs);
+  ResolveCascade(rhs, result);
+  return result;
 }
 
-std::vector<LpResult> RevisedSimplex::ResolveWithRhsBatch(
-    std::span<const std::vector<double>> rhs_batch) {
+void RevisedSimplex::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch,
+    std::vector<LpResult>& out) {
   // Each column runs the same ResolveCascade as the scalar path — the
   // batch contract (lp_backend.h) promises results identical to the
   // scalar sequence. What the block amortizes: every witness-valid column
   // is one incremental re-price (or FTRAN) through the same cached
   // factorization plus a read of the shared cached duals (the cost-row
   // BTRAN ran once, at the solve that cached the basis), with no per-call
-  // dispatch or limit recomputation in between.
-  std::vector<LpResult> out;
-  out.reserve(rhs_batch.size());
+  // dispatch or limit recomputation in between — and the results land in
+  // the caller's reused vector, so the per-column x/duals allocations of
+  // the old value-returning path are gone too.
+  out.resize(rhs_batch.size());
   const int batch_max_iterations = options_.max_iterations > 0
                                        ? options_.max_iterations
                                        : 50 * (rows_ + cols_) + 1000;
-  for (const std::vector<double>& rhs : rhs_batch) {
+  for (std::size_t c = 0; c < rhs_batch.size(); ++c) {
+    LpResult& result = out[c];
+    kernel_base_ = g_lp_kernel_counters;
+    stats_.ResetPivots();
     if (!has_basis_) {
       // First solve, or a stale column above lost the basis: cold solve,
       // exactly as the scalar cascade would.
-      out.push_back(Solve(rhs));
+      SolveFromScratch(rhs_batch[c], result);
       continue;
     }
     iterations_ = 0;
     numerical_failure_ = false;
-    stats_ = {};
     max_iterations_ = batch_max_iterations;
-    out.push_back(ResolveCascade(rhs));
+    ResolveCascade(rhs_batch[c], result);
   }
-  return out;
 }
 
 }  // namespace lpb

@@ -41,17 +41,29 @@
 // under the cached factorization (witness), dual simplex repairs primal
 // infeasibility from the still-dual-feasible basis (warm), and anything
 // the factorization cannot represent falls back to a cold two-phase solve.
+//
+// Hot-path layout (this is the backend the batch estimate regime runs):
+// the RHS normalization, the B⁻¹ column memo, and the incremental
+// re-pricing deltas are double-precision kernels (lp/kernels.h) over
+// arena-backed scratch (util/arena.h) — NormalizedRhsEntry always computed
+// in double, so nothing is lost — while every pivot-decision quantity
+// (FTRAN/BTRAN images, ratio tests, basic values) stays long double. All
+// solver exits write into a caller-owned LpResult, so a batch loop reuses
+// one result vector and its x/duals capacity instead of re-allocating per
+// column.
 #ifndef LPB_LP_REVISED_SIMPLEX_H_
 #define LPB_LP_REVISED_SIMPLEX_H_
 
 #include <utility>
 #include <vector>
 
+#include "lp/kernels.h"
 #include "lp/lp_backend.h"
 #include "lp/lp_problem.h"
 #include "lp/lu_basis.h"
 #include "lp/simplex.h"
 #include "lp/sparse_matrix.h"
+#include "util/arena.h"
 
 namespace lpb {
 
@@ -63,14 +75,17 @@ class RevisedSimplex : public LpBackendImpl {
   LpResult Solve(const std::vector<double>& rhs) override;
   LpResult ResolveWithRhs(const std::vector<double>& rhs) override;
   // Multi-RHS resolve: every column flows through the one cached LU
-  // factorization (an FTRAN per column, no per-column rebuild), witness
-  // validation is per column, and the cost-row BTRAN is shared — the
-  // cached duals serve every witness-valid column in the block. A column
-  // whose basis goes stale runs the scalar dual-simplex/cold cascade, and
-  // the columns after it continue against the updated factorization,
-  // keeping results identical to sequential ResolveWithRhs calls.
-  std::vector<LpResult> ResolveWithRhsBatch(
-      std::span<const std::vector<double>> rhs_batch) override;
+  // factorization (an incremental re-price or FTRAN per column, no
+  // per-column rebuild), witness validation is per column, and the
+  // cost-row BTRAN is shared — the cached duals serve every witness-valid
+  // column in the block. A column whose basis goes stale runs the scalar
+  // dual-simplex/cold cascade, and the columns after it continue against
+  // the updated factorization, keeping results identical to sequential
+  // ResolveWithRhs calls. Results land in `out` (fully overwritten), so a
+  // caller looping over batches reuses the element capacity.
+  void ResolveWithRhsBatch(std::span<const std::vector<double>> rhs_batch,
+                           std::vector<LpResult>& out) override;
+  using LpBackendImpl::ResolveWithRhsBatch;  // value-returning forwarder
   bool has_optimal_basis() const override { return has_basis_; }
   const std::vector<int>& basis() const override { return basis_; }
 
@@ -91,29 +106,33 @@ class RevisedSimplex : public LpBackendImpl {
   static constexpr int kPartialPricingMinCols = 512;
   // Devex weights past this trigger a reference-framework reset.
   static constexpr double kDevexWeightLimit = 1e8;
+  // Lanes per blocked FTRAN when materializing missing B⁻¹ columns.
+  static constexpr int kBinvBlockLanes = LuBasis::kMaxFtranBlockLanes;
 
   void Build(const std::vector<double>& rhs);
   // Sets b_ from `rhs` and computes x_basic_ = B⁻¹b. Incremental when the
   // factorization is unchanged since the last re-price: each moved RHS
-  // coordinate contributes Δ_j times column j of B⁻¹ (materialized by one
-  // unit FTRAN and memoized per factorization in binv_cols_), so a
+  // coordinate contributes Δ_j times column j of B⁻¹ (materialized by
+  // blocked FTRANs and memoized per factorization in binv_pool_), so a
   // k-statistic what-if probe costs O(rows × k) instead of a full FTRAN.
   // Every kFullRepriceInterval calls a fresh FTRAN bounds drift.
   void RepriceRhs(const std::vector<double>& rhs);
-  // Column j of B⁻¹ under the current factorization, memoized.
-  const std::vector<Scalar>& BinvColumn(int j);
+  // Ensures binv_pool_ holds B⁻¹ e_j for every j in `rows` (missing
+  // columns are materialized kBinvBlockLanes at a time with FtranBlock).
+  void MaterializeBinvColumns(const std::vector<int>& rows);
   // Called whenever the basis or its factorization changes.
   void InvalidateReprice();
   // The cold-solve driver (anti-degeneracy attempt + unperturbed rerun)
   // behind the public Solve(); shared with the cascade's cold fallback so
   // a fallback accumulates into the call's stats_ instead of resetting it.
-  LpResult SolveFromScratch(const std::vector<double>& rhs);
+  void SolveFromScratch(const std::vector<double>& rhs, LpResult& result);
   // The cold two-phase solve behind Solve(). With `anti_degeneracy`, the
   // normalized RHS gets graded positive shifts so the ratio test is
   // (almost) never tied, and a cleanup pass restores the true RHS from
   // the perturbed-optimal basis; sets cleanup_failed_ when that repair
   // does not go through (Solve then re-runs unperturbed).
-  LpResult SolveCore(const std::vector<double>& rhs, bool anti_degeneracy);
+  void SolveCore(const std::vector<double>& rhs, bool anti_degeneracy,
+                 LpResult& result);
   Scalar NormalizedRhs(int i, const std::vector<double>& rhs) const;
   // Refactorizes the basis and recomputes basic values from b_. Returns
   // false (setting numerical_failure_) if the basis went singular.
@@ -144,7 +163,7 @@ class RevisedSimplex : public LpBackendImpl {
   // the shared per-column body of ResolveWithRhs and ResolveWithRhsBatch.
   // Callers must have reset the iteration bookkeeping and checked
   // has_basis_.
-  LpResult ResolveCascade(const std::vector<double>& rhs);
+  void ResolveCascade(const std::vector<double>& rhs, LpResult& result);
   // Ratio test with the lexicographic tie-break; -1 if no row qualifies.
   int ChooseLeavingSlot(const std::vector<Scalar>& w);
   // Swaps `enter` into the basis at `leave_slot` using the FTRAN image `w`
@@ -157,13 +176,22 @@ class RevisedSimplex : public LpBackendImpl {
   void EvictArtificials();
   // y_ := B⁻ᵀ cost_B (row space).
   void ComputeDuals(const std::vector<double>& cost);
-  LpResult ExtractOptimal(LpEvalPath path);
-  LpResult Failure(LpStatus status) const;
+  // Exit writers: every LpResult field is set (result objects are reused
+  // across batch columns, so a skipped field would be a stale read).
+  // `repeat` asserts x_basic_ is bitwise-unchanged since the previous
+  // extraction (the memoized witness branch of ResolveCascade): the x
+  // vector and objective are then served from the extraction cache —
+  // flat double memcpys — instead of re-scattering and re-dotting.
+  void ExtractOptimal(LpEvalPath path, LpResult& result, bool repeat = false);
+  void Failure(LpStatus status, LpResult& result);
+  // Copies this call's kernel-counter deltas into stats_ (lp/kernels.h).
+  void FillKernelStats();
 
   LpProblem problem_;
   SimplexOptions options_;
   PricingRule pricing_ = PricingRule::kDantzig;        // resolved, pinned
   BasisUpdateKind update_kind_ = BasisUpdateKind::kForrestTomlin;
+  const LpKernels* kernels_;  // dispatch table per SimplexOptions::simd
 
   int rows_ = 0;
   int cols_ = 0;       // structural + slack/surplus + artificial
@@ -178,16 +206,38 @@ class RevisedSimplex : public LpBackendImpl {
   std::vector<Scalar> x_basic_;  // basic values per slot
   LuBasis lu_;
 
-  // Incremental re-pricing state (see RepriceRhs): the last re-priced
-  // normalized RHS, its FTRAN image, and the memoized B⁻¹ columns. All
-  // invalidated by InvalidateReprice on any basis/factorization change.
+  // Arena-backed re-pricing scratch, (re)allocated per cold Build. The
+  // normalized-RHS pipeline is all double (NormalizedRhsEntry computes in
+  // double), so the double buffers lose nothing; the pivot-precision
+  // consumers read the widened x_basic_.
+  Arena arena_;
+  double* problem_rhs_ = nullptr;   // constraint(i).rhs, for the empty-rhs case
+  double* perturb_term_ = nullptr;  // perturb * (1 + i % 101)
+  double* norm_b_ = nullptr;        // row_sign * b + perturb_term (this call)
+  double* last_b_ = nullptr;        // normalized RHS of the last re-price
+  double* x_reprice_ = nullptr;     // B⁻¹ last_b_ (double master copy)
+  // Memoized B⁻¹ columns, column-major: column j at binv_pool_ + j*rows_.
+  // Stored in double — they only ever feed the double delta axpy.
+  double* binv_pool_ = nullptr;
+  std::vector<char> binv_valid_;
+  // FtranBlock staging (rows_ x kBinvBlockLanes, lane-interleaved).
+  Scalar* binv_block_ = nullptr;
+
+  // Incremental re-pricing state (see RepriceRhs), invalidated by
+  // InvalidateReprice on any basis/factorization change.
   static constexpr int kFullRepriceInterval = 64;
-  std::vector<Scalar> last_b_;
-  std::vector<Scalar> x_reprice_;  // B⁻¹ last_b_
   bool reprice_valid_ = false;
   int reprices_since_full_ = 0;
-  std::vector<std::vector<Scalar>> binv_cols_;
-  std::vector<char> binv_valid_;
+  // Set by RepriceRhs when the normalized RHS was bitwise-unchanged from
+  // the previous re-price (x_basic_ untouched); with witness_scan_ok_ —
+  // "the x currently in x_basic_ passed the cascade's feasibility scan" —
+  // ResolveCascade skips straight to the witness extraction. Both are
+  // exact memoizations (identical values ⇒ identical verdict), so the
+  // fast path changes no result bit.
+  bool rhs_unchanged_ = false;
+  bool witness_scan_ok_ = false;
+  std::vector<int> moved_;    // rows whose normalized RHS changed
+  std::vector<int> missing_;  // moved rows without a memoized B⁻¹ column
 
   int iterations_ = 0;
   int max_iterations_ = 0;
@@ -197,12 +247,22 @@ class RevisedSimplex : public LpBackendImpl {
   bool bland_mode_ = false;  // Bland's-rule fallback engaged (RunPhase)
   bool cleanup_failed_ = false;  // perturbation cleanup fell through
   std::vector<double> cached_duals_;
+  // Extraction cache for the repeated-witness fast path: the x/objective
+  // of the last ExtractOptimal, valid only while x_basic_ is untouched
+  // (consumed strictly behind the rhs_unchanged_ && witness_scan_ok_
+  // gate, refreshed by every non-repeat extraction).
+  std::vector<double> cached_x_;
+  double cached_objective_ = 0.0;
+  bool result_cache_valid_ = false;
   std::vector<bool> frozen_;
 
   // Per-call counters (LpResult::stats): reset at the public entry points
   // (Solve, ResolveWithRhs, each batch column) and accumulated across the
   // whole cascade, including cold fallbacks and the anti-degeneracy rerun.
   LpSolveStats stats_;
+  // Thread-local kernel counters at the last public entry; FillKernelStats
+  // reports the delta (see lp/kernels.h).
+  LpKernelCounters kernel_base_;
   // Devex reference weights per column (reset to 1 per phase and on
   // blow-up), the staged updates of the pending pivot (see
   // PrepareDevexWeights/CommitDevexWeights), and the candidate list of

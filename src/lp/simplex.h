@@ -69,6 +69,39 @@ enum class BasisUpdateKind { kDefault, kEta, kForrestTomlin };
 // "eta" / "ft"; kDefault renders as "default".
 const char* BasisUpdateName(BasisUpdateKind kind);
 
+// SIMD dispatch of the double-precision LP kernels (lp/kernels.h).
+//   kDefault — consult LPB_LP_SIMD ("auto" or "scalar"); auto when unset.
+//              Like the other kDefault knobs, this is the only value that
+//              honors the env var, so tests pinning a mode stay pinned.
+//   kAuto    — use the AVX2+FMA variants when the CPU supports them.
+//   kScalar  — force the scalar fallbacks. Bitwise-identical results to
+//              kAuto by construction (see lp/kernels.h); this mode exists
+//              so CI can prove it.
+// The long-double pivot-precision kernels are scalar under every mode —
+// x86 SIMD has no long-double lanes.
+enum class SimdMode { kDefault, kAuto, kScalar };
+
+// "auto" / "scalar"; kDefault renders as "default".
+const char* SimdModeName(SimdMode mode);
+
+// Kernel identifiers for the per-kernel call/cycle table carried by
+// LpSolveStats (filled from the thread-local counters of lp/kernels.h).
+enum LpKernelId {
+  kLpKernelAxpy = 0,      // y[i] = fma(a, x[i], y[i])         (double, SIMD)
+  kLpKernelDot,           // 4-accumulator fma dot             (double, SIMD)
+  kLpKernelNormalizeRhs,  // out[i] = sign[i]*b[i] + term[i]   (double, SIMD)
+  kLpKernelEqual,         // all-equal predicate (IEEE !=)     (double, SIMD)
+  kLpKernelGather,        // strided B^-1 column axpy          (long double)
+  kLpKernelSweep,         // pivot-row elimination sweep       (long double)
+  kLpKernelScale,         // pivot-row normalization           (long double)
+  kLpKernelFtranBlock,    // blocked multi-RHS FTRAN           (long double)
+  kNumLpKernels,
+};
+
+// Short stable name ("axpy_d", "dot_d", ...) used as the JSON key of the
+// bench kernel table.
+const char* LpKernelName(LpKernelId id);
+
 // Per-call solver statistics, reported on every LpResult and aggregated
 // upward into BoundResult::lp_stats and the advisor's AdvisorMetrics. All
 // counters cover one logical solver call (a Solve including its internal
@@ -84,8 +117,29 @@ struct LpSolveStats {
   int rejected_updates = 0;   // updates refused (unstable), forcing refactor
   int devex_resets = 0;       // Devex reference-framework resets
 
+  // Per-kernel invocation counts and (when LPB_LP_KERNEL_CYCLES=1 or
+  // SetLpKernelCycleTiming(true)) rdtsc cycles for this call, indexed by
+  // LpKernelId. Cycles are zero when timing is off — counting is always on,
+  // timing costs a serializing timestamp pair per kernel call.
+  unsigned long long kernel_calls[kNumLpKernels] = {};
+  unsigned long long kernel_cycles[kNumLpKernels] = {};
+
   int TotalPivots() const {
     return phase1_pivots + phase2_pivots + dual_pivots;
+  }
+  // Zeroes the pivot counters only. The kernel arrays are rewritten
+  // wholesale by the backends' FillKernelStats on every exit path, so
+  // clearing them per batch column (256 bytes) would be pure overhead;
+  // use `*this = {}` when the struct escapes without a FillKernelStats.
+  void ResetPivots() {
+    phase1_pivots = 0;
+    phase2_pivots = 0;
+    dual_pivots = 0;
+    refactorizations = 0;
+    ft_updates = 0;
+    eta_updates = 0;
+    rejected_updates = 0;
+    devex_resets = 0;
   }
   void Add(const LpSolveStats& o) {
     phase1_pivots += o.phase1_pivots;
@@ -96,6 +150,10 @@ struct LpSolveStats {
     eta_updates += o.eta_updates;
     rejected_updates += o.rejected_updates;
     devex_resets += o.devex_resets;
+    for (int k = 0; k < kNumLpKernels; ++k) {
+      kernel_calls[k] += o.kernel_calls[k];
+      kernel_cycles[k] += o.kernel_cycles[k];
+    }
   }
 };
 
@@ -150,6 +208,10 @@ struct SimplexOptions {
   // 0 = automatic: 64 for Forrest–Tomlin, 32 for the eta file. The fill
   // budget in lp/lu_basis.h can force an earlier refactorization either way.
   int max_basis_updates = 0;
+  // SIMD dispatch of the double-precision kernels (lp/kernels.h). kDefault
+  // reads LPB_LP_SIMD and falls back to kAuto; results are bit-identical
+  // under every mode, so this is a pure performance/debugging knob.
+  SimdMode simd = SimdMode::kDefault;
 };
 
 // Solves the LP. The problem is copied into an internal tableau; `problem`

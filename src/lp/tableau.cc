@@ -25,9 +25,16 @@ LpResult SimplexTableau::ResolveWithRhs(const std::vector<double>& rhs) {
 
 std::vector<LpResult> SimplexTableau::ResolveWithRhsBatch(
     std::span<const std::vector<double>> rhs_batch) {
-  std::vector<LpResult> results = impl_->ResolveWithRhsBatch(rhs_batch);
-  for (LpResult& result : results) result.backend = kind_;
+  std::vector<LpResult> results;
+  ResolveWithRhsBatch(rhs_batch, results);
   return results;
+}
+
+void SimplexTableau::ResolveWithRhsBatch(
+    std::span<const std::vector<double>> rhs_batch,
+    std::vector<LpResult>& out) {
+  impl_->ResolveWithRhsBatch(rhs_batch, out);
+  for (LpResult& result : out) result.backend = kind_;
 }
 
 }  // namespace lpb

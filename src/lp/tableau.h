@@ -72,6 +72,11 @@ class SimplexTableau {
   // only columns whose basis goes stale pay dual-simplex or cold work.
   std::vector<LpResult> ResolveWithRhsBatch(
       std::span<const std::vector<double>> rhs_batch);
+  // Allocation-free form: results land in `out` (resized and fully
+  // overwritten), so a caller looping over batches reuses the vector and
+  // each element's x/duals capacity instead of re-allocating per column.
+  void ResolveWithRhsBatch(std::span<const std::vector<double>> rhs_batch,
+                           std::vector<LpResult>& out);
 
   // True after a solve that ended kOptimal: ResolveWithRhs can warm-start.
   bool has_optimal_basis() const { return impl_->has_optimal_basis(); }

@@ -93,6 +93,12 @@ void ExpectBitwiseEqual(const BoundResult& a, const BoundResult& b,
   EXPECT_EQ(a.lp_stats.rejected_updates, b.lp_stats.rejected_updates)
       << context;
   EXPECT_EQ(a.lp_stats.devex_resets, b.lp_stats.devex_resets) << context;
+  // Kernel-level parity: a batch column must invoke exactly the kernel
+  // calls its scalar twin does (cycles are timing-dependent and excluded).
+  for (int k = 0; k < kNumLpKernels; ++k) {
+    EXPECT_EQ(a.lp_stats.kernel_calls[k], b.lp_stats.kernel_calls[k])
+        << context << " kernel " << LpKernelName(static_cast<LpKernelId>(k));
+  }
   ASSERT_EQ(a.weights.size(), b.weights.size()) << context;
   for (size_t i = 0; i < a.weights.size(); ++i) {
     EXPECT_EQ(a.weights[i], b.weights[i]) << context << " weight " << i;
@@ -112,13 +118,15 @@ void CheckEngineBatchParity(const std::string& engine_name,
                             const std::vector<ConcreteStatistic>& stats,
                             int n, LpBackendKind backend, bool want_h_opt,
                             PricingRule pricing = PricingRule::kDefault,
-                            int max_basis_updates = 0) {
+                            int max_basis_updates = 0,
+                            SimdMode simd = SimdMode::kDefault) {
   const BoundEngine* engine = FindBoundEngine(engine_name);
   ASSERT_NE(engine, nullptr);
   EngineOptions options;
   options.simplex.backend = backend;
   options.simplex.pricing = pricing;
   options.simplex.max_basis_updates = max_basis_updates;
+  options.simplex.simd = simd;
   const BoundStructure structure = StructureOf(n, stats);
   ASSERT_TRUE(engine->Supports(structure));
   auto scalar_bound = engine->Compile(structure, options);
@@ -196,6 +204,73 @@ TEST(EvaluateBatch, MidBatchRefactorizeKeepsParity) {
     CheckEngineBatchParity("normal", SimpleStats(), 3,
                            LpBackendKind::kRevised, /*want_h_opt=*/false,
                            pricing, /*max_basis_updates=*/1);
+  }
+}
+
+TEST(EvaluateBatch, MatchesScalarUnderForcedSimdModes) {
+  // The batch≡scalar contract must hold with the SIMD dispatch pinned to
+  // either table — the kernels are shared state between the two paths,
+  // and the kernel_calls comparison inside ExpectBitwiseEqual also pins
+  // the per-column kernel schedule under both modes.
+  for (SimdMode simd : {SimdMode::kAuto, SimdMode::kScalar}) {
+    for (LpBackendKind backend :
+         {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+      for (const char* name : {"gamma", "normal", "auto"}) {
+        CheckEngineBatchParity(name, SimpleStats(), 3, backend,
+                               /*want_h_opt=*/false, PricingRule::kDefault,
+                               /*max_basis_updates=*/0, simd);
+      }
+      CheckEngineBatchParity("gamma", NonSimpleStats(), 3, backend,
+                             /*want_h_opt=*/false, PricingRule::kDefault,
+                             /*max_basis_updates=*/0, simd);
+    }
+  }
+}
+
+TEST(EvaluateBatch, SimdModesProduceBitwiseIdenticalEstimates) {
+  // The tentpole acceptance criterion: simd=auto and simd=scalar are not
+  // merely close — every estimate bit is identical, on every engine and
+  // both LP backends, across witness/warm/cold columns. (On machines
+  // without AVX2+FMA both modes dispatch scalar and this is trivial.)
+  for (LpBackendKind backend :
+       {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+    for (const char* name : {"gamma", "normal", "auto", "agm", "panda"}) {
+      const BoundEngine* engine = FindBoundEngine(name);
+      ASSERT_NE(engine, nullptr);
+      const BoundStructure structure = StructureOf(3, SimpleStats());
+      ASSERT_TRUE(engine->Supports(structure));
+      EngineOptions options;
+      options.simplex.backend = backend;
+      options.simplex.simd = SimdMode::kAuto;
+      auto auto_bound = engine->Compile(structure, options);
+      options.simplex.simd = SimdMode::kScalar;
+      auto scalar_bound = engine->Compile(structure, options);
+
+      const auto batch = JitteredBatch(SimpleStats(), 99);
+      const std::vector<BoundResult> auto_results =
+          auto_bound->EvaluateBatch(batch, /*want_h_opt=*/true);
+      const std::vector<BoundResult> scalar_results =
+          scalar_bound->EvaluateBatch(batch, /*want_h_opt=*/true);
+      ASSERT_EQ(auto_results.size(), scalar_results.size());
+      const std::string context =
+          std::string(name) + "/" + LpBackendName(backend) + " auto-vs-scalar";
+      for (size_t c = 0; c < auto_results.size(); ++c) {
+        const BoundResult& a = auto_results[c];
+        const BoundResult& s = scalar_results[c];
+        const std::string ctx = context + " column " + std::to_string(c);
+        EXPECT_EQ(a.status, s.status) << ctx;
+        EXPECT_EQ(a.log2_bound, s.log2_bound) << ctx;
+        EXPECT_EQ(a.eval_path, s.eval_path) << ctx;
+        ASSERT_EQ(a.weights.size(), s.weights.size()) << ctx;
+        for (size_t i = 0; i < a.weights.size(); ++i) {
+          EXPECT_EQ(a.weights[i], s.weights[i]) << ctx << " weight " << i;
+        }
+        ASSERT_EQ(a.h_opt.size(), s.h_opt.size()) << ctx;
+        for (VarSet v = 0; v < a.h_opt.size(); ++v) {
+          EXPECT_EQ(a.h_opt[v], s.h_opt[v]) << ctx << " h_opt " << v;
+        }
+      }
+    }
   }
 }
 
