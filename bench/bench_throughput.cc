@@ -22,21 +22,32 @@
 //
 // A second, pivot-count workload complements the throughput regimes: the
 // fixed-seed cutting-plane Γn compile at n = 8 (the revised backend's
-// flagship LP) runs under both pricing rules (Dantzig and Devex,
-// lp/revised_simplex.h) and reports total simplex pivots and basis
-// refactorizations from the new LpSolveStats counters. Pivot counts are
-// deterministic for a fixed seed, so the CI gate can assert on iteration
-// counts — devex must stay within bounds of its baseline and beat the
-// dantzig lane — rather than on machine-dependent wall-clock alone.
+// flagship LP) runs warm-append and cold-growth lanes under both pricing
+// rules (Dantzig and Devex, lp/revised_simplex.h) and reports total
+// simplex pivots, basis refactorizations, and the warm row-append
+// counters from LpSolveStats. Pivot counts are deterministic for a fixed
+// seed, so the CI gate can assert on iteration counts — devex must beat
+// dantzig on the cold lanes (warm rounds repair via dual simplex, where
+// column pricing plays no part), and the warm lanes must pivot well
+// under the cold ones — rather than on machine-dependent wall-clock
+// alone. A one-seed n = 10 lane rides the same harness: warm row appends
+// are what make that compile take seconds rather than minutes, and the
+// gate pins its pivot count plus a loose wall-clock ceiling. A
+// cutting-plane batch regime (shared cut pool + multi-RHS resolve vs the
+// scalar evaluate sequence, steady state) rounds out the table; the
+// revised lane's batch/scalar ratio is gated at >= 2x.
 //
 // Set LPB_BENCH_JSON=<path> to also dump the table as JSON — CI uploads
 // it as an artifact and bench/compare_throughput.py gates regressions
 // against bench/baseline_throughput.json: warm or batch cold-normalized
 // throughput (the "speedup" field) >25% below baseline fails the
-// workflow, as does batch < 2x scalar warm, a gamma_n8 pivot-count
-// regression >15%, or devex needing more than --max-devex-ratio of the
-// dantzig lane's pivots; raw est/s is informational (machine-dependent)
-// unless --strict-absolute.
+// workflow, as does batch < 2x scalar warm, a gamma_n8/gamma_n10
+// pivot-count regression >15%, devex needing more than
+// --max-devex-ratio of the cold dantzig lane's pivots, warm appends
+// needing more than --max-warm-cold-ratio of the cold-growth pivots, a
+// gamma_n10 compile over the wall-clock ceiling, or the revised cut
+// batch under --min-cut-batch-ratio of its scalar rate; raw est/s is
+// informational (machine-dependent) unless --strict-absolute.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -293,6 +304,13 @@ struct GammaRun {
   uint64_t ft_updates = 0;
   uint64_t rejected = 0;
   uint64_t devex_resets = 0;
+  // Cut-growth accounting (lp/simplex.h): rounds served by the warm
+  // row-append path, dual pivots spent repairing appended rows, rows
+  // appended, and appends whose LU fill forced a refactorization.
+  uint64_t warm_cut_rounds = 0;
+  uint64_t dual_repair_pivots = 0;
+  uint64_t row_appends = 0;
+  uint64_t append_refactorizations = 0;
   double seconds = 0.0;
 };
 
@@ -304,26 +322,33 @@ std::vector<ConcreteStatistic> GammaStats(uint64_t seed, int n, int count) {
   return RandomSimpleGammaStats(rng, n, count);
 }
 
-GammaRun MeasureGammaPivots(PricingRule rule, const char* label) {
+GammaRun MeasureGammaPivots(PricingRule rule, const char* label, int n,
+                            std::initializer_list<uint64_t> seeds,
+                            int stat_count,
+                            CutWarmStart warm_start = CutWarmStart::kOn) {
   GammaRun run;
   run.pricing = label;
   auto t0 = std::chrono::steady_clock::now();
-  for (uint64_t seed : {0x5151ull, 0x1234ull, 0x9999ull}) {
-    const int n = 8;
+  for (uint64_t seed : seeds) {
     const std::vector<ConcreteStatistic> stats =
-        GammaStats(12345 ^ seed, n, 12);
+        GammaStats(12345 ^ seed, n, stat_count);
     EngineOptions cut;
-    cut.full_lattice_max_n = 4;  // force cutting-plane mode at n = 8
+    cut.full_lattice_max_n = 4;  // force cutting-plane mode
     cut.simplex.backend = LpBackendKind::kRevised;
     cut.simplex.pricing = rule;
-    // Pin the update scheme too: a stray LPB_LP_UPDATE=eta in the runner
-    // environment must not skew the CI-gated counters off the
-    // Forrest–Tomlin path the baseline was recorded from.
+    // Pin the update scheme and the cut warm start too: a stray
+    // LPB_LP_UPDATE=eta or LPB_LP_CUT_WARM=0 in the runner environment
+    // must not skew the CI-gated counters off the path the baseline was
+    // recorded from. The *_cold lanes pin kOff instead: they measure the
+    // recompile-per-round growth loop, where column pricing still
+    // differentiates the rules (warm appends repair via dual simplex, so
+    // the warm lanes pivot identically under either rule).
     cut.simplex.basis_update = BasisUpdateKind::kForrestTomlin;
+    cut.simplex.cut_warm_start = warm_start;
     auto compiled =
         FindBoundEngine("gamma")->Compile(StructureOf(n, stats), cut);
     // Compile-and-evaluate, then one warm re-evaluation at scaled values —
-    // the cold cut-growth path plus the warm witness path, both counted.
+    // the cut-growth path plus the warm witness path, both counted.
     const BoundResult cold = compiled->Evaluate(ValuesOf(stats), false);
     std::vector<double> scaled = ValuesOf(stats);
     for (double& v : scaled) v *= 1.05;
@@ -338,9 +363,98 @@ GammaRun MeasureGammaPivots(PricingRule rule, const char* label) {
       run.ft_updates += static_cast<uint64_t>(r->lp_stats.ft_updates);
       run.rejected += static_cast<uint64_t>(r->lp_stats.rejected_updates);
       run.devex_resets += static_cast<uint64_t>(r->lp_stats.devex_resets);
+      run.warm_cut_rounds += static_cast<uint64_t>(r->lp_stats.warm_cut_rounds);
+      run.dual_repair_pivots +=
+          static_cast<uint64_t>(r->lp_stats.dual_repair_pivots);
+      run.row_appends += static_cast<uint64_t>(r->lp_stats.row_appends);
+      run.append_refactorizations +=
+          static_cast<uint64_t>(r->lp_stats.append_refactorizations);
     }
   }
   run.seconds = Seconds(t0);
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Cutting-plane batch regime: one compiled Γn cutting bound in steady state
+// (cut pool converged), a block of jittered value vectors — scalar Evaluate
+// per vector vs one EvaluateBatch riding the shared cut pool and the
+// multi-RHS resolve. The revised lane is the gated one: its block resolve
+// amortizes the factorization and cached-duals reads across witness-valid
+// columns; the dense backend's batch resolve is a sequential loop, so its
+// ratio is informational.
+
+struct CutBatchRun {
+  const char* backend;
+  double scalar_per_s = 0.0;
+  double batch_per_s = 0.0;
+  int batch_size = kBatchSize;
+  int repeats = 0;
+};
+
+CutBatchRun MeasureCutBatch(LpBackendKind backend) {
+  const int n = 7;
+  // Wider than the JOB-regime kBatchSize: the revised backend's relaxed
+  // block resolve pays one pivot episode per *distinct optimal basis* in
+  // the block (not per column), so a larger block amortizes the episode,
+  // the post-episode re-seed, and the block's one full FTRAN re-price
+  // over more witness-served columns.
+  constexpr int kCutBlock = 512;
+  const std::vector<ConcreteStatistic> stats = GammaStats(0xabcdull, n, 10);
+  EngineOptions cut;
+  cut.full_lattice_max_n = 4;  // force cutting-plane mode
+  cut.simplex.backend = backend;
+  cut.simplex.basis_update = BasisUpdateKind::kForrestTomlin;
+  cut.simplex.cut_warm_start = CutWarmStart::kOn;
+  const BoundStructure structure = StructureOf(n, stats);
+  const BoundEngine* engine = FindBoundEngine("gamma");
+  auto scalar_bound = engine->Compile(structure, cut);
+  auto batch_bound = engine->Compile(structure, cut);
+
+  // Jittered block: same deterministic +/-2% scheme as the JOB batch
+  // regime, so most columns stay witness-valid once the pool converges.
+  std::vector<std::vector<double>> batch;
+  batch.reserve(kCutBlock);
+  const std::vector<double> base = ValuesOf(stats);
+  for (int c = 0; c < kCutBlock; ++c) {
+    std::vector<double> values = base;
+    const size_t j = static_cast<size_t>(c) % values.size();
+    values[j] *= 0.98 + 0.04 * ((c * 2654435761u >> 16) % 1000) / 1000.0;
+    batch.push_back(std::move(values));
+  }
+  // Converge both cut pools outside the timed loops.
+  for (const std::vector<double>& values : batch) {
+    benchmark::DoNotOptimize(scalar_bound->Evaluate(values, false).log2_bound);
+  }
+  benchmark::DoNotOptimize(batch_bound->EvaluateBatch(batch, false).data());
+
+  CutBatchRun run;
+  run.backend = LpBackendName(backend);
+  run.batch_size = kCutBlock;
+  int sweeps = 0;
+  double secs = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  do {
+    for (const std::vector<double>& values : batch) {
+      benchmark::DoNotOptimize(
+          scalar_bound->Evaluate(values, false).log2_bound);
+    }
+    ++sweeps;
+    secs = Seconds(t0);
+  } while (secs < kMinMeasureSeconds);
+  run.scalar_per_s = static_cast<double>(sweeps) * kCutBlock / secs;
+
+  sweeps = 0;
+  t0 = std::chrono::steady_clock::now();
+  do {
+    const std::vector<BoundResult> results =
+        batch_bound->EvaluateBatch(batch, false);
+    benchmark::DoNotOptimize(results.data());
+    ++sweeps;
+    secs = Seconds(t0);
+  } while (secs < kMinMeasureSeconds);
+  run.batch_per_s = static_cast<double>(sweeps) * kCutBlock / secs;
+  run.repeats = sweeps;
   return run;
 }
 
@@ -462,8 +576,32 @@ void PrintTable() {
   // n = 8, once per pricing rule (pinned, so LPB_LP_PRICING cannot skew
   // the dantzig baseline lane).
   std::vector<GammaRun> gamma_runs = {
-      MeasureGammaPivots(PricingRule::kDantzig, "dantzig"),
-      MeasureGammaPivots(PricingRule::kDevex, "devex"),
+      MeasureGammaPivots(PricingRule::kDantzig, "dantzig", 8,
+                         {0x5151ull, 0x1234ull, 0x9999ull}, 12),
+      MeasureGammaPivots(PricingRule::kDevex, "devex", 8,
+                         {0x5151ull, 0x1234ull, 0x9999ull}, 12),
+      // Cold-growth lanes (cut_warm_start off): the recompile-per-round
+      // loop the devex-vs-dantzig pricing bar was calibrated on, and the
+      // denominator for the warm-append pivot-drop gate.
+      MeasureGammaPivots(PricingRule::kDantzig, "dantzig_cold", 8,
+                         {0x5151ull, 0x1234ull, 0x9999ull}, 12,
+                         CutWarmStart::kOff),
+      MeasureGammaPivots(PricingRule::kDevex, "devex_cold", 8,
+                         {0x5151ull, 0x1234ull, 0x9999ull}, 12,
+                         CutWarmStart::kOff),
+  };
+  // The n = 10 lane exists because warm row appends make it affordable at
+  // all — the pre-append cold-growth loop re-solved two-phase per round
+  // and took minutes here. One seed, devex: the gate pins pivots (exact)
+  // and a generous wall-clock ceiling (machine-dependent).
+  std::vector<GammaRun> gamma10_runs = {
+      MeasureGammaPivots(PricingRule::kDevex, "devex", 10, {0x5151ull}, 14),
+  };
+  // Cutting-plane batch regime: shared cut pool + multi-RHS resolve vs the
+  // scalar evaluate sequence, steady state.
+  std::vector<CutBatchRun> cut_batch_runs = {
+      MeasureCutBatch(LpBackendKind::kDense),
+      MeasureCutBatch(LpBackendKind::kRevised),
   };
 
   std::printf("== Estimator throughput, %zu JOB templates x %d repeats ==\n",
@@ -481,11 +619,12 @@ void PrintTable() {
                 "batch/scalar", batch_runs[i].est_per_s / warm_runs[i].est_per_s,
                 batch_runs[i].batch_size, warm_runs[i].backend);
   }
-  std::printf("\n== Cutting-plane Gamma_n pivot counts, n = 8, 3 seeds ==\n");
-  for (const GammaRun& run : gamma_runs) {
+  auto print_gamma = [](const GammaRun& run) {
     std::printf(
         "%-28s pivots=%-6llu (p1=%llu p2=%llu dual=%llu)  refac=%llu "
-        "ft=%llu rejected=%llu resets=%llu  %.2fs\n",
+        "ft=%llu rejected=%llu resets=%llu\n"
+        "%-28s warm_rounds=%llu repair=%llu appends=%llu append_refac=%llu  "
+        "%.2fs\n",
         run.pricing, static_cast<unsigned long long>(run.pivots),
         static_cast<unsigned long long>(run.phase1),
         static_cast<unsigned long long>(run.phase2),
@@ -493,13 +632,33 @@ void PrintTable() {
         static_cast<unsigned long long>(run.refactorizations),
         static_cast<unsigned long long>(run.ft_updates),
         static_cast<unsigned long long>(run.rejected),
-        static_cast<unsigned long long>(run.devex_resets), run.seconds);
-  }
-  if (gamma_runs.size() == 2 && gamma_runs[0].pivots > 0) {
-    std::printf("%-28s %14.2f  (devex pivots / dantzig pivots)\n",
-                "devex/dantzig",
+        static_cast<unsigned long long>(run.devex_resets), "",
+        static_cast<unsigned long long>(run.warm_cut_rounds),
+        static_cast<unsigned long long>(run.dual_repair_pivots),
+        static_cast<unsigned long long>(run.row_appends),
+        static_cast<unsigned long long>(run.append_refactorizations),
+        run.seconds);
+  };
+  std::printf("\n== Cutting-plane Gamma_n pivot counts, n = 8, 3 seeds ==\n");
+  for (const GammaRun& run : gamma_runs) print_gamma(run);
+  if (gamma_runs.size() == 4 && gamma_runs[2].pivots > 0) {
+    std::printf("%-28s %14.2f  (cold-growth devex / dantzig pivots)\n",
+                "devex/dantzig (cold)",
+                static_cast<double>(gamma_runs[3].pivots) /
+                    static_cast<double>(gamma_runs[2].pivots));
+    std::printf("%-28s %14.2f  (warm-append devex / cold devex pivots)\n",
+                "warm/cold (devex)",
                 static_cast<double>(gamma_runs[1].pivots) /
-                    static_cast<double>(gamma_runs[0].pivots));
+                    static_cast<double>(gamma_runs[3].pivots));
+  }
+  std::printf("\n== Cutting-plane Gamma_n pivot counts, n = 10, 1 seed ==\n");
+  for (const GammaRun& run : gamma10_runs) print_gamma(run);
+  std::printf("\n== Cutting-plane batch vs scalar sequence, n = 7 ==\n");
+  for (const CutBatchRun& run : cut_batch_runs) {
+    std::printf(
+        "%-28s scalar %10.0f est/s   batch-of-%d %10.0f est/s   (%.2fx)\n",
+        run.backend, run.scalar_per_s, run.batch_size, run.batch_per_s,
+        run.batch_per_s / run.scalar_per_s);
   }
   std::printf("\n");
 
@@ -524,25 +683,48 @@ void PrintTable() {
       DumpRunsJson(f, "batch", batch_runs);
       std::fprintf(f, ",\n");
       DumpRunsJson(f, "batch_what_if", jitter_runs);
-      std::fprintf(f, ",\n  \"gamma_n8\": [\n");
-      for (size_t i = 0; i < gamma_runs.size(); ++i) {
-        const GammaRun& run = gamma_runs[i];
-        std::fprintf(
-            f,
-            "    {\"pricing\": \"%s\", \"pivots\": %llu, "
-            "\"phase1\": %llu, \"phase2\": %llu, \"dual\": %llu, "
-            "\"refactorizations\": %llu, \"ft_updates\": %llu, "
-            "\"rejected_updates\": %llu, \"devex_resets\": %llu, "
-            "\"seconds\": %.3f}%s\n",
-            run.pricing, static_cast<unsigned long long>(run.pivots),
-            static_cast<unsigned long long>(run.phase1),
-            static_cast<unsigned long long>(run.phase2),
-            static_cast<unsigned long long>(run.dual),
-            static_cast<unsigned long long>(run.refactorizations),
-            static_cast<unsigned long long>(run.ft_updates),
-            static_cast<unsigned long long>(run.rejected),
-            static_cast<unsigned long long>(run.devex_resets), run.seconds,
-            i + 1 < gamma_runs.size() ? "," : "");
+      auto dump_gamma = [f](const char* section,
+                            const std::vector<GammaRun>& runs) {
+        std::fprintf(f, ",\n  \"%s\": [\n", section);
+        for (size_t i = 0; i < runs.size(); ++i) {
+          const GammaRun& run = runs[i];
+          std::fprintf(
+              f,
+              "    {\"pricing\": \"%s\", \"pivots\": %llu, "
+              "\"phase1\": %llu, \"phase2\": %llu, \"dual\": %llu, "
+              "\"refactorizations\": %llu, \"ft_updates\": %llu, "
+              "\"rejected_updates\": %llu, \"devex_resets\": %llu, "
+              "\"warm_cut_rounds\": %llu, \"dual_repair_pivots\": %llu, "
+              "\"row_appends\": %llu, \"append_refactorizations\": %llu, "
+              "\"seconds\": %.3f}%s\n",
+              run.pricing, static_cast<unsigned long long>(run.pivots),
+              static_cast<unsigned long long>(run.phase1),
+              static_cast<unsigned long long>(run.phase2),
+              static_cast<unsigned long long>(run.dual),
+              static_cast<unsigned long long>(run.refactorizations),
+              static_cast<unsigned long long>(run.ft_updates),
+              static_cast<unsigned long long>(run.rejected),
+              static_cast<unsigned long long>(run.devex_resets),
+              static_cast<unsigned long long>(run.warm_cut_rounds),
+              static_cast<unsigned long long>(run.dual_repair_pivots),
+              static_cast<unsigned long long>(run.row_appends),
+              static_cast<unsigned long long>(run.append_refactorizations),
+              run.seconds, i + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]");
+      };
+      dump_gamma("gamma_n8", gamma_runs);
+      dump_gamma("gamma_n10", gamma10_runs);
+      std::fprintf(f, ",\n  \"gamma_cut_batch\": [\n");
+      for (size_t i = 0; i < cut_batch_runs.size(); ++i) {
+        const CutBatchRun& run = cut_batch_runs[i];
+        std::fprintf(f,
+                     "    {\"backend\": \"%s\", \"scalar_est_per_s\": %.1f, "
+                     "\"batch_est_per_s\": %.1f, \"batch_size\": %d, "
+                     "\"ratio\": %.2f}%s\n",
+                     run.backend, run.scalar_per_s, run.batch_per_s,
+                     run.batch_size, run.batch_per_s / run.scalar_per_s,
+                     i + 1 < cut_batch_runs.size() ? "," : "");
       }
       std::fprintf(f, "  ]\n}\n");
       std::fclose(f);

@@ -15,15 +15,32 @@ Fails (exit 1) when
   * the batch regime serves fewer than --min-batch-speedup times the
     scalar warm regime's estimates/s on either backend (the batch
     evaluation acceptance bar), or
-  * a gamma_n8 pricing lane's total simplex pivot count grows more than
-    --pivot-tolerance above its baseline (the fixed-seed cutting-plane Γn
-    compile at n = 8 — pivot counts are deterministic per seed, so this
-    gates the revised backend's iteration count, not wall-clock), or
-  * the devex lane needs more than --max-devex-ratio of the dantzig
-    lane's pivots on that workload (the Devex pricing acceptance bar:
+  * a gamma_n8 or gamma_n10 pricing lane's total simplex pivot count
+    grows more than --pivot-tolerance above its baseline (the fixed-seed
+    cutting-plane Γn compiles — pivot counts are deterministic per seed,
+    so this gates the revised backend's iteration count, not wall-clock;
+    the n = 10 lane additionally carries a deliberately generous
+    wall-clock ceiling, --gamma-n10-max-seconds, because that compile
+    took minutes before warm row appends and the ceiling catches a
+    wholesale fallback to cold re-solves even on a slow runner), or
+  * the revised backend's cutting-plane batch regime (gamma_cut_batch)
+    serves fewer than --min-cut-batch-ratio times its own scalar
+    evaluate-sequence rate — both rates come from the same process, so
+    the ratio is machine-independent; the dense backend's ratio is
+    printed for visibility only (its batch path is the row-reuse
+    fallback, not the shared-pool resolve), or
+  * the devex_cold lane needs more than --max-devex-ratio of the
+    dantzig_cold lane's pivots (the Devex pricing acceptance bar:
     measured ~0.73 at introduction, i.e. ~27% fewer pivots than the
-    candidate-list Dantzig lane and ~33% fewer than the PR-3/4 full-sweep
-    Dantzig baseline), or
+    candidate-list Dantzig lane. The bar moved to the cold-growth lanes
+    when warm row appends landed: warm rounds repair via dual simplex,
+    where column pricing plays no part), or
+  * the warm-append devex lane needs more than --max-warm-cold-ratio of
+    the cold-growth devex lane's pivots on the same seeds (the warm
+    row-append acceptance bar: measured ~0.15 at introduction — appended
+    rows enter with slacks basic on the previous optimum and dual simplex
+    repairs only the violated rows, instead of a two-phase re-solve per
+    cut round), or
   * a kernel's call count in a regime's table (a fixed number of workload
     sweeps, so calls are deterministic per build) grows more than
     --kernel-calls-tolerance above its baseline — the sharpest signal:
@@ -77,9 +94,20 @@ def main():
     parser.add_argument("--strict-absolute", action="store_true",
                         help="also gate on raw est/s (same-machine baselines)")
     parser.add_argument("--pivot-tolerance", type=float, default=0.15,
-                        help="allowed fractional gamma_n8 pivot-count growth")
+                        help="allowed fractional gamma_n8/n10 pivot growth")
+    parser.add_argument("--gamma-n10-max-seconds", type=float, default=60.0,
+                        help="wall-clock ceiling for the gamma_n10 compile "
+                             "(generous: ~0.5s on the dev box; minutes means "
+                             "warm row appends fell back to cold re-solves)")
+    parser.add_argument("--min-cut-batch-ratio", type=float, default=2.0,
+                        help="required batch/scalar ratio for the revised "
+                             "backend's cutting-plane batch regime")
     parser.add_argument("--max-devex-ratio", type=float, default=0.85,
-                        help="max devex/dantzig pivot ratio on gamma_n8")
+                        help="max devex/dantzig pivot ratio on the "
+                             "gamma_n8 cold-growth lanes")
+    parser.add_argument("--max-warm-cold-ratio", type=float, default=0.6,
+                        help="max warm-append/cold-growth pivot ratio on "
+                             "the gamma_n8 devex lanes")
     parser.add_argument("--kernel-share-tolerance", type=float, default=0.25,
                         help="allowed absolute growth of a kernel's share "
                              "of its regime's total kernel cycles")
@@ -173,32 +201,70 @@ def main():
                         f"{args.kernel_share_tolerance:.2f} above "
                         f"baseline {base_share:.2f}")
 
-    # gamma_n8 pivot gates: deterministic per seed, so a tight tolerance is
-    # safe (the slack absorbs compiler-to-compiler floating-point drift).
-    base_gamma = {run["pricing"]: run for run in baseline.get("gamma_n8", [])}
+    # gamma_n8 / gamma_n10 pivot gates: deterministic per seed, so a tight
+    # tolerance is safe (the slack absorbs compiler-to-compiler
+    # floating-point drift). The n = 10 lane also gets a generous
+    # wall-clock ceiling: pivot counts stay honest under an accidental
+    # cold fallback only because cold and warm happen to pivot similarly
+    # per round — the *time* blows up from seconds to minutes, and the
+    # ceiling is what notices.
+    new_gamma = {}
+    for section in ("gamma_n8", "gamma_n10"):
+        base_gamma = {run["pricing"]: run
+                      for run in baseline.get(section, [])}
+        new_gamma = {run["pricing"]: run for run in new.get(section, [])}
+        for pricing, base_run in sorted(base_gamma.items()):
+            if pricing not in new_gamma:
+                failures.append(f"{section}/{pricing}: missing from new JSON")
+                continue
+            base_p = base_run["pivots"]
+            new_p = new_gamma[pricing]["pivots"]
+            ratio = new_p / base_p if base_p > 0 else float("inf")
+            print(f"{section + ' ' + pricing + ' pivots':<34} "
+                  f"{base_p:>12} {new_p:>12} {ratio:>7.2f}x")
+            if new_p > (1.0 + args.pivot_tolerance) * base_p:
+                failures.append(
+                    f"{section}/{pricing}: {new_p} pivots is "
+                    f">{args.pivot_tolerance:.0%} above baseline {base_p}")
+        if section == "gamma_n10":
+            for pricing, run in sorted(new_gamma.items()):
+                seconds = run.get("seconds", 0.0)
+                print(f"{section + ' ' + pricing + ' seconds':<34} "
+                      f"{'':>12} {seconds:>12.2f}")
+                if seconds > args.gamma_n10_max_seconds:
+                    failures.append(
+                        f"{section}/{pricing}: compile took {seconds:.1f}s "
+                        f"(ceiling {args.gamma_n10_max_seconds:.0f}s — warm "
+                        f"row appends falling back to cold re-solves?)")
+    # The Devex pricing bar lives on the *cold-growth* lanes: warm row
+    # appends repair via dual simplex, so the warm lanes pivot identically
+    # under either pricing rule and say nothing about column pricing.
     new_gamma = {run["pricing"]: run for run in new.get("gamma_n8", [])}
-    for pricing, base_run in sorted(base_gamma.items()):
-        if pricing not in new_gamma:
-            failures.append(f"gamma_n8/{pricing}: missing from new JSON")
-            continue
-        base_p, new_p = base_run["pivots"], new_gamma[pricing]["pivots"]
-        ratio = new_p / base_p if base_p > 0 else float("inf")
-        print(f"{'gamma_n8 ' + pricing + ' pivots':<34} "
-              f"{base_p:>12} {new_p:>12} {ratio:>7.2f}x")
-        if new_p > (1.0 + args.pivot_tolerance) * base_p:
-            failures.append(
-                f"gamma_n8/{pricing}: {new_p} pivots is "
-                f">{args.pivot_tolerance:.0%} above baseline {base_p}")
-    if "dantzig" in new_gamma and "devex" in new_gamma:
-        dantzig_p = new_gamma["dantzig"]["pivots"]
-        devex_p = new_gamma["devex"]["pivots"]
+    if "dantzig_cold" in new_gamma and "devex_cold" in new_gamma:
+        dantzig_p = new_gamma["dantzig_cold"]["pivots"]
+        devex_p = new_gamma["devex_cold"]["pivots"]
         ratio = devex_p / dantzig_p if dantzig_p > 0 else float("inf")
-        print(f"{'gamma_n8 devex/dantzig':<34} {'':>12} {'':>12} "
+        print(f"{'gamma_n8 devex/dantzig (cold)':<34} {'':>12} {'':>12} "
               f"{ratio:>7.2f}x")
         if ratio > args.max_devex_ratio:
             failures.append(
-                f"gamma_n8: devex needs {ratio:.2f}x the dantzig pivots "
-                f"(max {args.max_devex_ratio:.2f}x)")
+                f"gamma_n8: cold-growth devex needs {ratio:.2f}x the "
+                f"dantzig pivots (max {args.max_devex_ratio:.2f}x)")
+    # Warm-append pivot-drop bar: warm cut rounds must pivot at most
+    # --max-warm-cold-ratio of the cold recompile loop on the same seeds
+    # (the row-append acceptance criterion; measured ~0.15 at
+    # introduction, i.e. ~85% fewer pivots).
+    if "devex" in new_gamma and "devex_cold" in new_gamma:
+        warm_p = new_gamma["devex"]["pivots"]
+        cold_p = new_gamma["devex_cold"]["pivots"]
+        ratio = warm_p / cold_p if cold_p > 0 else float("inf")
+        print(f"{'gamma_n8 warm/cold (devex)':<34} {'':>12} {'':>12} "
+              f"{ratio:>7.2f}x")
+        if ratio > args.max_warm_cold_ratio:
+            failures.append(
+                f"gamma_n8: warm-append devex needs {ratio:.2f}x the "
+                f"cold-growth pivots (max {args.max_warm_cold_ratio:.2f}x "
+                f"— warm row appends not engaging?)")
 
     warm_runs = by_backend(new.get("warm", []))
     for backend, batch_run in sorted(by_backend(new.get("batch", [])).items()):
@@ -212,6 +278,24 @@ def main():
             failures.append(
                 f"batch/{backend}: only {speedup:.2f}x scalar warm "
                 f"(need >= {args.min_batch_speedup:.1f}x)")
+
+    # Cutting-plane batch regime: the shared-pool multi-RHS resolve must
+    # beat the scalar evaluate sequence on the revised backend. Both rates
+    # are measured in the same process, so the ratio travels across
+    # runners. Dense is informational: its batch path is the row-reuse
+    # fallback, and the shared pool only helps it amortize separation.
+    for run in new.get("gamma_cut_batch", []):
+        backend = run["backend"]
+        ratio = (run["batch_est_per_s"] / run["scalar_est_per_s"]
+                 if run["scalar_est_per_s"] > 0 else float("inf"))
+        gated = backend == "revised"
+        tag = "" if gated else " (info)"
+        print(f"{'cut batch/scalar ' + backend + tag:<34} "
+              f"{'':>12} {'':>12} {ratio:>7.2f}x")
+        if gated and ratio < args.min_cut_batch_ratio:
+            failures.append(
+                f"gamma_cut_batch/{backend}: batch only {ratio:.2f}x the "
+                f"scalar sequence (need >= {args.min_cut_batch_ratio:.1f}x)")
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)

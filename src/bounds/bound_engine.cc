@@ -222,6 +222,20 @@ std::vector<BoundResult> BatchThroughTableau(
 // compiled cut set persists across evaluations — cuts separating one value
 // vector usually separate its neighbors too, so later Evaluates converge
 // in zero or few extra rounds.
+//
+// Cut pipeline: each evaluation resolves against the compiled pool
+// (witness / dual-simplex warm start), then alternates separation and
+// growth. A growth round appends the violated cuts through the tableau's
+// incremental row append (SimplexTableau::AddConstraintsWarm) — new rows
+// enter with their slacks basic on top of the previous round's optimal
+// basis and dual simplex repairs only the violated rows — falling back to
+// a cold recompile + two-phase solve when the backend declines or warm
+// starts are off (SimplexOptions::cut_warm_start / LPB_LP_CUT_WARM=0).
+// Warm and cold rounds converge to the same bound: both stop only when no
+// compiled-pool-missing cut separates the optimum, and each round's LP is
+// the same finite LP family member. Batches share the pool: converged
+// columns ride the multi-RHS block resolve, and only columns that still
+// separate new cuts pay scalar top-up rounds (see EvaluateBatchCutting).
 
 class CompiledGammaBound : public CompiledBound {
  public:
@@ -252,6 +266,10 @@ class CompiledGammaBound : public CompiledBound {
       box_row_ = lp_.AddConstraint({{static_cast<int>(full) - 1, 1.0}},
                                    LpSense::kLe, 0.0);
       for (const ShannonCut& cut : SeedShannonCuts(n)) AddCut(cut);
+      // Flat any-violation pre-check for the converged steady state: most
+      // evaluations end with "no new cut", and the branchless table scan
+      // answers that without the subset-enumerating exact scan.
+      scan_table_ = BuildShannonScanTable(n);
     }
     // The tableau owns the factorized basis that witness re-pricing and
     // warm dual-simplex re-solves run against; with the revised backend
@@ -282,14 +300,30 @@ class CompiledGammaBound : public CompiledBound {
     // statistics — cut-growth rounds included, unlike lp_iterations.
     LpSolveStats stats_sum = lp_result.stats;
     int rounds = 0;
-    bool grew = false;
+    bool cold_grew = false;
     bool cut_converged = full_mode_;
     if (!full_mode_) {
       // Cut loop: the new optimum may violate elemental inequalities that
-      // no earlier evaluation needed. Growing the matrix invalidates the
-      // basis, so each growth round re-solves cold.
+      // no earlier evaluation needed. Each growth round first tries the
+      // warm row append — the new rows enter with their slacks basic on
+      // top of the previous round's optimal basis, and dual simplex
+      // repairs only the violated rows — and falls back to a cold
+      // recompile + two-phase solve when the backend declines (or when
+      // warm starts are disabled via SimplexOptions::cut_warm_start /
+      // LPB_LP_CUT_WARM=0).
+      const bool warm =
+          ResolveCutWarmStart(options_.simplex) == CutWarmStart::kOn;
       while (rounds < options_.max_cut_rounds &&
              lp_result.status == LpStatus::kOptimal) {
+        // Pre-check first: a clean table scan proves the exact scan would
+        // return empty (present cuts are LP rows, satisfied at any
+        // optimum to the solver's tighter eps), and the converged case is
+        // the common one after the pool warms up.
+        if (!AnyViolatedShannonCut(scan_table_, lp_result.x,
+                                   options_.feasibility_eps, scan_scratch_)) {
+          cut_converged = true;
+          break;
+        }
         std::vector<ShannonCut> cuts = FindViolatedShannonCuts(
             n, lp_result.x, present_, options_.cuts_per_round,
             options_.feasibility_eps);
@@ -297,14 +331,28 @@ class CompiledGammaBound : public CompiledBound {
           cut_converged = true;
           break;
         }
+        std::vector<LpConstraint> new_rows;
+        new_rows.reserve(cuts.size());
         for (const ShannonCut& cut : cuts) {
-          AddCut(cut);
+          present_.insert(cut.Key());
+          new_rows.push_back(
+              {FormToTerms(cut.Form(n)), LpSense::kGe, 0.0});
           rhs.push_back(0.0);
         }
-        tableau_.emplace(lp_, options_.simplex);
-        lp_result = tableau_->Solve(rhs);
-        stats_sum.Add(lp_result.stats);
-        grew = true;
+        // The engine's own problem grows on every path: a later cold
+        // recompile must see the full cut set.
+        for (const LpConstraint& c : new_rows) {
+          lp_.AddConstraint(c.terms, c.sense, c.rhs);
+        }
+        if (warm && tableau_->AddConstraintsWarm(new_rows, rhs, lp_result)) {
+          stats_sum.Add(lp_result.stats);
+          ++stats_sum.warm_cut_rounds;
+        } else {
+          tableau_.emplace(lp_, options_.simplex);
+          lp_result = tableau_->Solve(rhs);
+          stats_sum.Add(lp_result.stats);
+          cold_grew = true;
+        }
         ++rounds;
       }
     }
@@ -312,7 +360,7 @@ class CompiledGammaBound : public CompiledBound {
     BoundResult result =
         MakeGammaResult(lp_result, n, num_stats_, rounds, want_h_opt);
     result.lp_stats = stats_sum;
-    if (grew) result.eval_path = LpEvalPath::kCold;
+    if (cold_grew) result.eval_path = LpEvalPath::kCold;
     if (!full_mode_ && result.ok() &&
         result.log2_bound >= box * (1.0 - 1e-9)) {
       // Shannon-feasible optimum pinned at the box: genuinely unbounded.
@@ -331,13 +379,10 @@ class CompiledGammaBound : public CompiledBound {
   std::vector<BoundResult> EvaluateBatchImpl(
       std::span<const std::vector<double>> log_b_batch,
       bool want_h_opt) override {
-    if (!full_mode_) {
-      // Cutting-plane mode can grow the matrix mid-evaluation (rebuilding
-      // the tableau), and later columns must not be priced against a cut
-      // set they were not solved under — evaluate sequentially.
-      return CompiledBound::EvaluateBatchImpl(log_b_batch, want_h_opt);
-    }
     const int n = structure_.n;
+    if (!full_mode_) {
+      return EvaluateBatchCutting(log_b_batch, want_h_opt);
+    }
     return BatchThroughTableau(
         log_b_batch, *tableau_, structurally_unbounded_, batch_scratch_,
         [this](const std::vector<double>& log_b, std::vector<double>& rhs) {
@@ -355,10 +400,101 @@ class CompiledGammaBound : public CompiledBound {
         });
   }
 
+  // Cutting-plane batch: a shared per-batch cut pool. The compiled cut set
+  // usually already separates every column after the first few evaluations,
+  // so whole runs of columns ride the multi-RHS block resolve; only a
+  // column whose block optimum still separates new cuts pays scalar top-up
+  // rounds (growing the pool), after which the remaining columns re-gather
+  // under the grown matrix — preserving the scalar sequence's ordering
+  // semantics (later columns are always priced against every cut an
+  // earlier column added).
+  std::vector<BoundResult> EvaluateBatchCutting(
+      std::span<const std::vector<double>> log_b_batch, bool want_h_opt) {
+    const int n = structure_.n;
+    std::vector<BoundResult> out(log_b_batch.size());
+    std::vector<std::vector<double>>& run = batch_scratch_.run;
+    std::vector<LpResult>& lps = batch_scratch_.lps;
+    size_t i = 0;
+    while (i < log_b_batch.size()) {
+      if (structurally_unbounded_ && AllNonNegative(log_b_batch[i])) {
+        out[i++] = StructurallyUnboundedResult(tableau_->backend());
+        continue;
+      }
+      // Gather the maximal run of columns the structural shortcut cannot
+      // serve and resolve it as one block against the current cut pool.
+      size_t run_size = 0;
+      size_t end = i;
+      while (end < log_b_batch.size() &&
+             !(structurally_unbounded_ && AllNonNegative(log_b_batch[end]))) {
+        if (run.size() <= run_size) run.emplace_back();
+        FillCutRhs(log_b_batch[end], run[run_size]);
+        ++run_size;
+        ++end;
+      }
+      // The relaxed block resolve (lp/tableau.h): witness-valid columns
+      // are served against one pinned basis — pivoting columns no longer
+      // flush the B⁻¹ memo for everything after them — at the cost of
+      // bitwise identity with the scalar sequence, which cutting mode
+      // never promised (its parity contract is tolerance).
+      tableau_->ResolveWithRhsBatchRelaxed(
+          std::span<const std::vector<double>>(run.data(), run_size), lps);
+      // Finalize columns in order. The first column whose block optimum
+      // still separates cuts is re-evaluated scalar (warm top-up rounds
+      // grow the pool); everything after it re-gathers, since its block
+      // result was priced against the pre-growth matrix.
+      size_t done = i;
+      for (size_t k = 0; k < run_size; ++k) {
+        const size_t col = i + k;
+        const LpResult& lp = lps[k];
+        if (lp.status == LpStatus::kOptimal &&
+            AnyViolatedShannonCut(scan_table_, lp.x,
+                                  options_.feasibility_eps, scan_scratch_) &&
+            !FindViolatedShannonCuts(n, lp.x, present_,
+                                     options_.cuts_per_round,
+                                     options_.feasibility_eps)
+                 .empty()) {
+          out[col] = EvaluateImpl(log_b_batch[col], want_h_opt);
+          done = col + 1;
+          break;
+        }
+        // Cut-converged (or non-optimal, where the scalar path runs no cut
+        // rounds either): the block result is the scalar result.
+        BoundResult result = MakeGammaResult(lp, n, num_stats_, 0, want_h_opt);
+        if (result.ok() &&
+            result.log2_bound >= run[k][box_row_] * (1.0 - 1e-9)) {
+          result.status = LpStatus::kUnbounded;
+          result.log2_bound = kInfNorm;
+        }
+        const bool flips = result.unbounded() &&
+                           lp.status == LpStatus::kOptimal &&
+                           !structurally_unbounded_;
+        if (flips) structurally_unbounded_ = true;
+        out[col] = result;
+        done = col + 1;
+        // A flip makes later columns shortcut-eligible; their block
+        // results were priced speculatively, so re-gather them.
+        if (flips) break;
+      }
+      i = done;
+    }
+    return out;
+  }
+
  private:
   void AddCut(const ShannonCut& cut) {
     present_.insert(cut.Key());
     lp_.AddConstraint(FormToTerms(cut.Form(structure_.n)), LpSense::kGe, 0.0);
+  }
+
+  // Cutting-mode RHS for one column: statistics values, the per-column box
+  // bound, zeros on every cut row. The persistent buffer is re-sized only
+  // when the cut pool grew since the last batch.
+  void FillCutRhs(const std::vector<double>& log_b, std::vector<double>& rhs) {
+    if (rhs.size() != static_cast<size_t>(lp_.num_constraints())) {
+      rhs.assign(lp_.num_constraints(), 0.0);
+    }
+    std::copy(log_b.begin(), log_b.end(), rhs.begin());
+    rhs[box_row_] = GammaBoxBound(structure_.n, ps_, log_b);
   }
 
   EngineOptions options_;
@@ -368,6 +504,8 @@ class CompiledGammaBound : public CompiledBound {
   std::optional<SimplexTableau> tableau_;
   std::vector<double> ps_;
   std::set<uint64_t> present_;
+  ShannonScanTable scan_table_;
+  std::vector<double> scan_scratch_;
   int box_row_ = -1;
   bool structurally_unbounded_ = false;
   BatchScratch batch_scratch_;

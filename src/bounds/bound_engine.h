@@ -89,14 +89,20 @@ class CompiledBound {
                        bool want_h_opt = true);
 
   // Evaluates the bound at every value vector of `log_b_batch`, in order.
-  // Results (including eval paths and counters) are identical to calling
-  // Evaluate per vector — the cached basis evolves across the batch exactly
-  // as it would across scalar calls — but the batch amortizes the
-  // per-evaluation machinery: the LP-backed engines push the whole block
-  // through SimplexTableau::ResolveWithRhsBatch, so witness-valid columns
-  // share one factorization and one cached-duals read (see lp/tableau.h).
-  // `want_h_opt` defaults to *false* here, unlike Evaluate: batched callers
-  // are optimizer probe loops that only want the bound values.
+  // For the fixed-matrix engines, results (including eval paths and
+  // counters) are identical to calling Evaluate per vector — the cached
+  // basis evolves across the batch exactly as it would across scalar
+  // calls — but the batch amortizes the per-evaluation machinery: the
+  // LP-backed engines push the whole block through
+  // SimplexTableau::ResolveWithRhsBatch, so witness-valid columns share
+  // one factorization and one cached-duals read (see lp/tableau.h). The
+  // cutting-plane Γn engine shares its cut pool across the batch instead:
+  // converged columns ride the block resolve and only columns that still
+  // separate new cuts pay scalar top-up rounds, so bounds match the scalar
+  // sequence to floating-point tolerance (both converge the same cut
+  // family) rather than bitwise. `want_h_opt` defaults to *false* here,
+  // unlike Evaluate: batched callers are optimizer probe loops that only
+  // want the bound values.
   std::vector<BoundResult> EvaluateBatch(
       std::span<const std::vector<double>> log_b_batch,
       bool want_h_opt = false);

@@ -60,6 +60,53 @@ std::vector<ShannonCut> FindViolatedShannonCuts(int n,
   return cuts;
 }
 
+ShannonScanTable BuildShannonScanTable(int n) {
+  ShannonScanTable table;
+  table.n = n;
+  const VarSet full = FullSet(n);
+  auto push = [&table](VarSet a, VarSet b, VarSet c, VarSet d) {
+    table.idx.push_back(static_cast<int32_t>(a));
+    table.idx.push_back(static_cast<int32_t>(b));
+    table.idx.push_back(static_cast<int32_t>(c));
+    table.idx.push_back(static_cast<int32_t>(d));
+  };
+  for (int i = 0; i < n; ++i) push(full, 0, full & ~VarBit(i), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const VarSet bi = VarBit(i), bj = VarBit(j);
+      const VarSet rest = full & ~(bi | bj);
+      for (VarSet s : SubsetRange(rest)) push(s | bi, s | bj, s | bi | bj, s);
+    }
+  }
+  return table;
+}
+
+bool AnyViolatedShannonCut(const ShannonScanTable& table,
+                           const std::vector<double>& x, double eps,
+                           std::vector<double>& scratch) {
+  const size_t vars = (static_cast<size_t>(1) << table.n) - 1;
+  scratch.resize(vars + 1);
+  scratch[0] = 0.0;
+  std::copy(x.begin(), x.begin() + vars, scratch.begin() + 1);
+  const double* y = scratch.data();
+  const int32_t* p = table.idx.data();
+  const size_t cuts = table.idx.size() / 4;
+  // Four independent min accumulators: each lane is loads plus three
+  // adds and a min, so the reduction is ILP-bound, not branch-bound.
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= cuts; k += 4, p += 16) {
+    m0 = std::min(m0, y[p[0]] + y[p[1]] - y[p[2]] - y[p[3]]);
+    m1 = std::min(m1, y[p[4]] + y[p[5]] - y[p[6]] - y[p[7]]);
+    m2 = std::min(m2, y[p[8]] + y[p[9]] - y[p[10]] - y[p[11]]);
+    m3 = std::min(m3, y[p[12]] + y[p[13]] - y[p[14]] - y[p[15]]);
+  }
+  for (; k < cuts; ++k, p += 4) {
+    m0 = std::min(m0, y[p[0]] + y[p[1]] - y[p[2]] - y[p[3]]);
+  }
+  return std::min(std::min(m0, m1), std::min(m2, m3)) < -eps;
+}
+
 std::vector<ShannonCut> SeedShannonCuts(int n) {
   const VarSet full = FullSet(n);
   std::vector<ShannonCut> cuts;

@@ -43,6 +43,30 @@ std::vector<ShannonCut> FindViolatedShannonCuts(int n,
                                                 const std::set<uint64_t>& present,
                                                 int max_cuts, double eps);
 
+// Flat index form of the full elemental scan, for the converged steady
+// state where almost every evaluation ends with "no cut violated". Each
+// inequality is four indices (a, b, c, d) into a shifted copy y of the
+// solution (y[0] = h(∅) = 0, y[k] = x[k - 1]), with violation
+// y[a] + y[b] - y[c] - y[d]; monotonicity cuts point b and d at slot 0.
+// The uniform quadruple layout turns the scan into a branchless min
+// reduction — no subset enumeration, no per-cut key lookups.
+struct ShannonScanTable {
+  std::vector<int32_t> idx;  // 4 entries per inequality
+  int n = 0;
+};
+
+ShannonScanTable BuildShannonScanTable(int n);
+
+// True when any elemental inequality is violated by more than eps at x —
+// ignoring `present`, so a clean result proves FindViolatedShannonCuts
+// would return empty (cuts already in the pool are LP rows, satisfied at
+// any optimum to the solver's tighter tolerance). Callers use this as the
+// cheap pre-check and fall back to the exact scan only when it fires.
+// `scratch` holds the shifted copy between calls.
+bool AnyViolatedShannonCut(const ShannonScanTable& table,
+                           const std::vector<double>& x, double eps,
+                           std::vector<double>& scratch);
+
 // The seed cut set for a fresh cutting-plane solve: the monotonicity cuts
 // and the submodularities whose conditioning set is small (|S| <= 1) or
 // maximal — the cuts that drive chain-style bounds — so the first

@@ -173,6 +173,24 @@ void CardinalityAdvisor::RecordEval(const BoundResult& result) {
     lp_devex_resets_.fetch_add(static_cast<uint64_t>(stats.devex_resets),
                                std::memory_order_relaxed);
   }
+  if (stats.warm_cut_rounds > 0) {
+    lp_warm_cut_rounds_.fetch_add(static_cast<uint64_t>(stats.warm_cut_rounds),
+                                  std::memory_order_relaxed);
+  }
+  if (stats.dual_repair_pivots > 0) {
+    lp_dual_repair_pivots_.fetch_add(
+        static_cast<uint64_t>(stats.dual_repair_pivots),
+        std::memory_order_relaxed);
+  }
+  if (stats.row_appends > 0) {
+    lp_row_appends_.fetch_add(static_cast<uint64_t>(stats.row_appends),
+                              std::memory_order_relaxed);
+  }
+  if (stats.append_refactorizations > 0) {
+    lp_append_refactorizations_.fetch_add(
+        static_cast<uint64_t>(stats.append_refactorizations),
+        std::memory_order_relaxed);
+  }
 }
 
 BoundResult CardinalityAdvisor::EvaluateCompiled(
@@ -333,6 +351,12 @@ AdvisorMetrics CardinalityAdvisor::metrics() const {
   m.lp_ft_updates = lp_ft_updates_.load(std::memory_order_relaxed);
   m.lp_eta_updates = lp_eta_updates_.load(std::memory_order_relaxed);
   m.lp_devex_resets = lp_devex_resets_.load(std::memory_order_relaxed);
+  m.lp_warm_cut_rounds = lp_warm_cut_rounds_.load(std::memory_order_relaxed);
+  m.lp_dual_repair_pivots =
+      lp_dual_repair_pivots_.load(std::memory_order_relaxed);
+  m.lp_row_appends = lp_row_appends_.load(std::memory_order_relaxed);
+  m.lp_append_refactorizations =
+      lp_append_refactorizations_.load(std::memory_order_relaxed);
   return m;
 }
 

@@ -93,6 +93,14 @@ struct AdvisorMetrics {
   uint64_t lp_ft_updates = 0;
   uint64_t lp_eta_updates = 0;
   uint64_t lp_devex_resets = 0;
+  // Cut-growth accounting for the Γn cutting-plane engine: rounds whose new
+  // cut rows were appended onto the live basis (vs rebuilt cold), the dual
+  // pivots spent repairing those appended rows, total rows appended, and
+  // appends whose LU fill tripped an immediate refactorization.
+  uint64_t lp_warm_cut_rounds = 0;
+  uint64_t lp_dual_repair_pivots = 0;
+  uint64_t lp_row_appends = 0;
+  uint64_t lp_append_refactorizations = 0;
 };
 
 class CardinalityAdvisor {
@@ -223,6 +231,10 @@ class CardinalityAdvisor {
   std::atomic<uint64_t> lp_ft_updates_{0};
   std::atomic<uint64_t> lp_eta_updates_{0};
   std::atomic<uint64_t> lp_devex_resets_{0};
+  std::atomic<uint64_t> lp_warm_cut_rounds_{0};
+  std::atomic<uint64_t> lp_dual_repair_pivots_{0};
+  std::atomic<uint64_t> lp_row_appends_{0};
+  std::atomic<uint64_t> lp_append_refactorizations_{0};
 };
 
 }  // namespace lpb

@@ -27,6 +27,7 @@ void DenseTableau::Build(const std::vector<double>& rhs) {
   rows_ = problem_.num_constraints();
   has_basis_ = false;
   cached_duals_.clear();
+  result_cache_valid_ = false;
   reprice_valid_ = false;
   witness_scan_ok_ = false;
 
@@ -273,11 +274,23 @@ void DenseTableau::FillKernelStats() {
   }
 }
 
-LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
+LpResult DenseTableau::ExtractOptimal(LpEvalPath path, bool repeat) {
   LpResult result;
   result.status = LpStatus::kOptimal;
   result.iterations = iterations_;
   result.path = path;
+  if (repeat && result_cache_valid_) {
+    // The RHS column is bitwise-unchanged since the extraction that filled
+    // the cache, so x/objective/duals here are the cached ones by
+    // construction — serve them as flat copies and skip the tableau walk.
+    result.x = cached_x_;
+    result.objective = cached_objective_;
+    result.duals = cached_duals_;
+    has_basis_ = true;
+    FillKernelStats();
+    result.stats = stats_;
+    return result;
+  }
   result.x.assign(problem_.num_vars(), 0.0);
   for (int i = 0; i < rows_; ++i) {
     if (basis_[i] < problem_.num_vars()) {
@@ -287,6 +300,9 @@ LpResult DenseTableau::ExtractOptimal(LpEvalPath path) {
   result.objective =
       LpDotD(*kernels_, phase2_cost_.data(), result.x.data(),
              problem_.num_vars());
+  cached_x_ = result.x;
+  cached_objective_ = result.objective;
+  result_cache_valid_ = true;
 
   if (path == LpEvalPath::kWitness && !cached_duals_.empty()) {
     // Same basis, same cost: the duals are the previous solve's.
@@ -432,7 +448,7 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
   // Memoized scan: an unchanged RHS column that already passed the scan
   // below passes it again — rescanning identical bits is pure overhead.
   if (rhs_unchanged_ && witness_scan_ok_) {
-    return ExtractOptimal(LpEvalPath::kWitness);
+    return ExtractOptimal(LpEvalPath::kWitness, /*repeat=*/true);
   }
   bool feasible = true;
   for (int i = 0; i < rows_; ++i) {
@@ -465,6 +481,131 @@ LpResult DenseTableau::ResolveWithRhs(const std::vector<double>& rhs) {
       return SolveInternal(rhs);
   }
   return SolveInternal(rhs);  // unreachable
+}
+
+bool DenseTableau::AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                                      const std::vector<double>& rhs,
+                                      LpResult& result) {
+  const int k = static_cast<int>(rows.size());
+  const int old_rows = rows_;
+  const int new_rows = old_rows + k;
+  if (k == 0 || !has_basis_ || first_art_ != cols_ ||
+      static_cast<int>(rhs.size()) != new_rows) {
+    return false;
+  }
+  // Every appended row must normalize to <= (the NormalizeRows flip rule:
+  // negate when b < 0, or when a >= row has b == 0) so its slack can enter
+  // the basis directly. Pure validation — state is untouched on decline.
+  std::vector<double> new_sign(k, 1.0);
+  for (int i = 0; i < k; ++i) {
+    const double b = rhs[old_rows + i];
+    LpSense s = rows[i].sense;
+    if (b < 0.0 || (s == LpSense::kGe && b == 0.0)) {
+      new_sign[i] = -1.0;
+      if (s == LpSense::kLe) {
+        s = LpSense::kGe;
+      } else if (s == LpSense::kGe) {
+        s = LpSense::kLe;
+      }
+    }
+    if (s != LpSense::kLe) return false;
+  }
+
+  // Commit point: from here every path produces a result (worst case an
+  // internal cold solve of the grown problem) and returns true.
+  kernel_base_ = g_lp_kernel_counters;
+  stats_.ResetPivots();
+  stats_.row_appends += k;
+
+  // Re-price the old RHS column against the caller's rhs while the old
+  // machinery is still sized for it — the incremental B⁻¹-column path when
+  // only a few statistics moved, exactly as a warm resolve would.
+  RepriceRhs(rhs);
+
+  const int old_cols = cols_;
+  const int old_stride = stride_;
+  for (int i = 0; i < k; ++i) {
+    problem_.AddConstraint(rows[i].terms, rows[i].sense, rows[i].rhs);
+    row_sign_.push_back(new_sign[i]);
+    basis_.push_back(old_cols + i);
+    dual_col_.push_back(old_cols + i);
+  }
+  rows_ = new_rows;
+  cols_ = old_cols + k;
+  first_art_ = cols_;
+  stride_ = cols_ + 1;
+  phase2_cost_.resize(cols_, 0.0);
+
+  // Re-layout the tableau with k more rows and a wider stride. The old
+  // block lives in the arena, so it is copied out before the Reset; old
+  // rows get zeros in the new slack columns (B_new⁻¹ is block lower
+  // triangular) and keep their RHS in the widened last column.
+  std::vector<Scalar> old_t(
+      t_, t_ + static_cast<std::size_t>(old_rows) * old_stride);
+  arena_.Reset();
+  t_ = arena_.AllocArray<Scalar>(static_cast<std::size_t>(rows_) * stride_);
+  std::fill(t_, t_ + static_cast<std::size_t>(rows_) * stride_, Scalar{0.0});
+  problem_rhs_ = arena_.AllocArray<double>(rows_);
+  perturb_term_ = arena_.AllocArray<double>(rows_);
+  norm_b_ = arena_.AllocArray<double>(rows_);
+  last_b_ = arena_.AllocArray<double>(rows_);
+  reprice_ = arena_.AllocArray<Scalar>(rows_);
+  for (int i = 0; i < rows_; ++i) {
+    problem_rhs_[i] = problem_.constraint(i).rhs;
+    perturb_term_[i] = options_.perturb * (1 + i % 101);
+  }
+  for (int i = 0; i < old_rows; ++i) {
+    const Scalar* src = old_t.data() + static_cast<std::size_t>(i) * old_stride;
+    Scalar* dst = Row(i);
+    std::copy(src, src + old_cols, dst);
+    dst[cols_] = src[old_cols];  // RHS moves to the widened last column
+  }
+  reprice_valid_ = false;
+  rhs_unchanged_ = false;
+  witness_scan_ok_ = false;
+  result_cache_valid_ = false;
+  cached_duals_.clear();
+
+  // Each new row enters as its raw normalized form — structural terms plus
+  // its unit slack — eliminated against the basic rows: the old basic
+  // columns are unit columns of the current tableau, so the sweep yields
+  // exactly row old_rows+i of B_new⁻¹·A_new. A negative resulting RHS is
+  // precisely a cut the old optimum violates.
+  for (int i = 0; i < k; ++i) {
+    Scalar* row = Row(old_rows + i);
+    for (const LpTerm& term : rows[i].terms) {
+      if (term.var >= 0 && term.var < problem_.num_vars()) {
+        row[term.var] += new_sign[i] * term.coef;
+      }
+    }
+    row[old_cols + i] = 1.0;
+    row[cols_] = NormalizedRhs(old_rows + i, rhs);
+    for (int r = 0; r < old_rows; ++r) {
+      const Scalar f = row[basis_[r]];
+      if (f == 0.0) continue;
+      LpSweepLd(row, Row(r), f, cols_ + 1);
+      row[basis_[r]] = 0.0;  // exact
+    }
+  }
+
+  iterations_ = 0;
+  unbounded_ = false;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+  const int dual_before = stats_.dual_pivots;
+  const DualOutcome outcome = RunDualSimplex();
+  stats_.dual_repair_pivots += stats_.dual_pivots - dual_before;
+  switch (outcome) {
+    case DualOutcome::kOptimal:
+      result = ExtractOptimal(LpEvalPath::kWarm);
+      return true;
+    case DualOutcome::kInfeasible:
+    case DualOutcome::kIterationLimit:
+      break;
+  }
+  result = SolveInternal(rhs);
+  return true;
 }
 
 }  // namespace lpb

@@ -33,6 +33,17 @@ class DenseTableau : public LpBackendImpl {
 
   LpResult Solve(const std::vector<double>& rhs) override;
   LpResult ResolveWithRhs(const std::vector<double>& rhs) override;
+  // Incremental row append (see LpBackendImpl::AddConstraintsWarm): the
+  // tableau is re-laid out in place with k more rows and k more columns,
+  // each new row entering as its raw normalized form eliminated against
+  // the current basic rows — exactly the B_new⁻¹ image, since the old
+  // basic columns are unit columns — with its slack basic, and dual
+  // simplex repairs the rows the old optimum violates. Declines (state
+  // untouched) when there is no cached optimal basis, an artificial
+  // column exists, or a row does not normalize to <=.
+  bool AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                          const std::vector<double>& rhs,
+                          LpResult& result) override;
   bool has_optimal_basis() const override { return has_basis_; }
   const std::vector<int>& basis() const override { return basis_; }
 
@@ -64,8 +75,13 @@ class DenseTableau : public LpBackendImpl {
   // perturbs k statistics costs O(rows x k), not O(rows x nnz(b')). A
   // full re-price runs every kFullRepriceInterval calls to bound drift.
   void RepriceRhs(const std::vector<double>& rhs);
-  // Reads the optimal result off the current tableau.
-  LpResult ExtractOptimal(LpEvalPath path);
+  // Reads the optimal result off the current tableau. `repeat` asserts the
+  // RHS column is bitwise-unchanged since the previous extraction (the
+  // caller holds rhs_unchanged_ && witness_scan_ok_), letting the
+  // repeated-RHS hot path serve the cached x/objective/duals as flat
+  // copies instead of re-walking the tableau (same contract as the revised
+  // backend, lp/revised_simplex.h).
+  LpResult ExtractOptimal(LpEvalPath path, bool repeat = false);
   // Non-optimal result with x/duals sized per the LpResult contract.
   LpResult Failure(LpStatus status);
   // Copies this call's kernel-counter deltas into stats_ (see
@@ -134,6 +150,13 @@ class DenseTableau : public LpBackendImpl {
   // duals depend only on (basis, cost), both unchanged there — skipping
   // the O(rows × cols) reduced-cost recomputation on the hot path.
   std::vector<double> cached_duals_;
+  // Extraction cache for the repeated-witness fast path: the x/objective
+  // of the last ExtractOptimal, valid only while the RHS column is
+  // untouched (the rhs_unchanged_ && witness_scan_ok_ gate, refreshed by
+  // every non-repeat extraction).
+  std::vector<double> cached_x_;
+  double cached_objective_ = 0.0;
+  bool result_cache_valid_ = false;
   // Columns disabled for the current phase (numerically dead, see RunPhase).
   std::vector<bool> frozen_;
   // Per-call pivot counters (LpResult::stats); the dense tableau has no

@@ -20,6 +20,17 @@ void LpBackendImpl::ResolveWithRhsBatch(
   }
 }
 
+bool LpBackendImpl::AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                                       const std::vector<double>& rhs,
+                                       LpResult& result) {
+  // Backends opt in explicitly; declining tells the caller to rebuild and
+  // solve cold, which is always correct.
+  (void)rows;
+  (void)rhs;
+  (void)result;
+  return false;
+}
+
 NormalizedRows NormalizeRows(const LpProblem& problem,
                              const std::vector<double>& rhs) {
   const int rows = problem.num_constraints();
@@ -149,6 +160,34 @@ SimdMode ResolveSimdMode(const SimplexOptions& options) {
   // Results are bit-identical either way, so auto is always safe; unknown
   // values also fall back here.
   return SimdMode::kAuto;
+}
+
+const char* CutWarmStartName(CutWarmStart mode) {
+  switch (mode) {
+    case CutWarmStart::kDefault:
+      return "default";
+    case CutWarmStart::kOn:
+      return "on";
+    case CutWarmStart::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+CutWarmStart ResolveCutWarmStart(const SimplexOptions& options) {
+  if (options.cut_warm_start != CutWarmStart::kDefault) {
+    return options.cut_warm_start;
+  }
+  // Like the other knobs, read the environment on every resolution so the
+  // warm-vs-cold differential tests can flip LPB_LP_CUT_WARM in-process.
+  const char* env = std::getenv("LPB_LP_CUT_WARM");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+    return CutWarmStart::kOff;
+  }
+  // Warm and cold converge to the same bound (differentially tested), so
+  // warm is the default; unknown values also fall back here.
+  return CutWarmStart::kOn;
 }
 
 const char* LpKernelName(LpKernelId id) {

@@ -64,6 +64,55 @@ class LpBackendImpl {
     return out;
   }
 
+  // Order-relaxed multi-RHS resolve: every column gets the same *value*
+  // (objective, status, duals' weights) it would get from the scalar
+  // sequence, but columns the cached basis can serve as a witness are
+  // processed first, against one pinned basis, and only then do the stale
+  // columns run the pivoting cascade in their original order. The point:
+  // a mid-block pivot invalidates the factorization-keyed B⁻¹-column memo
+  // and the incremental re-price baseline, so under the strict in-order
+  // contract a handful of pivoting columns forces every later column back
+  // to full FTRAN re-prices; pinning the basis for the witness pass keeps
+  // the memos valid across the whole block. This is sound because a
+  // witness verdict is order-independent — the pinned basis is dual
+  // feasible (costs never change), so any column it serves primal-feasibly
+  // gets the true optimum no matter which pivots other columns will take.
+  // Bitwise identity with the scalar sequence is NOT promised (a deferred
+  // column may reach its optimum through a different equal-value basis);
+  // callers needing the strict contract use ResolveWithRhsBatch. The base
+  // implementation is the strict path; the revised backend overrides.
+  virtual void ResolveWithRhsBatchRelaxed(
+      std::span<const std::vector<double>> rhs_batch,
+      std::vector<LpResult>& out) {
+    ResolveWithRhsBatch(rhs_batch, out);
+  }
+
+  // Incremental row append on top of the cached optimal basis. Installs
+  // the new constraints with their slacks basic — the previous optimum
+  // keeps its duals (new rows get dual 0), so the extended basis is dual
+  // feasible by construction — then runs dual simplex to repair only the
+  // rows the old optimum violates. This is what makes cutting-plane
+  // growth rounds cheap: O(violated-rows) dual pivots instead of a full
+  // two-phase re-solve from the identity basis.
+  //
+  // `rows` are the new constraints (same term/sense/rhs shape as
+  // LpProblem::AddConstraint); the backend appends them to its own copy
+  // of the problem. `rhs` is the full new RHS including the appended
+  // rows. Callers that keep their own LpProblem (for a later cold
+  // rebuild) must mirror the append there themselves.
+  //
+  // Returns kOptimal/kUnbounded/etc. with path kWarm on success. Returns
+  // false via the bool when the backend declines the append — no cached
+  // optimal basis, a row that normalizes to something other than a
+  // slack-feasible <= row, or an existing artificial column (appends
+  // assume slack columns are the tail of the column space). On decline
+  // the backend state is unchanged and the caller must rebuild + solve
+  // cold; `result` is untouched. The default implementation always
+  // declines.
+  virtual bool AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                                  const std::vector<double>& rhs,
+                                  LpResult& result);
+
   virtual bool has_optimal_basis() const = 0;
   // Basic column per row, internal column ids (structural, then
   // slack/surplus, then artificial).
@@ -108,6 +157,10 @@ BasisUpdateKind ResolveBasisUpdate(const SimplexOptions& options);
 // Resolves kDefault against LPB_LP_SIMD ("auto" / "scalar"; anything else
 // falls back to auto). Never returns kDefault.
 SimdMode ResolveSimdMode(const SimplexOptions& options);
+
+// Resolves kDefault against LPB_LP_CUT_WARM ("0" / "off" disable; anything
+// else — including unset — enables). Never returns kDefault.
+CutWarmStart ResolveCutWarmStart(const SimplexOptions& options);
 
 // Constructs the backend selected by `options` for `problem`.
 std::unique_ptr<LpBackendImpl> MakeLpBackend(const LpProblem& problem,

@@ -310,6 +310,86 @@ void LuBasis::Btran(std::vector<Scalar>& y) const {
   for (int i = 0; i < m_; ++i) y[i] = work_[i];
 }
 
+bool LuBasis::AppendBorderedRows(const SparseMatrix& a,
+                                 const std::vector<int>& basis,
+                                 int first_new_row) {
+  const int new_m = static_cast<int>(basis.size());
+  const int k_new = new_m - m_;
+  if (!factorized_ || !etas_.empty() || first_new_row != m_ || k_new <= 0 ||
+      a.rows() != new_m) {
+    return false;
+  }
+
+  // Validate the appended slots before mutating anything: each must be a
+  // unit column on exactly one new row (that row's slack), diagonals
+  // pivotable, rows covered exactly once.
+  std::vector<Scalar> new_diag(k_new, 0.0);
+  std::vector<int> new_row_of_slot(k_new, -1);
+  std::vector<char> row_seen(k_new, 0);
+  for (int s = m_; s < new_m; ++s) {
+    const int col = basis[s];
+    if (col < 0 || col >= a.cols() || a.ColNnz(col) != 1) return false;
+    const SparseEntry& e = *a.ColBegin(col);
+    if (e.row < first_new_row || e.row >= new_m) return false;
+    if (row_seen[e.row - first_new_row]) return false;
+    if (std::abs(e.value) < options_.abs_pivot_tol) return false;
+    row_seen[e.row - first_new_row] = 1;
+    new_row_of_slot[s - m_] = e.row;
+    new_diag[s - m_] = e.value;
+  }
+
+  // The new rows take the *leading* positions: their U columns are pure
+  // diagonals, so every old column's new-row entry references an
+  // earlier-in-position row and U stays triangular. The L pass, the FT
+  // transforms, and the Lᵀ/μᵀ passes of Btran only touch old rows, so the
+  // border block C passes through them untouched — appending the raw
+  // A-entries at new rows to the old slots' stored U columns is exact even
+  // mid-update-chain.
+  pivot_row_.insert(pivot_row_.begin(), new_row_of_slot.begin(),
+                    new_row_of_slot.end());
+  col_slot_.insert(col_slot_.begin(), k_new, -1);
+  for (int k = 0; k < k_new; ++k) col_slot_[k] = m_ + k;
+  row_pos_.assign(new_m, -1);
+  slot_pos_.assign(new_m, -1);
+  for (int k = 0; k < new_m; ++k) {
+    row_pos_[pivot_row_[k]] = k;
+    slot_pos_[col_slot_[k]] = k;
+  }
+
+  // Pad the L sequence with identity transforms so the fixed-order loops
+  // cover [0, new_m); their pivot rows are the new rows, whose columns are
+  // empty, so the pads are exact no-ops.
+  for (int k = 0; k < k_new; ++k) {
+    l_cols_.emplace_back();
+    l_pivot_row_.push_back(first_new_row + k);
+  }
+
+  u_cols_.resize(new_m);
+  diag_.resize(new_m, 0.0);
+  for (int s = m_; s < new_m; ++s) diag_[s] = new_diag[s - m_];
+  for (int s = 0; s < m_; ++s) {
+    for (const SparseEntry* e = a.ColBegin(basis[s]); e != a.ColEnd(basis[s]);
+         ++e) {
+      if (e->row >= first_new_row && e->value != 0.0) {
+        u_cols_[s].push_back({e->row, static_cast<Scalar>(e->value)});
+        ++u_nnz_;
+      }
+    }
+  }
+  // u_nnz0_ deliberately unchanged: the appended entries count as fill
+  // against the fresh-factorization size, so long append chains trip
+  // NeedsRefactorize instead of accreting an ever-denser U.
+
+  work_.resize(new_m, 0.0);
+  pos_work_.resize(new_m, 0.0);
+  spike_.resize(new_m, 0.0);
+  mu_work_.resize(new_m, 0.0);
+  visited_.resize(new_m, 0);
+  row_mark_.resize(new_m, -1);
+  m_ = new_m;
+  return true;
+}
+
 bool LuBasis::Update(const SparseMatrix& a, int col,
                      const std::vector<Scalar>& w, int r,
                      const std::vector<Scalar>* spike) {

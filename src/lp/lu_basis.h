@@ -132,6 +132,30 @@ class LuBasis {
   // yields row `slot` of B⁻¹ — the ratio test's lexicographic tie-break.
   void Btran(std::vector<Scalar>& y) const;
 
+  // Bordered growth for the warm cut-append path (lp/revised_simplex.h):
+  // extends the factorization of B to
+  //     B_new = [[B, 0], [C, D]]
+  // where the caller has already grown `a` by the new rows (C = the new
+  // rows' coefficients on the old basic columns) and appended one unit
+  // slack column per new row to both `a` and `basis` (D = their diagonal).
+  // The new rows become the *leading* positions of the triangular order —
+  // their U columns are pure diagonals and the old columns' new-row
+  // entries (C) append to their stored U columns, which keeps U
+  // position-triangular without touching L, the Forrest–Tomlin transforms,
+  // or any existing entry. Appended U entries count toward the fill budget
+  // (NeedsRefactorize), which is what eventually forces a clean
+  // refactorization on long append chains.
+  //
+  // Preconditions checked (returns false leaving the factorization
+  // untouched, so the caller can refactorize instead): a successful
+  // Factorize is live, no legacy product-form etas are pending (their slot
+  // transform does not commute with the border; Forrest–Tomlin transforms
+  // do), `first_new_row` == m(), and each appended basis column is a unit
+  // column on exactly one new row with a pivotable diagonal, the new rows
+  // covered exactly once.
+  bool AppendBorderedRows(const SparseMatrix& a, const std::vector<int>& basis,
+                          int first_new_row);
+
   // Records the basis change "column of slot r replaced by column `col` of
   // `a`, whose FTRAN image is w". Forrest–Tomlin mode rewrites U in place;
   // eta mode appends a product-form transform (and ignores a/col). An

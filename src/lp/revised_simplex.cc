@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace lpb {
@@ -123,6 +124,7 @@ void RevisedSimplex::Build(const std::vector<double>& rhs) {
     basis_[i] = bcol;
     in_basis_[bcol] = i;
   }
+  MarkBasisChanged();
 
   phase2_cost_.assign(cols_, 0.0);
   for (int j = 0; j < n; ++j) phase2_cost_[j] = problem_.objective_coef(j);
@@ -152,13 +154,14 @@ bool RevisedSimplex::Refactorize() {
 void RevisedSimplex::InvalidateReprice() {
   reprice_valid_ = false;
   witness_scan_ok_ = false;
+  x_basic_stale_ = false;  // callers recompute x_basic_ from b_ directly
   std::fill(binv_valid_.begin(), binv_valid_.end(), 0);
 }
 
-void RevisedSimplex::MaterializeBinvColumns(const std::vector<int>& rows) {
+void RevisedSimplex::MaterializeBinvColumns(const int* rows, int n) {
   missing_.clear();
-  for (int j : rows) {
-    if (!binv_valid_[j]) missing_.push_back(j);
+  for (int k = 0; k < n; ++k) {
+    if (!binv_valid_[rows[k]]) missing_.push_back(rows[k]);
   }
   std::size_t p = 0;
   while (p < missing_.size()) {
@@ -199,6 +202,50 @@ void RevisedSimplex::MaterializeBinvColumns(const std::vector<int>& rows) {
   }
 }
 
+RevisedSimplex::ScanVerdict RevisedSimplex::ScanBasics() const {
+  // Artificial slots are tracked per basis header, not per scan: they are
+  // empty after any successful phase-1 eviction, and rebuilding the list
+  // on basis changes (pivots are rare next to scans on the witness-heavy
+  // paths) keeps the per-scan artificial check O(#artificial slots).
+  // Verdict precedence (artificial before infeasible) matches the
+  // historical early-breaking loops: both report kArtificial whenever any
+  // off-zero basic artificial exists.
+  if (art_slots_dirty_) {
+    art_slots_.clear();
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[i] >= first_art_) art_slots_.push_back(i);
+    }
+    art_slots_dirty_ = false;
+  }
+  for (int i : art_slots_) {
+    if (std::abs(BasicValue(i)) > 1e-7) return ScanVerdict::kArtificial;
+  }
+  // What remains is a pure min reduction over the basic values; four
+  // accumulators break the serial min dependency so the sweep runs at
+  // load bandwidth on the common stale-master (double) path.
+  double most_negative = 0.0;
+  if (x_basic_stale_) {
+    const double* x = x_reprice_;
+    double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+    int i = 0;
+    for (; i + 4 <= rows_; i += 4) {
+      m0 = std::min(m0, x[i]);
+      m1 = std::min(m1, x[i + 1]);
+      m2 = std::min(m2, x[i + 2]);
+      m3 = std::min(m3, x[i + 3]);
+    }
+    for (; i < rows_; ++i) m0 = std::min(m0, x[i]);
+    most_negative = std::min(std::min(m0, m1), std::min(m2, m3));
+  } else {
+    for (int i = 0; i < rows_; ++i) {
+      most_negative =
+          std::min(most_negative, static_cast<double>(x_basic_[i]));
+    }
+  }
+  if (most_negative < -options_.eps) return ScanVerdict::kInfeasible;
+  return ScanVerdict::kFeasible;
+}
+
 void RevisedSimplex::RepriceRhs(const std::vector<double>& rhs) {
   // Normalize the whole RHS in one kernel pass (the historical per-entry
   // NormalizedRhsEntry, all-double arithmetic, with the perturbation term
@@ -206,14 +253,6 @@ void RevisedSimplex::RepriceRhs(const std::vector<double>& rhs) {
   const double* bsrc = rhs.empty() ? problem_rhs_ : rhs.data();
   LpNormalizeRhsD(*kernels_, row_sign_.data(), bsrc, perturb_term_, norm_b_,
                   rows_);
-  // Unchanged-RHS fast exit: bitwise-equal normalized RHS means x_basic_
-  // (= B⁻¹ last_b_) is already the answer — no delta work, no widen, and
-  // no tick of the drift interval (an untouched x accumulates none). This
-  // is the steady state of a batch re-pricing the same template values.
-  if (reprice_valid_ && LpEqualD(*kernels_, norm_b_, last_b_, rows_)) {
-    rhs_unchanged_ = true;
-    return;
-  }
   rhs_unchanged_ = false;
   if (reprice_valid_ && reprices_since_full_ < kFullRepriceInterval &&
       options_.perturb == 0.0) {
@@ -224,30 +263,63 @@ void RevisedSimplex::RepriceRhs(const std::vector<double>& rhs) {
     // forces the full path; perturbed resolves are rare and cold-heavy,
     // and keeping them out of the delta path keeps it exactly the
     // unperturbed b-difference.)
-    ++reprices_since_full_;
-    moved_.clear();
-    for (int j = 0; j < rows_; ++j) {
-      if (norm_b_[j] != last_b_[j]) moved_.push_back(j);
-    }
-    if (!moved_.empty()) {
-      MaterializeBinvColumns(moved_);
-      for (int j : moved_) {
-        const double d = norm_b_[j] - last_b_[j];
-        last_b_[j] = norm_b_[j];
-        b_[j] = norm_b_[j];
-        LpAxpyD(*kernels_, d,
-                binv_pool_ + static_cast<std::size_t>(j) * rows_, x_reprice_,
-                rows_);
+    // The delta scan doubles as the unchanged-RHS fast exit: no moved
+    // coordinate means x (= B⁻¹ last_b_) is already the answer — no delta
+    // work, no tick of the drift interval (an untouched x accumulates
+    // none). This is the steady state of a batch re-pricing the same
+    // template values. Chunked bitwise pre-filter: almost every
+    // coordinate is bitwise-unchanged between re-prices, so 8-wide
+    // memcmp blocks (inlined SSE compares) skip straight past them and
+    // only mismatching blocks fall to the per-element compare. Bitwise
+    // inequality over-approximates value inequality only for ±0.0 pairs,
+    // which then contribute an exact zero delta — harmless.
+    if (static_cast<int>(moved_.size()) < rows_) moved_.resize(rows_);
+    int moved_n = 0;
+    int j = 0;
+    for (; j + 8 <= rows_; j += 8) {
+      if (std::memcmp(norm_b_ + j, last_b_ + j, 8 * sizeof(double)) == 0) {
+        continue;
+      }
+      for (int t = j; t < j + 8; ++t) {
+        moved_[moved_n] = t;
+        moved_n += norm_b_[t] != last_b_[t] ? 1 : 0;
       }
     }
-    // Widen the double master copy for the pivot-precision consumers
-    // (feasibility scan, dual simplex). Drift of the double accumulation
-    // is bounded by the periodic full re-price, same as before.
-    for (int i = 0; i < rows_; ++i) x_basic_[i] = x_reprice_[i];
+    for (; j < rows_; ++j) {
+      moved_[moved_n] = j;
+      moved_n += norm_b_[j] != last_b_[j] ? 1 : 0;
+    }
+    if (moved_n == 0) {
+      rhs_unchanged_ = true;
+      return;
+    }
+    ++reprices_since_full_;
+    MaterializeBinvColumns(moved_.data(), moved_n);
+    for (int k = 0; k < moved_n; ++k) {
+      const int j = moved_[k];
+      const double d = norm_b_[j] - last_b_[j];
+      last_b_[j] = norm_b_[j];
+      b_[j] = norm_b_[j];
+      LpAxpyD(*kernels_, d,
+              binv_pool_ + static_cast<std::size_t>(j) * rows_, x_reprice_,
+              rows_);
+    }
+    // The double master copy is now ahead of the pivot-precision x_basic_;
+    // the widen is deferred (WidenReprice) so witness-served re-prices —
+    // scan plus extraction, both reading the double master — never pay it.
+    // Drift of the double accumulation is bounded by the periodic full
+    // re-price, same as before.
+    x_basic_stale_ = true;
+  } else if (reprice_valid_ && LpEqualD(*kernels_, norm_b_, last_b_, rows_)) {
+    // Bitwise-unchanged RHS reaching here (drift interval expired, or a
+    // perturbed resolve): same fast exit as the delta scan's.
+    rhs_unchanged_ = true;
+    return;
   } else {
     for (int i = 0; i < rows_; ++i) b_[i] = norm_b_[i];
     x_basic_ = b_;
     lu_.Ftran(x_basic_);
+    x_basic_stale_ = false;
     for (int i = 0; i < rows_; ++i) {
       x_reprice_[i] = static_cast<double>(x_basic_[i]);
       last_b_[i] = norm_b_[i];
@@ -327,7 +399,16 @@ int RevisedSimplex::ChooseLeavingSlot(const std::vector<Scalar>& w) {
 
 bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
                                 const std::vector<Scalar>& w) {
-  InvalidateReprice();  // every pivot changes B (FT/eta update or refactor)
+  // Every pivot changes B, so the re-price baseline and the witness
+  // verdict are stale — but the memoized B⁻¹ columns need not be thrown
+  // away: B_new = B_old·E with E the identity except column `leave_slot`
+  // = w, so each cached column updates in place with one product-form
+  // sweep (below). Only the refactorizing paths flush the memo, which
+  // also bounds its accumulated drift by the refactorization cadence —
+  // the same bound the FT/eta updates themselves live under.
+  reprice_valid_ = false;
+  witness_scan_ok_ = false;
+  MarkBasisChanged();  // covers both the pivot and the rollback below
   const int out = basis_[leave_slot];
   in_basis_[out] = kNoCol;
   basis_[leave_slot] = enter;
@@ -353,6 +434,7 @@ bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
   }
   if (!updated || lu_.NeedsRefactorize()) {
     ++stats_.refactorizations;
+    std::fill(binv_valid_.begin(), binv_valid_.end(), 0);
     if (!lu_.Factorize(a_, basis_)) {
       // The post-pivot basis is numerically singular: the pivot element
       // cleared eps only through drift in the eta stack. Roll the header
@@ -365,7 +447,30 @@ bool RevisedSimplex::ApplyPivot(int enter, int leave_slot,
     }
     x_basic_ = b_;
     lu_.Ftran(x_basic_);
+    x_basic_stale_ = false;
     return true;
+  }
+  // Carry the B⁻¹ memo through the pivot: B_new⁻¹ = E⁻¹·B_old⁻¹, and
+  // E⁻¹y is the standard product-form sweep (t = y_r/w_r; y -= t·w;
+  // y_r = t) — O(rows) per cached column instead of a fresh unit FTRAN
+  // the next time the column's coordinate moves.
+  bool narrowed = false;
+  const double w_leave = static_cast<double>(w[leave_slot]);
+  for (int j = 0; j < rows_; ++j) {
+    if (!binv_valid_[j]) continue;
+    if (!narrowed) {
+      pivot_w_.resize(rows_);
+      for (int i = 0; i < rows_; ++i) {
+        pivot_w_[i] = static_cast<double>(w[i]);
+      }
+      narrowed = true;
+    }
+    double* col = binv_pool_ + static_cast<std::size_t>(j) * rows_;
+    const double t = col[leave_slot] / w_leave;
+    if (t != 0.0) {
+      LpAxpyD(*kernels_, -t, pivot_w_.data(), col, rows_);
+    }
+    col[leave_slot] = t;
   }
   const Scalar theta = x_basic_[leave_slot] / w[leave_slot];
   if (theta != 0.0) {
@@ -625,6 +730,7 @@ void RevisedSimplex::CommitDevexWeights() {
 }
 
 RevisedSimplex::DualOutcome RevisedSimplex::RunDualSimplex() {
+  WidenReprice();  // pivot sweeps update x_basic_ in pivot precision
   const double eps = options_.eps;
   while (true) {
     if (numerical_failure_ || iterations_ >= max_iterations_) {
@@ -757,9 +863,12 @@ void RevisedSimplex::ExtractOptimal(LpEvalPath path, LpResult& result,
     return;
   }
   result.x.assign(problem_.num_vars(), 0.0);
+  // BasicValue: reads the double re-price master directly when x_basic_
+  // is lagging it — the extracted doubles are bitwise what the widened
+  // copy would narrow back to, so no widen is forced here.
   for (int i = 0; i < rows_; ++i) {
     if (basis_[i] < problem_.num_vars()) {
-      result.x[basis_[i]] = static_cast<double>(x_basic_[i]);
+      result.x[basis_[i]] = BasicValue(i);
     }
   }
   result.objective = LpDotD(*kernels_, phase2_cost_.data(), result.x.data(),
@@ -943,21 +1052,18 @@ void RevisedSimplex::ResolveCascade(const std::vector<double>& rhs,
     return ExtractOptimal(LpEvalPath::kWitness, result, /*repeat=*/true);
   }
 
-  bool feasible = true;
-  for (int i = 0; i < rows_; ++i) {
-    if (x_basic_[i] < -options_.eps) feasible = false;
-    // A basic artificial forced away from zero means the cached basis
-    // cannot represent this RHS at all (a previously-redundant row became
-    // inconsistent); only a cold solve can decide feasibility.
-    if (basis_[i] >= first_art_ &&
-        std::abs(static_cast<double>(x_basic_[i])) > 1e-7) {
+  switch (ScanBasics()) {
+    case ScanVerdict::kArtificial:
+      // A basic artificial forced away from zero means the cached basis
+      // cannot represent this RHS at all (a previously-redundant row
+      // became inconsistent); only a cold solve can decide feasibility.
       return SolveFromScratch(rhs, result);
-    }
-  }
-  if (feasible) {
-    // Witness reuse: the basis is still optimal; zero pivots needed.
-    witness_scan_ok_ = true;
-    return ExtractOptimal(LpEvalPath::kWitness, result);
+    case ScanVerdict::kFeasible:
+      // Witness reuse: the basis is still optimal; zero pivots needed.
+      witness_scan_ok_ = true;
+      return ExtractOptimal(LpEvalPath::kWitness, result);
+    case ScanVerdict::kInfeasible:
+      break;
   }
   witness_scan_ok_ = false;
 
@@ -991,6 +1097,141 @@ LpResult RevisedSimplex::ResolveWithRhs(const std::vector<double>& rhs) {
   return result;
 }
 
+bool RevisedSimplex::AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                                        const std::vector<double>& rhs,
+                                        LpResult& result) {
+  const int k = static_cast<int>(rows.size());
+  const int new_rows = rows_ + k;
+  // Decline checks run strictly before any mutation (the contract lets
+  // the caller fall back to a cold rebuild on false).
+  if (k == 0 || !has_basis_ || numerical_failure_ || !lu_.factorized() ||
+      first_art_ != cols_ ||
+      static_cast<int>(rhs.size()) != new_rows) {
+    return false;
+  }
+  // Each appended row must normalize (same rule as NormalizeRows) to a <=
+  // row, whose slack can enter the basis directly; anything needing an
+  // artificial breaks the slacks-are-the-tail column layout.
+  std::vector<double> new_sign(k, 1.0);
+  for (int i = 0; i < k; ++i) {
+    const double b = rhs[rows_ + i];
+    LpSense s = rows[i].sense;
+    if (b < 0.0 || (s == LpSense::kGe && b == 0.0)) {
+      new_sign[i] = -1.0;
+      s = s == LpSense::kLe ? LpSense::kGe
+          : s == LpSense::kGe ? LpSense::kLe
+                              : LpSense::kEq;
+    }
+    if (s != LpSense::kLe) return false;
+  }
+
+  // Commit point: from here every path produces a result (worst case an
+  // internal cold re-solve of the grown problem).
+  kernel_base_ = g_lp_kernel_counters;
+  stats_.ResetPivots();
+  stats_.row_appends += k;
+  for (const LpConstraint& c : rows) {
+    problem_.AddConstraint(c.terms, c.sense, c.rhs);
+  }
+
+  // Scatter the sign-normalized new rows into the existing structural
+  // columns, then append one unit slack column per row at the tail of the
+  // column space (no artificials exist, so the global numbering —
+  // structural, then slacks — is preserved).
+  std::vector<std::vector<std::pair<int, double>>> row_entries(k);
+  for (int i = 0; i < k; ++i) {
+    row_entries[i].reserve(rows[i].terms.size());
+    for (const LpTerm& term : rows[i].terms) {
+      row_entries[i].emplace_back(term.var, new_sign[i] * term.coef);
+    }
+  }
+  a_.AppendRows(k, row_entries);
+  for (int i = 0; i < k; ++i) {
+    a_.AppendColumn({{rows_ + i, 1.0}});
+    row_sign_.push_back(new_sign[i]);
+    basis_.push_back(cols_ + i);
+  }
+  const int first_new_row = rows_;
+  rows_ = new_rows;
+  cols_ += k;
+  first_art_ = cols_;
+  MarkBasisChanged();
+  in_basis_.resize(cols_, kNoCol);
+  for (int i = 0; i < k; ++i) in_basis_[basis_[first_new_row + i]] =
+      first_new_row + i;
+  phase2_cost_.resize(cols_, 0.0);
+
+  // Re-layout the arena scratch for the larger row count (the B⁻¹ pool is
+  // rows_², so growth re-allocates it regardless); the re-pricing state is
+  // invalidated below, so nothing here needs preserving.
+  arena_.Reset();
+  problem_rhs_ = arena_.AllocArray<double>(rows_);
+  perturb_term_ = arena_.AllocArray<double>(rows_);
+  norm_b_ = arena_.AllocArray<double>(rows_);
+  last_b_ = arena_.AllocArray<double>(rows_);
+  x_reprice_ = arena_.AllocArray<double>(rows_);
+  binv_pool_ =
+      arena_.AllocArray<double>(static_cast<std::size_t>(rows_) * rows_);
+  binv_block_ = arena_.AllocArray<Scalar>(static_cast<std::size_t>(rows_) *
+                                          kBinvBlockLanes);
+  for (int i = 0; i < rows_; ++i) {
+    problem_rhs_[i] = problem_.constraint(i).rhs;
+    perturb_term_[i] = options_.perturb * (1 + i % 101);
+  }
+  binv_valid_.assign(rows_, 0);
+  InvalidateReprice();
+  result_cache_valid_ = false;
+  cached_duals_.clear();
+
+  b_.resize(rows_);
+  for (int i = 0; i < rows_; ++i) b_[i] = NormalizedRhs(i, rhs);
+
+  // Grow the LU factorization by the bordered slack columns; refactorize
+  // when the growth is refused (pending legacy etas, degenerate layout) or
+  // the appended fill trips the budget. The grown basis [[B,0],[C,I]] is
+  // nonsingular whenever B was, so a refactorization failure here is a
+  // genuine numerical breakdown — handled by the cold fallback below.
+  iterations_ = 0;
+  numerical_failure_ = false;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 50 * (rows_ + cols_) + 1000;
+  bool factor_ok = lu_.AppendBorderedRows(a_, basis_, first_new_row);
+  if (factor_ok && lu_.NeedsRefactorize()) factor_ok = false;
+  if (!factor_ok) {
+    ++stats_.append_refactorizations;
+    ++stats_.refactorizations;
+    if (!lu_.Factorize(a_, basis_)) {
+      SolveFromScratch(rhs, result);
+      return true;
+    }
+  }
+  x_basic_ = b_;
+  lu_.Ftran(x_basic_);
+
+  // The extended basis is dual feasible by construction — the new slacks
+  // cost 0 and the new rows' duals are 0, so every reduced cost of the
+  // previous optimum is unchanged — and the only primal infeasibilities
+  // are the appended rows the old optimum violates. Dual simplex repairs
+  // exactly those.
+  const int dual_before = stats_.dual_pivots;
+  const DualOutcome outcome = RunDualSimplex();
+  stats_.dual_repair_pivots += stats_.dual_pivots - dual_before;
+  switch (outcome) {
+    case DualOutcome::kOptimal:
+      ExtractOptimal(LpEvalPath::kWarm, result);
+      return true;
+    case DualOutcome::kInfeasible:
+    case DualOutcome::kIterationLimit:
+      // Same insurance as ResolveCascade: decide infeasibility (or repair
+      // a numerical stall) with a cold solve of the grown problem.
+      SolveFromScratch(rhs, result);
+      return true;
+  }
+  SolveFromScratch(rhs, result);  // unreachable
+  return true;
+}
+
 void RevisedSimplex::ResolveWithRhsBatch(
     std::span<const std::vector<double>> rhs_batch,
     std::vector<LpResult>& out) {
@@ -1021,6 +1262,113 @@ void RevisedSimplex::ResolveWithRhsBatch(
     numerical_failure_ = false;
     max_iterations_ = batch_max_iterations;
     ResolveCascade(rhs_batch[c], result);
+  }
+}
+
+void RevisedSimplex::ResolveWithRhsBatchRelaxed(
+    std::span<const std::vector<double>> rhs_batch,
+    std::vector<LpResult>& out) {
+  if (!has_basis_) {
+    ResolveWithRhsBatch(rhs_batch, out);
+    return;
+  }
+  out.resize(rhs_batch.size());
+  const int batch_max_iterations = options_.max_iterations > 0
+                                       ? options_.max_iterations
+                                       : 50 * (rows_ + cols_) + 1000;
+  // Pass 1: witness-only, against the pinned current basis. No pivots
+  // happen here, so the factorization — and with it the B⁻¹-column memo
+  // feeding the incremental re-price — stays valid for every column of
+  // the pass. A column the pinned basis cannot serve (primal-infeasible
+  // x, or a basic artificial forced off zero) is deferred, not pivoted:
+  // the witness verdicts of the remaining columns do not depend on it.
+  stale_cols_.clear();
+  for (std::size_t c = 0; c < rhs_batch.size(); ++c) {
+    LpResult& result = out[c];
+    kernel_base_ = g_lp_kernel_counters;
+    stats_.ResetPivots();
+    iterations_ = 0;
+    numerical_failure_ = false;
+    max_iterations_ = batch_max_iterations;
+    RepriceRhs(rhs_batch[c]);
+    if (rhs_unchanged_ && witness_scan_ok_) {
+      ExtractOptimal(LpEvalPath::kWitness, result, /*repeat=*/true);
+      continue;
+    }
+    if (ScanBasics() == ScanVerdict::kFeasible) {
+      witness_scan_ok_ = true;
+      ExtractOptimal(LpEvalPath::kWitness, result);
+      continue;
+    }
+    witness_scan_ok_ = false;
+    stale_cols_.push_back(c);
+  }
+  // Pass 2: the deferred columns, grouped by the basis that serves them.
+  // A batch's RHS columns cluster around a handful of optimal bases, so
+  // after each pivot episode (one deferred column run through the full
+  // scalar cascade) the repaired basis typically covers several of the
+  // columns still waiting — sweeping them here with the same witness test
+  // as pass 1 turns O(stale) pivot episodes into O(distinct bases).
+  // Objectives still match the scalar sequence's (same LP, same RHS); the
+  // basis a column is read off may legitimately differ.
+  std::size_t head = 0;
+  while (head < stale_cols_.size()) {
+    const std::size_t c = stale_cols_[head++];
+    LpResult& result = out[c];
+    kernel_base_ = g_lp_kernel_counters;
+    stats_.ResetPivots();
+    if (!has_basis_) {
+      SolveFromScratch(rhs_batch[c], result);
+      continue;
+    }
+    iterations_ = 0;
+    numerical_failure_ = false;
+    max_iterations_ = batch_max_iterations;
+    ResolveCascade(rhs_batch[c], result);
+    if (!has_basis_) continue;
+    if (result.status == LpStatus::kOptimal && !reprice_valid_ &&
+        options_.perturb == 0.0) {
+      // The episode pivoted (a still-valid baseline skips this): re-seed
+      // the incremental re-price baseline from the cascade's own basics —
+      // x_basic_ is B⁻¹b_ for the repaired basis, maintained through the
+      // pivot sweeps — so the witness sweep below prices the remaining
+      // deferred columns incrementally instead of opening with a full
+      // FTRAN. Drift inherited from the sweeps is bounded the same way
+      // theirs is (refactorization cadence), and kFullRepriceInterval
+      // still forces periodic fresh FTRANs.
+      for (int i = 0; i < rows_; ++i) {
+        x_reprice_[i] = static_cast<double>(x_basic_[i]);
+        last_b_[i] = static_cast<double>(b_[i]);
+      }
+      x_basic_stale_ = false;
+      reprice_valid_ = true;
+      reprices_since_full_ = 0;
+    }
+    // Serve every remaining deferred column the repaired basis already
+    // covers; the rest compact in place and wait for the next episode.
+    std::size_t keep = head;
+    for (std::size_t r = head; r < stale_cols_.size(); ++r) {
+      const std::size_t d = stale_cols_[r];
+      LpResult& res = out[d];
+      kernel_base_ = g_lp_kernel_counters;
+      stats_.ResetPivots();
+      iterations_ = 0;
+      numerical_failure_ = false;
+      max_iterations_ = batch_max_iterations;
+      RepriceRhs(rhs_batch[d]);
+      if (rhs_unchanged_ && witness_scan_ok_) {
+        ExtractOptimal(LpEvalPath::kWitness, res, /*repeat=*/true);
+        continue;
+      }
+      if (ScanBasics() == ScanVerdict::kFeasible) {
+        witness_scan_ok_ = true;
+        ExtractOptimal(LpEvalPath::kWitness, res);
+        continue;
+      }
+      witness_scan_ok_ = false;
+      stale_cols_[keep++] = d;
+    }
+    stale_cols_.resize(keep);
   }
 }
 

@@ -86,6 +86,27 @@ class RevisedSimplex : public LpBackendImpl {
   void ResolveWithRhsBatch(std::span<const std::vector<double>> rhs_batch,
                            std::vector<LpResult>& out) override;
   using LpBackendImpl::ResolveWithRhsBatch;  // value-returning forwarder
+  // Order-relaxed block resolve (see lp/lp_backend.h): a witness-only
+  // first pass against the pinned current basis — no pivots, so the
+  // B⁻¹-column memo and the incremental re-price baseline survive the
+  // whole pass — then the deferred stale columns run the scalar cascade
+  // in their original order. Value-equivalent, not bitwise-equal, to the
+  // strict batch; the cutting-plane batch path rides this.
+  void ResolveWithRhsBatchRelaxed(
+      std::span<const std::vector<double>> rhs_batch,
+      std::vector<LpResult>& out) override;
+  // Warm cut append (see lp/lp_backend.h for the contract): the new rows
+  // join the sparse matrix via SparseMatrix::AppendRows, their slacks
+  // enter the basis, and the LU factorization grows by bordered slack
+  // columns (LuBasis::AppendBorderedRows) — refactorizing only when the
+  // bordered growth is refused or the fill budget trips. Dual simplex then
+  // repairs the rows the previous optimum violates. Declines (pre-
+  // mutation, state untouched) when there is no cached optimal basis, an
+  // artificial column exists, or a new row does not normalize to a
+  // slack-feasible <= row.
+  bool AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                          const std::vector<double>& rhs,
+                          LpResult& result) override;
   bool has_optimal_basis() const override { return has_basis_; }
   const std::vector<int>& basis() const override { return basis_; }
 
@@ -117,11 +138,39 @@ class RevisedSimplex : public LpBackendImpl {
   // k-statistic what-if probe costs O(rows × k) instead of a full FTRAN.
   // Every kFullRepriceInterval calls a fresh FTRAN bounds drift.
   void RepriceRhs(const std::vector<double>& rhs);
-  // Ensures binv_pool_ holds B⁻¹ e_j for every j in `rows` (missing
-  // columns are materialized kBinvBlockLanes at a time with FtranBlock).
-  void MaterializeBinvColumns(const std::vector<int>& rows);
+  // Ensures binv_pool_ holds B⁻¹ e_j for the first `n` entries of `rows`
+  // (missing columns are materialized kBinvBlockLanes at a time with
+  // FtranBlock).
+  void MaterializeBinvColumns(const int* rows, int n);
   // Called whenever the basis or its factorization changes.
   void InvalidateReprice();
+  // After an incremental re-price, x_reprice_ is the master copy and
+  // x_basic_ lags it (x_basic_stale_): the witness scan and extraction
+  // read the double master directly, so only paths that actually pivot
+  // pay the long-double widen. Call before any pivot-precision use of
+  // x_basic_.
+  void WidenReprice() {
+    if (!x_basic_stale_) return;
+    for (int i = 0; i < rows_; ++i) x_basic_[i] = x_reprice_[i];
+    x_basic_stale_ = false;
+  }
+  // Basic value of slot i for feasibility scans and extraction. Exact
+  // whichever copy is current: the widen is a double→long-double
+  // promotion, so reading the un-widened master is bitwise the same
+  // value the promoted copy would narrow back to.
+  double BasicValue(int i) const {
+    return x_basic_stale_ ? x_reprice_[i] : static_cast<double>(x_basic_[i]);
+  }
+  // The witness feasibility scan over the basic values, hoisted out of
+  // the cascade and block-resolve loops: kFeasible when the cached basis
+  // serves this RHS as-is, kInfeasible when dual simplex must repair
+  // negative basics, kArtificial when a basic artificial sits off zero
+  // (the basis cannot represent the RHS; only a cold solve decides).
+  enum class ScanVerdict { kFeasible, kInfeasible, kArtificial };
+  ScanVerdict ScanBasics() const;
+  // Any mutation of basis_ marks the artificial-slot list stale; the next
+  // ScanBasics rebuilds it (see art_slots_).
+  void MarkBasisChanged() { art_slots_dirty_ = true; }
   // The cold-solve driver (anti-degeneracy attempt + unperturbed rerun)
   // behind the public Solve(); shared with the cascade's cold fallback so
   // a fallback accumulates into the call's stats_ instead of resetting it.
@@ -236,8 +285,18 @@ class RevisedSimplex : public LpBackendImpl {
   // fast path changes no result bit.
   bool rhs_unchanged_ = false;
   bool witness_scan_ok_ = false;
+  // True while x_reprice_ is ahead of x_basic_ (see WidenReprice).
+  bool x_basic_stale_ = false;
   std::vector<int> moved_;    // rows whose normalized RHS changed
   std::vector<int> missing_;  // moved rows without a memoized B⁻¹ column
+  std::vector<double> pivot_w_;  // narrowed pivot column for the memo update
+  // Slots whose basic column is an artificial, rebuilt lazily per basis
+  // header (see ScanBasics / MarkBasisChanged). Mutable: the scan is a
+  // logically-const query and the list is a cache of basis_.
+  mutable std::vector<int> art_slots_;
+  mutable bool art_slots_dirty_ = true;
+  // Columns deferred to the pivoting pass of the relaxed block resolve.
+  std::vector<std::size_t> stale_cols_;
 
   int iterations_ = 0;
   int max_iterations_ = 0;

@@ -84,6 +84,24 @@ enum class SimdMode { kDefault, kAuto, kScalar };
 // "auto" / "scalar"; kDefault renders as "default".
 const char* SimdModeName(SimdMode mode);
 
+// Whether the cutting-plane engines carry the previous round's optimal
+// basis across cut-growth rounds (AddConstraintsWarm + dual-simplex repair,
+// see lp/lp_backend.h) instead of rebuilding the tableau and re-solving
+// cold from the identity basis.
+//   kDefault — consult LPB_LP_CUT_WARM ("0"/"off" disables); on when unset.
+//              Like the other kDefault knobs, this is the only value that
+//              honors the env var, so tests pinning a mode stay pinned.
+//   kOn      — append cut rows warm; fall back to a cold rebuild only when
+//              the backend declines the append (see AddConstraintsWarm).
+//   kOff     — always rebuild + cold-solve per round (the pre-PR-7 path).
+// Warm and cold converge to the same bound (the cut oracle separates on
+// the optimal vertex either way); the knob exists as a correctness
+// fallback and for the warm-vs-cold differential tests.
+enum class CutWarmStart { kDefault, kOn, kOff };
+
+// "on" / "off"; kDefault renders as "default".
+const char* CutWarmStartName(CutWarmStart mode);
+
 // Kernel identifiers for the per-kernel call/cycle table carried by
 // LpSolveStats (filled from the thread-local counters of lp/kernels.h).
 enum LpKernelId {
@@ -116,6 +134,13 @@ struct LpSolveStats {
   int eta_updates = 0;        // product-form eta updates taken
   int rejected_updates = 0;   // updates refused (unstable), forcing refactor
   int devex_resets = 0;       // Devex reference-framework resets
+  // Warm cut-round accounting (see AddConstraintsWarm in lp/lp_backend.h).
+  int warm_cut_rounds = 0;          // cut rounds served by a warm row append
+  int dual_repair_pivots = 0;       // dual pivots spent repairing appended
+                                    // rows (a subset of dual_pivots)
+  int row_appends = 0;              // rows installed via AddConstraintsWarm
+  int append_refactorizations = 0;  // full refactorizations forced by an
+                                    // append (fill budget / validation)
 
   // Per-kernel invocation counts and (when LPB_LP_KERNEL_CYCLES=1 or
   // SetLpKernelCycleTiming(true)) rdtsc cycles for this call, indexed by
@@ -140,6 +165,10 @@ struct LpSolveStats {
     eta_updates = 0;
     rejected_updates = 0;
     devex_resets = 0;
+    warm_cut_rounds = 0;
+    dual_repair_pivots = 0;
+    row_appends = 0;
+    append_refactorizations = 0;
   }
   void Add(const LpSolveStats& o) {
     phase1_pivots += o.phase1_pivots;
@@ -150,6 +179,10 @@ struct LpSolveStats {
     eta_updates += o.eta_updates;
     rejected_updates += o.rejected_updates;
     devex_resets += o.devex_resets;
+    warm_cut_rounds += o.warm_cut_rounds;
+    dual_repair_pivots += o.dual_repair_pivots;
+    row_appends += o.row_appends;
+    append_refactorizations += o.append_refactorizations;
     for (int k = 0; k < kNumLpKernels; ++k) {
       kernel_calls[k] += o.kernel_calls[k];
       kernel_cycles[k] += o.kernel_cycles[k];
@@ -212,6 +245,9 @@ struct SimplexOptions {
   // reads LPB_LP_SIMD and falls back to kAuto; results are bit-identical
   // under every mode, so this is a pure performance/debugging knob.
   SimdMode simd = SimdMode::kDefault;
+  // Warm-started cut rounds in the cutting-plane engines (see the enum
+  // above). kDefault reads LPB_LP_CUT_WARM and falls back to on.
+  CutWarmStart cut_warm_start = CutWarmStart::kDefault;
 };
 
 // Solves the LP. The problem is copied into an internal tableau; `problem`

@@ -23,4 +23,48 @@ int SparseMatrix::AppendColumn(std::vector<SparseEntry> entries) {
   return cols() - 1;
 }
 
+void SparseMatrix::AppendRows(
+    int new_rows,
+    const std::vector<std::vector<std::pair<int, double>>>& row_entries) {
+  // Bucket the incoming entries by column: per_col[j] holds the (row,
+  // value) additions to column j, rows already absolute. Each new row's
+  // entries land in increasing row order per column automatically (k is
+  // monotone), so the per-column merge below stays sorted without a sort.
+  const int cols = this->cols();
+  std::vector<std::vector<SparseEntry>> per_col(cols);
+  for (size_t k = 0; k < row_entries.size(); ++k) {
+    const int row = rows_ + static_cast<int>(k);
+    for (const auto& [col, value] : row_entries[k]) {
+      if (value == 0.0 || col < 0 || col >= cols) continue;
+      if (!per_col[col].empty() && per_col[col].back().row == row) {
+        per_col[col].back().value += value;
+        if (per_col[col].back().value == 0.0) per_col[col].pop_back();
+      } else {
+        per_col[col].push_back({row, value});
+      }
+    }
+  }
+  rows_ += new_rows;
+
+  size_t added = 0;
+  for (const std::vector<SparseEntry>& extra : per_col) added += extra.size();
+  if (added == 0) return;
+
+  // One linear rebuild of the flat entry vector: columns keep their order,
+  // every column's new entries (rows >= old rows_) append after its
+  // existing ones, and col_start_ is re-based as we go.
+  std::vector<SparseEntry> merged;
+  merged.reserve(entries_.size() + added);
+  std::vector<int> new_start(col_start_.size());
+  new_start[0] = 0;
+  for (int j = 0; j < cols; ++j) {
+    merged.insert(merged.end(), entries_.begin() + col_start_[j],
+                  entries_.begin() + col_start_[j + 1]);
+    merged.insert(merged.end(), per_col[j].begin(), per_col[j].end());
+    new_start[j + 1] = static_cast<int>(merged.size());
+  }
+  entries_ = std::move(merged);
+  col_start_ = std::move(new_start);
+}
+
 }  // namespace lpb

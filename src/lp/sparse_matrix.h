@@ -15,6 +15,7 @@
 #define LPB_LP_SPARSE_MATRIX_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace lpb {
@@ -37,6 +38,18 @@ class SparseMatrix {
   // Appends a column and returns its index. Entries are sorted by row,
   // duplicate rows are summed, and exact zeros are dropped.
   int AppendColumn(std::vector<SparseEntry> entries);
+
+  // Grows the matrix by `new_rows` rows, scattering `row_entries[k]` — the
+  // (column, value) nonzeros of appended row rows() + k over the *existing*
+  // columns — into the CSC arrays (one O(nnz) rebuild of the flat entry
+  // vector, not per-entry insertion). Values for a repeated column are
+  // summed and exact zeros dropped, matching AppendColumn. New columns for
+  // the appended rows' slacks are added afterwards by the caller via
+  // AppendColumn. This is the warm cut-append path of lp/revised_simplex.h;
+  // the matrix is otherwise append-only (see the header comment).
+  void AppendRows(
+      int new_rows,
+      const std::vector<std::vector<std::pair<int, double>>>& row_entries);
 
   // [begin, end) of column j's entries.
   const SparseEntry* ColBegin(int j) const {

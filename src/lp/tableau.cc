@@ -37,4 +37,20 @@ void SimplexTableau::ResolveWithRhsBatch(
   for (LpResult& result : out) result.backend = kind_;
 }
 
+void SimplexTableau::ResolveWithRhsBatchRelaxed(
+    std::span<const std::vector<double>> rhs_batch,
+    std::vector<LpResult>& out) {
+  impl_->ResolveWithRhsBatchRelaxed(rhs_batch, out);
+  for (LpResult& result : out) result.backend = kind_;
+}
+
+bool SimplexTableau::AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                                        const std::vector<double>& rhs,
+                                        LpResult& result) {
+  if (!impl_->AddConstraintsWarm(rows, rhs, result)) return false;
+  num_constraints_ += static_cast<int>(rows.size());
+  result.backend = kind_;
+  return true;
+}
+
 }  // namespace lpb

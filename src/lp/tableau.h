@@ -78,6 +78,30 @@ class SimplexTableau {
   void ResolveWithRhsBatch(std::span<const std::vector<double>> rhs_batch,
                            std::vector<LpResult>& out);
 
+  // Order-relaxed block resolve: same objective values and statuses as
+  // ResolveWithRhsBatch, but witness-valid columns are served first
+  // against one pinned basis (keeping the B⁻¹-column memo and the
+  // incremental re-price baseline valid for the whole pass) and stale
+  // columns pivot afterwards — so a handful of pivoting columns no longer
+  // forces every later column back to full FTRAN re-prices. Not bitwise
+  // identical to the scalar sequence; used by the cutting-plane batch
+  // path, whose parity contract is tolerance, not bits (bound_engine.h).
+  void ResolveWithRhsBatchRelaxed(
+      std::span<const std::vector<double>> rhs_batch,
+      std::vector<LpResult>& out);
+
+  // Incremental row append on top of the cached optimal basis (the
+  // cutting-plane growth path): installs `rows` with their slacks basic —
+  // the previous optimum keeps its duals, so the extended basis is dual
+  // feasible by construction — and runs dual simplex to repair only the
+  // rows the old optimum violates. `rhs` is the full new RHS including the
+  // appended rows. Returns false when the backend declines (no cached
+  // basis, a row that does not normalize to <=, or an existing artificial
+  // column); on decline the tableau is unchanged and the caller must
+  // recompile + solve cold. See LpBackendImpl::AddConstraintsWarm.
+  bool AddConstraintsWarm(const std::vector<LpConstraint>& rows,
+                          const std::vector<double>& rhs, LpResult& result);
+
   // True after a solve that ended kOptimal: ResolveWithRhs can warm-start.
   bool has_optimal_basis() const { return impl_->has_optimal_basis(); }
   // Basic column index per row of the cached basis (internal column ids:

@@ -6,7 +6,10 @@
 // it would across scalar calls. These tests hold every layer to it
 // *bitwise* — two identically compiled bounds, one driven scalar and one
 // batched, must produce equal doubles, equal eval paths, and equal
-// counters on every engine and both LP backends.
+// counters on every engine and both LP backends. The one deliberate
+// exception is the Γn cutting-plane mode, whose batch shares a cut pool
+// and so promises tolerance parity on the converged bounds instead (see
+// CuttingPlaneModeSharesCutPoolWithScalarParity).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -274,32 +277,49 @@ TEST(EvaluateBatch, SimdModesProduceBitwiseIdenticalEstimates) {
   }
 }
 
-TEST(EvaluateBatch, CuttingPlaneModeFallsBackToScalarSequence) {
-  // Force Γn into cutting-plane mode, where batching must degrade to the
-  // sequential path (cut growth rebuilds the tableau mid-batch).
-  EngineOptions options;
-  options.full_lattice_max_n = 3;
-  const int n = 5;
-  std::vector<ConcreteStatistic> stats;
-  for (int i = 0; i + 1 < n; ++i) {
-    const VarSet u = VarBit(i), v = VarBit(i + 1);
-    stats.push_back(Stat(0, u | v, 1.0, 10.0));
-    stats.push_back(Stat(u, v, 2.0, 6.0));
-    stats.push_back(Stat(v, u, 2.0, 6.0));
-  }
-  const BoundStructure structure = StructureOf(n, stats);
-  auto scalar_bound = FindBoundEngine("gamma")->Compile(structure, options);
-  auto batch_bound = FindBoundEngine("gamma")->Compile(structure, options);
-  const auto batch = JitteredBatch(stats, 99);
-  std::vector<BoundResult> scalar_results;
-  for (const std::vector<double>& values : batch) {
-    scalar_results.push_back(scalar_bound->Evaluate(values, false));
-  }
-  const auto batch_results = batch_bound->EvaluateBatch(batch, false);
-  ASSERT_EQ(batch_results.size(), scalar_results.size());
-  for (size_t c = 0; c < batch.size(); ++c) {
-    ExpectBitwiseEqual(batch_results[c], scalar_results[c],
-                       "cutting-plane column " + std::to_string(c));
+TEST(EvaluateBatch, CuttingPlaneModeSharesCutPoolWithScalarParity) {
+  // Force Γn into cutting-plane mode, where a batch shares one cut pool:
+  // converged columns ride the multi-RHS block resolve and only columns
+  // that still separate new cuts pay scalar top-up rounds. Both drivers
+  // converge the same finite cut family per column, so bounds agree to
+  // floating-point tolerance — not bitwise: the pooled path may reach a
+  // different (equal-value) optimal vertex and a different pivot count.
+  for (LpBackendKind backend :
+       {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+    EngineOptions options;
+    options.full_lattice_max_n = 3;
+    options.simplex.backend = backend;
+    const int n = 5;
+    std::vector<ConcreteStatistic> stats;
+    for (int i = 0; i + 1 < n; ++i) {
+      const VarSet u = VarBit(i), v = VarBit(i + 1);
+      stats.push_back(Stat(0, u | v, 1.0, 10.0));
+      stats.push_back(Stat(u, v, 2.0, 6.0));
+      stats.push_back(Stat(v, u, 2.0, 6.0));
+    }
+    const BoundStructure structure = StructureOf(n, stats);
+    auto scalar_bound = FindBoundEngine("gamma")->Compile(structure, options);
+    auto batch_bound = FindBoundEngine("gamma")->Compile(structure, options);
+    const auto batch = JitteredBatch(stats, 99);
+    std::vector<BoundResult> scalar_results;
+    for (const std::vector<double>& values : batch) {
+      scalar_results.push_back(scalar_bound->Evaluate(values, false));
+    }
+    const auto batch_results = batch_bound->EvaluateBatch(batch, false);
+    ASSERT_EQ(batch_results.size(), scalar_results.size());
+    for (size_t c = 0; c < batch.size(); ++c) {
+      const std::string context = std::string(LpBackendName(backend)) +
+                                  " cutting-plane column " +
+                                  std::to_string(c);
+      EXPECT_EQ(batch_results[c].status, scalar_results[c].status) << context;
+      if (batch_results[c].ok() && scalar_results[c].ok()) {
+        EXPECT_NEAR(batch_results[c].log2_bound,
+                    scalar_results[c].log2_bound, 1e-6)
+            << context;
+      }
+    }
+    EXPECT_EQ(batch_bound->counters().evaluations,
+              scalar_bound->counters().evaluations);
   }
 }
 

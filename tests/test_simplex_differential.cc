@@ -399,6 +399,66 @@ TEST(SimplexDifferential, GammaCuttingPlaneMatchesDenseFullLattice) {
   }
 }
 
+// Warm-vs-cold cutting-plane differential: the same compile driven with
+// incremental row appends (SimplexOptions::cut_warm_start on, the
+// default) and with the pre-append behavior (every growth round rebuilds
+// the tableau and re-solves two-phase) must converge to the same bound.
+// The *cut families* may differ: each round's LP is degenerate, warm dual
+// repair and a cold two-phase solve can land on different equal-value
+// optimal vertices, and different vertices separate different cuts — the
+// smoke runs show the warm driver converging in fewer rounds. What both
+// drivers guarantee is termination at an optimum no un-pooled Shannon cut
+// separates, so the converged bound is the full-family optimum either
+// way; that value is what the differential pins, along with the warm
+// driver actually exercising the append path (row_appends > 0) and the
+// cold driver never doing so.
+TEST(SimplexDifferential, WarmCutAppendsMatchColdCutGrowth) {
+  const uint64_t base_seed = HarnessSeed();
+  for (uint64_t salt : {0x11ull, 0x22ull, 0x33ull}) {
+    Rng rng(base_seed ^ salt);
+    const int n = 6;
+    const std::vector<ConcreteStatistic> stats = RandomSimpleStats(rng, n, 8);
+    for (LpBackendKind kind :
+         {LpBackendKind::kDense, LpBackendKind::kRevised}) {
+      EngineOptions cut;
+      cut.full_lattice_max_n = 3;  // force cutting-plane mode
+      cut.simplex.backend = kind;
+
+      cut.simplex.cut_warm_start = CutWarmStart::kOn;
+      auto warm_bound =
+          FindBoundEngine("gamma")->Compile(StructureOf(n, stats), cut);
+      cut.simplex.cut_warm_start = CutWarmStart::kOff;
+      auto cold_bound =
+          FindBoundEngine("gamma")->Compile(StructureOf(n, stats), cut);
+
+      const std::string context = "seed " + std::to_string(base_seed ^ salt) +
+                                  " backend " + LpBackendName(kind);
+      // Two evaluations per driver: the compile-time values (cold growth
+      // from the seed cuts) and a scaled redraw (typically more growth).
+      std::vector<double> values = ValuesOf(stats);
+      for (int round = 0; round < 2; ++round) {
+        const BoundResult warm = warm_bound->Evaluate(values, false);
+        const BoundResult cold = cold_bound->Evaluate(values, false);
+        ASSERT_EQ(warm.status, cold.status) << context;
+        if (cold.ok()) {
+          EXPECT_NEAR(warm.log2_bound, cold.log2_bound,
+                      1e-6 * std::max(1.0, std::abs(cold.log2_bound)))
+              << context;
+        }
+        // The cold driver must never touch the append path; the warm
+        // driver must have used it whenever it grew the pool.
+        EXPECT_EQ(cold.lp_stats.row_appends, 0) << context;
+        EXPECT_EQ(cold.lp_stats.warm_cut_rounds, 0) << context;
+        if (round == 0 && warm.cut_rounds > 0) {
+          EXPECT_GT(warm.lp_stats.warm_cut_rounds, 0) << context;
+          EXPECT_GT(warm.lp_stats.row_appends, 0) << context;
+        }
+        for (double& v : values) v *= 1.4;
+      }
+    }
+  }
+}
+
 // Forrest–Tomlin long-chain differential: with the update budget raised,
 // one solve carries 100+ FT updates between refactorizations, and the
 // factorization must stay accurate across the whole chain — both pricing
