@@ -37,6 +37,15 @@
 // scalar evaluate sequence, steady state) rounds out the table; the
 // revised lane's batch/scalar ratio is gated at >= 2x.
 //
+// An optimizer regime closes the loop on the motivating application
+// (src/optimizer/): full DPsize join ordering per JOB template, reported
+// as plans/s with the enumeration counters (probes, one advisor batch
+// per DP level) that the CI gate pins exactly — they are deterministic,
+// connectivity-driven counts. An untimed plan-quality section executes
+// the bound-driven, traditional-model, and greedy plans on the <= 8-atom
+// templates and sums the actual peak materialized intermediates; the gate
+// requires the bound-driven sum to be no worse than either rival.
+//
 // Set LPB_BENCH_JSON=<path> to also dump the table as JSON — CI uploads
 // it as an artifact and bench/compare_throughput.py gates regressions
 // against bench/baseline_throughput.json: warm or batch cold-normalized
@@ -50,6 +59,7 @@
 // informational (machine-dependent) unless --strict-absolute.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -64,8 +74,10 @@
 #include "datagen/gamma_stats.h"
 #include "datagen/job_gen.h"
 #include "estimator/advisor.h"
+#include "exec/hash_join.h"
 #include "lp/kernels.h"
 #include "lp/lp_backend.h"
+#include "optimizer/join_order.h"
 #include "relation/degree_sequence.h"
 #include "util/random.h"
 
@@ -458,6 +470,165 @@ CutBatchRun MeasureCutBatch(LpBackendKind backend) {
   return run;
 }
 
+// ---------------------------------------------------------------------------
+// Optimizer regime (src/optimizer/): full DPsize join-order optimization
+// over every JOB template, plans/s. The enumeration counters are exactly
+// deterministic (connectivity-driven, independent of estimate values), so
+// compare_throughput.py gates probe and batch counts with zero tolerance:
+// a probe-count explosion means the one-batch-per-DP-level discipline
+// broke. The bound lanes run once per LP backend; the advisor-side batch
+// counters double-check the discipline from the advisor's side
+// (advisor_batch_calls must equal the optimizer's own batch_calls).
+
+struct OptimizerRun {
+  const char* model;    // "bound" or "traditional"
+  const char* backend;  // LP backend for the bound lanes, "-" otherwise
+  double plans_per_s = 0.0;
+  int repeats = 0;
+  size_t queries = 0;
+  // One workload sweep's enumeration counters (deterministic per build).
+  uint64_t probes = 0;
+  uint64_t batch_calls = 0;
+  uint64_t dp_levels = 0;
+  uint64_t memo_entries = 0;
+  std::vector<uint64_t> probes_per_level;  // summed over the workload
+  // AdvisorMetrics deltas across the whole timed run (bound lanes only).
+  uint64_t advisor_batch_calls = 0;
+  uint64_t advisor_batch_probes = 0;
+  uint64_t witness = 0, warm = 0, cold = 0;
+};
+
+OptimizerRun MeasureOptimizer(bool bound_model, LpBackendKind backend,
+                              const char* model_label, int repeats) {
+  JobWorkload& wl = Workload();
+  AdvisorOptions aopt;
+  aopt.engine.simplex.backend = backend;
+  CardinalityAdvisor advisor(wl.catalog, aopt);
+  AdvisorCardinalityModel advisor_model(advisor);
+  TraditionalCardinalityModel trad_model(wl.catalog);
+  CardinalityModel& model =
+      bound_model ? static_cast<CardinalityModel&>(advisor_model)
+                  : static_cast<CardinalityModel&>(trad_model);
+  // Left-deep bottleneck DP: the mode whose plans execute verbatim through
+  // CountByHashJoin, and the one the plan-quality section scores.
+  JoinOrderOptions jopt;
+  jopt.left_deep = true;
+  jopt.objective = CostObjective::kPeakIntermediate;
+
+  OptimizerRun run;
+  run.model = model_label;
+  run.backend = bound_model ? LpBackendName(backend) : "-";
+  run.queries = wl.queries.size();
+
+  // One untimed sweep: warms the advisor's compiled-bound caches (the
+  // deployment scenario — templates repeat) and collects the
+  // deterministic enumeration counters.
+  for (const Query& q : wl.queries) {
+    JoinOrderOptimizer dp(q, model, jopt);
+    dp.Optimize();
+    const OptimizerStats& s = dp.stats();
+    run.probes += s.probes;
+    run.batch_calls += s.batch_calls;
+    run.dp_levels += static_cast<uint64_t>(s.dp_levels);
+    run.memo_entries += s.memo_entries;
+    if (run.probes_per_level.size() < s.probes_per_level.size()) {
+      run.probes_per_level.resize(s.probes_per_level.size(), 0);
+    }
+    for (size_t k = 0; k < s.probes_per_level.size(); ++k) {
+      run.probes_per_level[k] += s.probes_per_level[k];
+    }
+  }
+
+  const AdvisorMetrics before = advisor.metrics();
+  int sweeps = 0;
+  double secs = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  do {
+    for (const Query& q : wl.queries) {
+      JoinOrderOptimizer dp(q, model, jopt);
+      benchmark::DoNotOptimize(dp.Optimize().cost());
+    }
+    ++sweeps;
+    secs = Seconds(t0);
+  } while (sweeps < repeats || secs < kMinMeasureSeconds);
+  const AdvisorMetrics after = advisor.metrics();
+  run.repeats = sweeps;
+  run.plans_per_s =
+      static_cast<double>(sweeps) * static_cast<double>(run.queries) / secs;
+  run.advisor_batch_calls = after.batch_calls - before.batch_calls;
+  run.advisor_batch_probes = after.batch_probes - before.batch_probes;
+  run.witness = after.witness_hits - before.witness_hits;
+  run.warm = after.warm_resolves - before.warm_resolves;
+  run.cold = after.cold_solves - before.cold_solves;
+  return run;
+}
+
+// Untimed plan-quality comparison: optimize every scoring-set query (the
+// JOB templates small enough to execute at bench scale) under the bound
+// model, the traditional model, and the greedy baseline, execute all
+// three plans through CountByHashJoin, and sum the *actual* peak
+// materialized intermediates. The synthetic workload is fixed-seed, so
+// the sums are deterministic and compare_throughput.py gates
+// bound <= traditional and bound <= greedy exactly.
+
+struct PlanQuality {
+  int queries = 0;
+  uint64_t bound_peak_sum = 0;
+  uint64_t traditional_peak_sum = 0;
+  uint64_t greedy_peak_sum = 0;
+  int bound_worse_than_traditional = 0;  // per-query count, informational
+  int bound_worse_than_greedy = 0;
+};
+
+uint64_t PeakIntermediate(const HashJoinStats& s) {
+  uint64_t peak = 0;
+  for (uint64_t v : s.intermediate_sizes) peak = std::max(peak, v);
+  return peak;
+}
+
+PlanQuality MeasurePlanQuality() {
+  JobWorkload& wl = Workload();
+  CardinalityAdvisor advisor(wl.catalog);
+  AdvisorCardinalityModel bound_model(advisor);
+  TraditionalCardinalityModel trad_model(wl.catalog);
+  JoinOrderOptions jopt;
+  jopt.left_deep = true;
+  jopt.objective = CostObjective::kPeakIntermediate;
+
+  PlanQuality quality;
+  for (const Query& q : wl.queries) {
+    if (q.num_atoms() > 8) continue;  // keep the executed joins affordable
+    JoinOrderOptimizer bound_dp(q, bound_model, jopt);
+    JoinOrderOptimizer trad_dp(q, trad_model, jopt);
+    const std::vector<int> bound_order = bound_dp.Optimize().AtomOrder();
+    const std::vector<int> trad_order = trad_dp.Optimize().AtomOrder();
+    const std::vector<int> greedy_order = GreedyJoinOrder(q, bound_model);
+    const HashJoinStats bound_run =
+        CountByHashJoin(q, wl.catalog, bound_order);
+    const HashJoinStats trad_run = CountByHashJoin(q, wl.catalog, trad_order);
+    const HashJoinStats greedy_run =
+        CountByHashJoin(q, wl.catalog, greedy_order);
+    if (!bound_run.ok || !trad_run.ok || !greedy_run.ok) {
+      std::printf("PLAN EXEC FAILED on %s: %s\n", q.name().c_str(),
+                  (!bound_run.ok  ? bound_run.error
+                   : !trad_run.ok ? trad_run.error
+                                  : greedy_run.error)
+                      .c_str());
+      continue;
+    }
+    const uint64_t bound_peak = PeakIntermediate(bound_run);
+    const uint64_t trad_peak = PeakIntermediate(trad_run);
+    const uint64_t greedy_peak = PeakIntermediate(greedy_run);
+    ++quality.queries;
+    quality.bound_peak_sum += bound_peak;
+    quality.traditional_peak_sum += trad_peak;
+    quality.greedy_peak_sum += greedy_peak;
+    if (bound_peak > trad_peak) ++quality.bound_worse_than_traditional;
+    if (bound_peak > greedy_peak) ++quality.bound_worse_than_greedy;
+  }
+  return quality;
+}
+
 void PrintCounters(const RegimeRun& run) {
   std::printf(
       "%-28s %14.0f est/s   (%.1fx)   witness=%llu warm=%llu cold=%llu "
@@ -603,6 +774,19 @@ void PrintTable() {
       MeasureCutBatch(LpBackendKind::kDense),
       MeasureCutBatch(LpBackendKind::kRevised),
   };
+  // Optimizer regime: full DPsize join ordering per template. The bound
+  // lanes run once per LP backend; the traditional lane is the
+  // no-LP-at-all comparison point.
+  const int optimizer_repeats = std::max(1, kRepeats / 10);
+  std::vector<OptimizerRun> optimizer_runs = {
+      MeasureOptimizer(true, LpBackendKind::kDense, "bound",
+                       optimizer_repeats),
+      MeasureOptimizer(true, LpBackendKind::kRevised, "bound",
+                       optimizer_repeats),
+      MeasureOptimizer(false, LpBackendKind::kDense, "traditional",
+                       optimizer_repeats),
+  };
+  const PlanQuality plan_quality = MeasurePlanQuality();
 
   std::printf("== Estimator throughput, %zu JOB templates x %d repeats ==\n",
               m, kRepeats);
@@ -660,6 +844,38 @@ void PrintTable() {
         run.backend, run.scalar_per_s, run.batch_size, run.batch_per_s,
         run.batch_per_s / run.scalar_per_s);
   }
+  std::printf("\n== Join-order optimizer, DPsize over %zu JOB templates ==\n",
+              m);
+  for (const OptimizerRun& run : optimizer_runs) {
+    std::printf(
+        "%-12s %-8s %10.1f plans/s   probes=%llu batches=%llu levels=%llu "
+        "memo=%llu\n",
+        run.model, run.backend, run.plans_per_s,
+        static_cast<unsigned long long>(run.probes),
+        static_cast<unsigned long long>(run.batch_calls),
+        static_cast<unsigned long long>(run.dp_levels),
+        static_cast<unsigned long long>(run.memo_entries));
+    if (run.advisor_batch_calls > 0) {
+      std::printf(
+          "%-12s %-8s advisor: batches=%llu probes=%llu witness=%llu "
+          "warm=%llu cold=%llu\n",
+          "", "", static_cast<unsigned long long>(run.advisor_batch_calls),
+          static_cast<unsigned long long>(run.advisor_batch_probes),
+          static_cast<unsigned long long>(run.witness),
+          static_cast<unsigned long long>(run.warm),
+          static_cast<unsigned long long>(run.cold));
+    }
+  }
+  std::printf(
+      "plan quality (executed, %d queries <= 8 atoms): peak-intermediate "
+      "sums bound=%llu traditional=%llu greedy=%llu (bound worse on %d/%d "
+      "vs traditional, %d/%d vs greedy)\n",
+      plan_quality.queries,
+      static_cast<unsigned long long>(plan_quality.bound_peak_sum),
+      static_cast<unsigned long long>(plan_quality.traditional_peak_sum),
+      static_cast<unsigned long long>(plan_quality.greedy_peak_sum),
+      plan_quality.bound_worse_than_traditional, plan_quality.queries,
+      plan_quality.bound_worse_than_greedy, plan_quality.queries);
   std::printf("\n");
 
   if (const char* json_path = std::getenv("LPB_BENCH_JSON")) {
@@ -726,7 +942,50 @@ void PrintTable() {
                      run.batch_size, run.batch_per_s / run.scalar_per_s,
                      i + 1 < cut_batch_runs.size() ? "," : "");
       }
-      std::fprintf(f, "  ]\n}\n");
+      std::fprintf(f, "  ],\n  \"optimizer\": [\n");
+      for (size_t i = 0; i < optimizer_runs.size(); ++i) {
+        const OptimizerRun& run = optimizer_runs[i];
+        std::fprintf(
+            f,
+            "    {\"model\": \"%s\", \"backend\": \"%s\", "
+            "\"plans_per_s\": %.1f, \"repeats\": %d, \"queries\": %zu,\n"
+            "     \"probes\": %llu, \"batch_calls\": %llu, "
+            "\"dp_levels\": %llu, \"memo_entries\": %llu,\n"
+            "     \"advisor_batch_calls\": %llu, "
+            "\"advisor_batch_probes\": %llu, "
+            "\"witness\": %llu, \"warm\": %llu, \"cold\": %llu,\n"
+            "     \"probes_per_level\": [",
+            run.model, run.backend, run.plans_per_s, run.repeats, run.queries,
+            static_cast<unsigned long long>(run.probes),
+            static_cast<unsigned long long>(run.batch_calls),
+            static_cast<unsigned long long>(run.dp_levels),
+            static_cast<unsigned long long>(run.memo_entries),
+            static_cast<unsigned long long>(run.advisor_batch_calls),
+            static_cast<unsigned long long>(run.advisor_batch_probes),
+            static_cast<unsigned long long>(run.witness),
+            static_cast<unsigned long long>(run.warm),
+            static_cast<unsigned long long>(run.cold));
+        for (size_t k = 0; k < run.probes_per_level.size(); ++k) {
+          std::fprintf(f, "%s%llu", k ? ", " : "",
+                       static_cast<unsigned long long>(
+                           run.probes_per_level[k]));
+        }
+        std::fprintf(f, "]}%s\n",
+                     i + 1 < optimizer_runs.size() ? "," : "");
+      }
+      std::fprintf(
+          f,
+          "  ],\n  \"optimizer_plan_quality\": {\"queries\": %d, "
+          "\"bound_peak_sum\": %llu, \"traditional_peak_sum\": %llu, "
+          "\"greedy_peak_sum\": %llu, "
+          "\"bound_worse_than_traditional\": %d, "
+          "\"bound_worse_than_greedy\": %d}\n}\n",
+          plan_quality.queries,
+          static_cast<unsigned long long>(plan_quality.bound_peak_sum),
+          static_cast<unsigned long long>(plan_quality.traditional_peak_sum),
+          static_cast<unsigned long long>(plan_quality.greedy_peak_sum),
+          plan_quality.bound_worse_than_traditional,
+          plan_quality.bound_worse_than_greedy);
       std::fclose(f);
       std::printf("wrote %s\n\n", json_path);
     }

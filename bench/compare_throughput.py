@@ -46,6 +46,20 @@ Fails (exit 1) when
     --kernel-calls-tolerance above its baseline — the sharpest signal:
     a broken unchanged-RHS fast exit or B^-1 memoization shows up here as
     a call-count explosion long before wall-clock notices, or
+  * an optimizer lane's enumeration counters (probes, batch_calls) grow
+    above baseline — DPsize candidate admissibility is connectivity-driven
+    and independent of estimate values, so these counts are exactly
+    deterministic per workload: any growth means the one-batch-per-DP-level
+    probing discipline broke (gated with zero tolerance; refresh the
+    baseline when the workload or DP legitimately changes). A bound lane
+    whose advisor_batch_calls differs from its own batch_calls fails the
+    same check from the advisor's side, or
+  * the executed plan-quality sums regress: the bound-driven DP's summed
+    peak intermediate (optimizer_plan_quality.bound_peak_sum) must not
+    exceed the traditional-model DP's or the greedy baseline's on the
+    fixed-seed JOB scoring set — all three plans execute in the same
+    process on the same data, so the comparison is machine-independent.
+    Raw plans/s is informational unless --strict-absolute, or
   * a kernel's share of a regime's total kernel cycles grows more than
     --kernel-share-tolerance above its baseline share — shares are
     ratios within one process, so this pins a *slower kernel* (same
@@ -278,6 +292,71 @@ def main():
             failures.append(
                 f"batch/{backend}: only {speedup:.2f}x scalar warm "
                 f"(need >= {args.min_batch_speedup:.1f}x)")
+
+    # Optimizer lanes: enumeration counters are exactly deterministic
+    # (connectivity-driven, estimate-value-independent), so probe/batch
+    # growth is gated with zero tolerance. The advisor-side batch counter
+    # must agree with the optimizer's own count on the bound lanes — one
+    # EstimateLog2Batch call per DP level, verified from both sides.
+    base_opt = {(r["model"], r["backend"]): r
+                for r in baseline.get("optimizer", [])}
+    new_opt = {(r["model"], r["backend"]): r
+               for r in new.get("optimizer", [])}
+    for key, base_run in sorted(base_opt.items()):
+        label = f"optimizer {key[0]}/{key[1]}"
+        if key not in new_opt:
+            failures.append(f"{label}: missing from new JSON")
+            continue
+        new_run = new_opt[key]
+        for metric in ("probes", "batch_calls"):
+            base_v, new_v = base_run[metric], new_run[metric]
+            ratio = new_v / base_v if base_v else float("inf")
+            print(f"{label + ' ' + metric:<34} {base_v:>12} {new_v:>12} "
+                  f"{ratio:>7.2f}x")
+            if new_v > base_v:
+                failures.append(
+                    f"{label}: {metric} grew {base_v} -> {new_v} "
+                    f"(deterministic count — batching discipline broke?)")
+        plans = new_run.get("plans_per_s", 0.0)
+        base_plans = base_run.get("plans_per_s", 0.0)
+        tag = "" if args.strict_absolute else " (info)"
+        print(f"{label + ' plans_per_s' + tag:<34} {base_plans:>12.1f} "
+              f"{plans:>12.1f}")
+        if args.strict_absolute and plans < (1.0 - args.tolerance) * base_plans:
+            failures.append(
+                f"{label}: plans_per_s {plans:.1f} is "
+                f">{args.tolerance:.0%} below baseline {base_plans:.1f}")
+    for key, run in sorted(new_opt.items()):
+        if key[0] != "bound":
+            continue
+        # batch_calls counts one workload sweep; the advisor counter spans
+        # the whole timed run of `repeats` sweeps.
+        expected = run.get("batch_calls", 0) * run.get("repeats", 0)
+        if run.get("advisor_batch_calls") != expected:
+            failures.append(
+                f"optimizer {key[0]}/{key[1]}: advisor saw "
+                f"{run.get('advisor_batch_calls')} batches but the DP "
+                f"issued {run.get('batch_calls')} x {run.get('repeats')} "
+                f"sweeps — a level probed the advisor more than once")
+
+    # Executed plan quality: all three plans ran in the same process on
+    # the same fixed-seed data, so the sums are deterministic and the
+    # bound-driven DP must not materialize more than the traditional DP
+    # or the greedy baseline in aggregate.
+    pq = new.get("optimizer_plan_quality")
+    if pq is None and "optimizer_plan_quality" in baseline:
+        failures.append("optimizer_plan_quality: missing from new JSON")
+    if pq is not None:
+        bound = pq["bound_peak_sum"]
+        for rival in ("traditional", "greedy"):
+            rival_sum = pq[f"{rival}_peak_sum"]
+            ratio = bound / rival_sum if rival_sum else float("inf")
+            print(f"{'plan quality bound/' + rival:<34} {rival_sum:>12} "
+                  f"{bound:>12} {ratio:>7.2f}x")
+            if bound > rival_sum:
+                failures.append(
+                    f"optimizer_plan_quality: bound-driven peak sum {bound} "
+                    f"exceeds {rival} {rival_sum} on the JOB scoring set")
 
     # Cutting-plane batch regime: the shared-pool multi-RHS resolve must
     # beat the scalar evaluate sequence on the revised backend. Both rates

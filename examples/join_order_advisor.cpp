@@ -1,45 +1,48 @@
-// Domain example: a join-order advisor driven by pessimistic bounds.
+// Domain example: join ordering driven by pessimistic bounds.
 //
-// For a JOB-style star query, ranks left-deep join orders by the ℓp-norm
-// bound on each prefix (instead of error-prone traditional estimates) and
-// reports the actual intermediate sizes of the chosen vs the naive plan —
-// the paper's motivating application (Sec 1: optimizers pick plans by
-// intermediate-size estimates, and underestimates cause bad plans).
+// For a JOB-style star query, runs the src/optimizer/ JoinOrderOptimizer
+// (DPsize over connected subgraphs, one batched advisor call per DP
+// level) twice — once with the ℓp-norm bound model and once with the
+// traditional uniformity/independence model — plus the greedy baseline,
+// executes all three plans through the hash-join evaluator, and reports
+// the actual peak intermediate sizes. This is the paper's motivating
+// application (Sec 1): optimizers pick plans by intermediate-size
+// estimates, and underestimates cause bad plans.
 //
-// Every prefix bound goes through one shared CardinalityAdvisor, which is
+// Every probe goes through one shared CardinalityAdvisor, which is
 // exactly the workload the compile-once/evaluate-many pipeline targets:
-// the greedy search probes many prefixes whose statistic structures
-// repeat, so most estimates reuse a compiled bound and its cached dual
-// witness — and each greedy step asks for *all* candidate extensions at
-// once through EstimateLog2Batch, so candidates sharing a statistics
-// structure are re-priced as one block under one lock. A final what-if
-// sweep batches hypothetical statistics deltas against the chosen plan's
-// compiled bound, the optimizer-integration pattern the batch API exists
-// for. The advisor's counters at the end make the reuse visible.
+// each DP level prices *all* its candidate subplans in ONE
+// EstimateLog2Batch call, so candidates sharing a statistics structure
+// are re-priced as one block under one lock. A final what-if sweep
+// batches hypothetical statistics deltas against the query's compiled
+// bound, the optimizer-integration pattern the batch API exists for. The
+// advisor's counters at the end make the reuse visible.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <numeric>
 
 #include "datagen/job_gen.h"
 #include "estimator/advisor.h"
 #include "estimator/traditional.h"
 #include "exec/hash_join.h"
+#include "optimizer/join_order.h"
 
 using namespace lpb;
 
 namespace {
 
-// The sub-query formed by a prefix of atoms.
-Query PrefixQuery(const Query& q, const std::vector<int>& prefix) {
-  Query sub("prefix");
-  for (int a : prefix) {
-    std::vector<std::string> names;
-    for (int v : q.atom(a).vars) names.push_back(q.var_name(v));
-    sub.AddAtom(q.atom(a).relation, names);
-  }
-  return sub;
+uint64_t PeakIntermediate(const HashJoinStats& s) {
+  uint64_t m = 0;
+  for (uint64_t v : s.intermediate_sizes) m = std::max(m, v);
+  return m;
+}
+
+void PrintOrder(const char* label, const Query& q,
+                const std::vector<int>& order) {
+  std::printf("%s", label);
+  for (int a : order) std::printf("%s ", q.atom(a).relation.c_str());
+  std::printf("\n");
 }
 
 }  // namespace
@@ -52,73 +55,68 @@ int main() {
   const Query& q = wl.queries[8];  // q9: cast_info ⋈ movie_companies ⋈ ...
   std::printf("query %s: %s\n\n", q.name().c_str(), q.ToString().c_str());
 
-  // Greedy bound-driven order: start from the atom with the smallest
-  // relation; repeatedly append the connected atom minimizing the prefix
-  // bound.
-  std::vector<int> remaining(q.num_atoms());
-  std::iota(remaining.begin(), remaining.end(), 0);
-  std::vector<int> order;
-  int first = 0;
-  for (int a : remaining) {
-    if (wl.catalog.Get(q.atom(a).relation).NumRows() <
-        wl.catalog.Get(q.atom(first).relation).NumRows()) {
-      first = a;
-    }
-  }
-  order.push_back(first);
-  remaining.erase(std::find(remaining.begin(), remaining.end(), first));
-  while (!remaining.empty()) {
-    VarSet covered = 0;
-    for (int a : order) covered |= q.atom(a).var_set();
-    // All candidate extensions of this step, bounded in one batched call:
-    // candidates share statistic structures, so the advisor groups them
-    // and re-prices each group's values as one block.
-    std::vector<int> candidates;
-    std::vector<Query> probes;
-    for (int a : remaining) {
-      if (!Intersects(q.atom(a).var_set(), covered) && remaining.size() > 1) {
-        continue;  // keep the plan connected while possible
-      }
-      std::vector<int> prefix = order;
-      prefix.push_back(a);
-      candidates.push_back(a);
-      probes.push_back(PrefixQuery(q, prefix));
-    }
-    int best = -1;
-    if (!candidates.empty()) {
-      const std::vector<double> bounds = advisor.EstimateLog2Batch(probes);
-      size_t best_k = 0;
-      for (size_t k = 1; k < bounds.size(); ++k) {
-        if (bounds[k] < bounds[best_k]) best_k = k;
-      }
-      best = candidates[best_k];
-    }
-    if (best < 0) best = remaining.front();
-    order.push_back(best);
-    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
-  }
+  // Left-deep bottleneck DP: minimize the peak materialized intermediate,
+  // the metric the executed HashJoinStats::intermediate_sizes measures.
+  JoinOrderOptions opt;
+  opt.left_deep = true;
+  opt.objective = CostObjective::kPeakIntermediate;
 
-  std::printf("bound-driven order: ");
-  for (int a : order) std::printf("%s ", q.atom(a).relation.c_str());
-  std::printf("\n");
+  AdvisorCardinalityModel bound_model(advisor);
+  JoinOrderOptimizer bound_dp(q, bound_model, opt);
+  const JoinPlan& bound_plan = bound_dp.Optimize();
 
-  HashJoinStats advised = CountByHashJoin(q, wl.catalog, order);
-  HashJoinStats naive = CountByHashJoin(q, wl.catalog);
-  auto peak = [](const HashJoinStats& s) {
-    uint64_t m = 0;
-    for (uint64_t v : s.intermediate_sizes) m = std::max(m, v);
-    return m;
-  };
-  std::printf("output size: %llu (both plans agree: %s)\n",
-              static_cast<unsigned long long>(advised.output_count),
-              advised.output_count == naive.output_count ? "yes" : "NO");
-  std::printf("peak intermediate, bound-driven plan: %llu\n",
-              static_cast<unsigned long long>(peak(advised)));
-  std::printf("peak intermediate, textual-order plan: %llu\n",
-              static_cast<unsigned long long>(peak(naive)));
+  TraditionalCardinalityModel trad_model(wl.catalog);
+  JoinOrderOptimizer trad_dp(q, trad_model, opt);
+  const JoinPlan& trad_plan = trad_dp.Optimize();
+
+  // The greedy baseline rides the same module (and inherits its
+  // cheapest-disconnected-extension fix).
+  const std::vector<int> greedy_order = GreedyJoinOrder(q, bound_model);
+
+  PrintOrder("bound-driven DP order:  ", q, bound_plan.AtomOrder());
+  PrintOrder("traditional DP order:   ", q, trad_plan.AtomOrder());
+  PrintOrder("greedy bound order:     ", q, greedy_order);
+  std::printf("bound-driven plan: %s\n", bound_plan.ToString(q).c_str());
+  std::printf(
+      "DP: %d levels, %llu probes in %llu batches, %llu memo entries\n\n",
+      bound_dp.stats().dp_levels,
+      static_cast<unsigned long long>(bound_dp.stats().probes),
+      static_cast<unsigned long long>(bound_dp.stats().batch_calls),
+      static_cast<unsigned long long>(bound_dp.stats().memo_entries));
+
+  // Execute all the plans and score what actually materialized.
+  HashJoinStats bound_run = CountByHashJoin(q, wl.catalog,
+                                            bound_plan.AtomOrder());
+  HashJoinStats trad_run = CountByHashJoin(q, wl.catalog,
+                                           trad_plan.AtomOrder());
+  HashJoinStats greedy_run = CountByHashJoin(q, wl.catalog, greedy_order);
+  HashJoinStats naive_run = CountByHashJoin(q, wl.catalog);
+  if (!bound_run.ok || !trad_run.ok || !greedy_run.ok || !naive_run.ok) {
+    std::printf("plan execution failed: %s\n",
+                (!bound_run.ok   ? bound_run.error
+                 : !trad_run.ok  ? trad_run.error
+                 : !greedy_run.ok ? greedy_run.error
+                                  : naive_run.error)
+                    .c_str());
+    return 1;
+  }
+  const bool agree = bound_run.output_count == trad_run.output_count &&
+                     bound_run.output_count == greedy_run.output_count &&
+                     bound_run.output_count == naive_run.output_count;
+  std::printf("output size: %llu (all plans agree: %s)\n",
+              static_cast<unsigned long long>(bound_run.output_count),
+              agree ? "yes" : "NO");
+  std::printf("peak intermediate, bound-driven DP plan:  %llu\n",
+              static_cast<unsigned long long>(PeakIntermediate(bound_run)));
+  std::printf("peak intermediate, traditional DP plan:   %llu\n",
+              static_cast<unsigned long long>(PeakIntermediate(trad_run)));
+  std::printf("peak intermediate, greedy bound plan:     %llu\n",
+              static_cast<unsigned long long>(PeakIntermediate(greedy_run)));
+  std::printf("peak intermediate, textual-order plan:    %llu\n",
+              static_cast<unsigned long long>(PeakIntermediate(naive_run)));
   std::printf("traditional estimate of the output: %.0f (truth %llu)\n",
               TraditionalEstimate(q, wl.catalog),
-              static_cast<unsigned long long>(advised.output_count));
+              static_cast<unsigned long long>(bound_run.output_count));
 
   // Batched what-if probing: how sensitive is the plan's output bound to
   // each statistic? Scale every statistic down by 2x / 4x in turn (as if
@@ -169,10 +167,11 @@ int main() {
   const std::string lp_backend = advisor.Explain(q).lp_backend;
   const AdvisorMetrics m = advisor.metrics();
   std::printf(
-      "\nadvisor: %llu prefix estimates over %zu compiled structures "
-      "(hits %llu / misses %llu); eval paths: witness=%llu warm=%llu "
-      "cold=%llu; lp backend: %s\n",
+      "\nadvisor: %llu estimates in %llu batches over %zu compiled "
+      "structures (hits %llu / misses %llu); eval paths: witness=%llu "
+      "warm=%llu cold=%llu; lp backend: %s\n",
       static_cast<unsigned long long>(m.estimates),
+      static_cast<unsigned long long>(m.batch_calls),
       advisor.CompiledCacheSize(),
       static_cast<unsigned long long>(m.compiled_hits),
       static_cast<unsigned long long>(m.compiled_misses),

@@ -210,6 +210,12 @@ BoundResult CardinalityAdvisor::EvaluateCompiled(
 }
 
 double CardinalityAdvisor::EstimateLog2(const Query& query) {
+  // The empty conjunction has exactly one (empty) answer tuple: log2 1 = 0.
+  // Guarded here because no bound engine accepts a 0-variable structure.
+  if (query.num_atoms() == 0) {
+    estimates_.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
   auto stats = AssembleStatistics(query);
   return EvaluateCompiled(query.num_vars(), stats, /*want_h_opt=*/false)
       .log2_bound;
@@ -221,6 +227,18 @@ double CardinalityAdvisor::Estimate(const Query& query) {
 
 std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
     const Query& query, std::span<const std::vector<double>> log_b_batch) {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  batch_probes_.fetch_add(log_b_batch.size(), std::memory_order_relaxed);
+  if (query.num_atoms() == 0) {
+    // Empty conjunction: one empty answer tuple regardless of statistics.
+    // Only the empty value vector matches the (empty) statistics set.
+    std::vector<double> out(log_b_batch.size(), kInfNorm);
+    for (size_t c = 0; c < log_b_batch.size(); ++c) {
+      if (log_b_batch[c].empty()) out[c] = 0.0;
+    }
+    estimates_.fetch_add(log_b_batch.size(), std::memory_order_relaxed);
+    return out;
+  }
   const auto stats = AssembleStatistics(query);
   const BoundStructure structure = StructureOf(query.num_vars(), stats);
 
@@ -266,6 +284,8 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
 
 std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
     const std::vector<Query>& queries) {
+  batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  batch_probes_.fetch_add(queries.size(), std::memory_order_relaxed);
   // Group queries by compiled structure (first-appearance order) so every
   // group pays one structure lookup and one per-bound lock, and its value
   // vectors ride the batch path together.
@@ -278,6 +298,11 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
   std::vector<Group> groups;
   std::map<std::string, size_t> group_of;
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].num_atoms() == 0) {
+      // Empty conjunction: log2 1 = 0, no structure to compile.
+      estimates_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     const auto stats = AssembleStatistics(queries[i]);
     BoundStructure structure = StructureOf(queries[i].num_vars(), stats);
     std::string key = StructureKey(structure);
@@ -339,6 +364,8 @@ size_t CardinalityAdvisor::CompiledCacheSize() const {
 AdvisorMetrics CardinalityAdvisor::metrics() const {
   AdvisorMetrics m;
   m.estimates = estimates_.load(std::memory_order_relaxed);
+  m.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  m.batch_probes = batch_probes_.load(std::memory_order_relaxed);
   m.compiled_hits = compiled_hits_.load(std::memory_order_relaxed);
   m.compiled_misses = compiled_misses_.load(std::memory_order_relaxed);
   m.witness_hits = witness_hits_.load(std::memory_order_relaxed);

@@ -77,6 +77,8 @@ struct AdvisorOptions {
 // `compiled_hits + compiled_misses`.
 struct AdvisorMetrics {
   uint64_t estimates = 0;        // bound evaluations served
+  uint64_t batch_calls = 0;      // EstimateLog2Batch invocations (both forms)
+  uint64_t batch_probes = 0;     // probes requested across those batches
   uint64_t compiled_hits = 0;    // structure found in the compiled cache
   uint64_t compiled_misses = 0;  // structure compiled on this call
   uint64_t witness_hits = 0;     // cached dual witness reused (dot product)
@@ -221,6 +223,8 @@ class CardinalityAdvisor {
   std::mutex compiled_writer_mu_;
 
   std::atomic<uint64_t> estimates_{0};
+  std::atomic<uint64_t> batch_calls_{0};
+  std::atomic<uint64_t> batch_probes_{0};
   std::atomic<uint64_t> compiled_hits_{0};
   std::atomic<uint64_t> compiled_misses_{0};
   std::atomic<uint64_t> witness_hits_{0};

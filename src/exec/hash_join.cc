@@ -112,14 +112,41 @@ Intermediate Join(const Intermediate& left, const Intermediate& right) {
 
 HashJoinStats CountByHashJoin(const Query& query, const Catalog& catalog,
                               const std::vector<int>& atom_order) {
+  HashJoinStats stats;
+  if (query.num_atoms() == 0) {
+    stats.ok = false;
+    stats.error = "query has no atoms";
+    return stats;
+  }
   std::vector<int> order = atom_order;
   if (order.empty()) {
     order.resize(query.num_atoms());
     std::iota(order.begin(), order.end(), 0);
   }
-  assert(static_cast<int>(order.size()) == query.num_atoms());
-
-  HashJoinStats stats;
+  // Orders come from callers assembling them by hand (optimizer plans,
+  // example drivers) — validate instead of trusting: a wrong-length order
+  // would silently skip atoms, an out-of-range index reads past the atom
+  // list, and a duplicate both double-joins one atom and drops another.
+  if (static_cast<int>(order.size()) != query.num_atoms()) {
+    stats.ok = false;
+    stats.error = "atom_order length " + std::to_string(order.size()) +
+                  " != " + std::to_string(query.num_atoms()) + " atoms";
+    return stats;
+  }
+  std::vector<bool> seen(order.size(), false);
+  for (int a : order) {
+    if (a < 0 || a >= query.num_atoms()) {
+      stats.ok = false;
+      stats.error = "atom_order index " + std::to_string(a) + " out of range";
+      return stats;
+    }
+    if (seen[static_cast<size_t>(a)]) {
+      stats.ok = false;
+      stats.error = "atom_order repeats index " + std::to_string(a);
+      return stats;
+    }
+    seen[static_cast<size_t>(a)] = true;
+  }
   Intermediate acc = AtomTuples(query.atom(order[0]),
                                 catalog.Get(query.atom(order[0]).relation));
   stats.intermediate_sizes.push_back(acc.rows.size());

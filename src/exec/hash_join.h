@@ -9,6 +9,7 @@
 #define LPB_EXEC_HASH_JOIN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "query/query.h"
@@ -21,11 +22,19 @@ struct HashJoinStats {
   uint64_t output_count = 0;
   // Size of each intermediate (after joining atoms 0..i).
   std::vector<uint64_t> intermediate_sizes;
+  // False when the query/order could not be executed (empty query, or an
+  // atom_order whose length, range, or multiplicity doesn't match the
+  // query); `error` says why and the counts above are empty.
+  bool ok = true;
+  std::string error;
 };
 
 // Evaluates the query with pairwise hash joins in atom order (or
 // `atom_order` if non-empty). Returns the output count and intermediate
 // sizes. Repeated variables inside an atom apply equality selections.
+// A malformed `atom_order` (wrong length, out-of-range index, duplicate
+// index) or an atomless query yields ok == false with empty stats instead
+// of undefined execution.
 HashJoinStats CountByHashJoin(const Query& query, const Catalog& catalog,
                               const std::vector<int>& atom_order = {});
 

@@ -1,0 +1,225 @@
+// Join-order optimization on top of batched pessimistic bounds — the
+// paper's motivating application (Sec 1) promoted from an example into a
+// module: an optimizer that picks plans by intermediate-size estimates,
+// where the estimates are ℓp-norm *upper bounds* instead of error-prone
+// traditional guesses, so underestimates can never sell a catastrophic
+// plan as cheap.
+//
+// JoinOrderOptimizer runs DPsize enumeration over connected subgraphs of
+// the query's join graph (atom subsets encoded as bitsets, reusing the
+// util/bits.h VarSet machinery), memoizing one DpEntry per subset. The
+// probing discipline is the whole point of the module: all candidate
+// subplans of one DP level are priced in ONE CardinalityModel batch —
+// with the advisor-backed model that is a single
+// CardinalityAdvisor::EstimateLog2Batch call, so structure-sharing
+// candidates re-price as a block through the compiled bound's cached
+// factorization (one structure lookup, one per-bound lock, one multi-RHS
+// resolve per group). See README.md in this directory for the DP shape,
+// the batching contract, and the cost model.
+#ifndef LPB_OPTIMIZER_JOIN_ORDER_H_
+#define LPB_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "estimator/advisor.h"
+#include "query/query.h"
+#include "relation/catalog.h"
+#include "util/bits.h"
+
+namespace lpb {
+
+// A set of query atoms, encoded as a bitmask (bit i = atom i). Reuses the
+// VarSet bit machinery; capped at kMaxAtoms atoms per query because the
+// memo table is indexed by mask.
+using AtomSet = uint32_t;
+inline constexpr int kMaxAtoms = 20;
+
+// Physical join operator of the cost model: hash (build the smaller side,
+// probe the larger) vs merge (sort both inputs).
+enum class JoinMethod : uint8_t { kHash, kMerge };
+const char* JoinMethodName(JoinMethod method);
+
+// What the DP minimizes.
+//   kTotalCost        — accumulated operator cost (scans + builds + probes
+//                       + materialized outputs): the throughput objective.
+//   kPeakIntermediate — the largest estimated materialized intermediate
+//                       anywhere in the plan (a bottleneck DP): the
+//                       paper's plan-quality metric, directly comparable
+//                       with HashJoinStats::intermediate_sizes.
+enum class CostObjective : uint8_t { kTotalCost, kPeakIntermediate };
+
+struct JoinOrderOptions {
+  // Restrict the DP to left-deep plans (every right input a single atom).
+  // Left-deep plans execute exactly as CountByHashJoin's pairwise loop, so
+  // this is the mode to use when the chosen plan is scored by execution.
+  bool left_deep = false;
+  CostObjective objective = CostObjective::kTotalCost;
+  // Cost-model weights (kTotalCost): per-row cost of hash-table build,
+  // hash probe, and sort work (merge pays sort_weight · rows · log2 rows
+  // per input). Every operator additionally pays its output rows.
+  double hash_build_weight = 2.0;
+  double hash_probe_weight = 1.0;
+  double sort_weight = 0.25;
+};
+
+// One memoized subplan: the best plan found for `atoms`, its estimated
+// cardinality (the batched bound, in log2), and the winning decomposition.
+// Leaf entries (single atoms) have leaf_atom >= 0 and left == right == 0.
+struct DpEntry {
+  AtomSet atoms = 0;
+  VarSet vars = 0;          // union of the member atoms' variables
+  double log2_rows = 0.0;   // estimated log2 |subplan output|
+  double rows = 0.0;        // 2^log2_rows, saturating
+  double cost = 0.0;        // objective value of the best plan
+  // Secondary criterion ordering cost ties: the sum of estimated
+  // accumulated intermediates. Under kPeakIntermediate whole swaths of
+  // plans tie (the root's bound usually dominates every prefix), and
+  // "first enumerated" picks needlessly bad orders among them.
+  double tiebreak = 0.0;
+  AtomSet left = 0;         // winning partition (0 for leaves)
+  AtomSet right = 0;
+  JoinMethod method = JoinMethod::kHash;
+  bool cross_product = false;  // the winning join shares no variables
+  int leaf_atom = -1;
+};
+
+// Enumeration counters. batch_calls counts CardinalityModel batches issued
+// — exactly one per DP level that had candidates, which with the
+// advisor-backed model is one EstimateLog2Batch call per level.
+struct OptimizerStats {
+  int atoms = 0;
+  int dp_levels = 0;                // levels that issued a probe batch
+  uint64_t batch_calls = 0;         // == dp_levels by construction
+  uint64_t probes = 0;              // candidate subplans priced
+  uint64_t memo_entries = 0;        // subsets with a plan
+  uint64_t partitions_tried = 0;    // (left, right) pairs examined
+  uint64_t memo_hits = 0;           // pairs where both halves were memoized
+  uint64_t cross_partitions = 0;    // admissible pairs sharing no variables
+  std::vector<uint64_t> probes_per_level;  // [k-1] = probes at level k
+};
+
+// A complete plan: nodes in bottom-up order, root last. Node left/right
+// index into `nodes`; leaves carry the atom index.
+struct JoinPlan {
+  struct Node {
+    int left = -1;
+    int right = -1;
+    int leaf_atom = -1;
+    AtomSet atoms = 0;
+    double log2_rows = 0.0;
+    double cost = 0.0;
+    JoinMethod method = JoinMethod::kHash;
+    bool cross_product = false;
+    bool IsLeaf() const { return leaf_atom >= 0; }
+  };
+  std::vector<Node> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  double cost() const { return nodes.empty() ? 0.0 : nodes.back().cost; }
+  double log2_rows() const {
+    return nodes.empty() ? 0.0 : nodes.back().log2_rows;
+  }
+  // Leaves left to right — for a left-deep plan, exactly the atom order to
+  // hand CountByHashJoin.
+  std::vector<int> AtomOrder() const;
+  // Largest estimated materialized size in the plan (log2): join outputs
+  // plus, for left-deep plans, the driving leaf — mirroring what
+  // HashJoinStats::intermediate_sizes materializes.
+  double PeakLog2Rows() const;
+  // Human-readable rendering, e.g. "((R HJ S) xMJ T)".
+  std::string ToString(const Query& query) const;
+};
+
+// Cardinality oracle the DP prices candidate subplans through. One call
+// per DP level, covering every candidate of that level.
+class CardinalityModel {
+ public:
+  virtual ~CardinalityModel() = default;
+  // log2 estimates aligned with `probes` (+infinity = cannot bound).
+  virtual std::vector<double> EstimateLog2Batch(
+      const std::vector<Query>& probes) = 0;
+};
+
+// The bound-driven model: every level is one batched advisor call.
+class AdvisorCardinalityModel : public CardinalityModel {
+ public:
+  explicit AdvisorCardinalityModel(CardinalityAdvisor& advisor)
+      : advisor_(advisor) {}
+  std::vector<double> EstimateLog2Batch(
+      const std::vector<Query>& probes) override {
+    return advisor_.EstimateLog2Batch(probes);
+  }
+
+ private:
+  CardinalityAdvisor& advisor_;
+};
+
+// The System-R style comparison model (estimator/traditional.h):
+// uniformity + independence, so it underestimates skewed joins — the
+// behavior the bound-driven plans are scored against.
+class TraditionalCardinalityModel : public CardinalityModel {
+ public:
+  explicit TraditionalCardinalityModel(const Catalog& catalog)
+      : catalog_(catalog) {}
+  std::vector<double> EstimateLog2Batch(
+      const std::vector<Query>& probes) override;
+
+ private:
+  const Catalog& catalog_;
+};
+
+// DPsize join-order optimizer. Not thread-safe; build one per query.
+class JoinOrderOptimizer {
+ public:
+  // The query and model must outlive the optimizer. Queries over more than
+  // kMaxAtoms atoms fall back to the greedy order (wrapped as a left-deep
+  // plan) instead of exhausting the 2^m memo.
+  JoinOrderOptimizer(const Query& query, CardinalityModel& model,
+                     JoinOrderOptions options = {});
+
+  // Runs the DP (once; subsequent calls return the cached plan).
+  const JoinPlan& Optimize();
+
+  const OptimizerStats& stats() const { return stats_; }
+
+  // Read-only view of the memo after Optimize(): mask -> entry. Exposed
+  // for tests (exhaustive-enumeration cross-checks price plan shapes
+  // against the same cardinalities the DP used) and for explain output.
+  const std::map<AtomSet, DpEntry>& memo() const { return memo_; }
+
+ private:
+  void Run();
+  void RunGreedyFallback();
+  // Objective value of joining `left` and `right` into a subplan with
+  // `rows` output rows; fills `method`.
+  double JoinCost(const DpEntry& left, const DpEntry& right, double rows,
+                  JoinMethod& method) const;
+
+  const Query& query_;
+  CardinalityModel& model_;
+  JoinOrderOptions options_;
+  std::map<AtomSet, DpEntry> memo_;
+  OptimizerStats stats_;
+  JoinPlan plan_;
+  bool ran_ = false;
+};
+
+// The greedy baseline, with the disconnected-extension fix: starting from
+// `first_atom` (or the min-bound atom when < 0), repeatedly append the
+// connected extension minimizing the prefix bound; when every remaining
+// atom is disconnected from the prefix (a disconnected query), the
+// *cheapest* disconnected extension is chosen by the same batched probe —
+// never an arbitrary cross product. One CardinalityModel batch per step.
+std::vector<int> GreedyJoinOrder(const Query& query, CardinalityModel& model,
+                                 int first_atom = -1);
+
+// The sub-query induced by a subset of atoms (ascending atom order);
+// exposed for tests and explain tooling.
+Query InducedSubquery(const Query& query, AtomSet atoms);
+
+}  // namespace lpb
+
+#endif  // LPB_OPTIMIZER_JOIN_ORDER_H_

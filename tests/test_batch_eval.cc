@@ -508,6 +508,147 @@ TEST(AdvisorBatch, WhatIfValueBatchMatchesCompiledScalar) {
   }
 }
 
+TEST(AdvisorBatch, EmptyBatchesAreSafeNoOps) {
+  // The DP driver can legitimately produce a level with zero probes;
+  // every batch layer must treat an empty batch as a no-op, not UB.
+  Catalog db = SmallDb(21);
+  CardinalityAdvisor advisor(db);
+  const Query q = Parse("R(X,Y), S(Y,Z)");
+  const auto stats = advisor.Explain(q).stats;
+  auto bound =
+      FindBoundEngine("auto")->Compile(StructureOf(q.num_vars(), stats));
+  EXPECT_TRUE(
+      bound->EvaluateBatch(std::vector<std::vector<double>>{}, false).empty());
+  const AdvisorMetrics before = advisor.metrics();
+  EXPECT_TRUE(advisor.EstimateLog2Batch(std::vector<Query>{}).empty());
+  const std::vector<std::vector<double>> no_values;
+  EXPECT_TRUE(advisor.EstimateLog2Batch(q, no_values).empty());
+  const AdvisorMetrics after = advisor.metrics();
+  EXPECT_EQ(after.batch_calls - before.batch_calls, 2u);
+  EXPECT_EQ(after.batch_probes, before.batch_probes);
+  EXPECT_EQ(after.estimates, before.estimates);
+}
+
+TEST(AdvisorBatch, SingleElementBatchMatchesScalarBitwise) {
+  // A batch of one must be indistinguishable from the scalar entry point —
+  // the degenerate case the DP's level-1 loop hits on single-atom queries.
+  Catalog db = SmallDb(22);
+  for (const char* text : {"R(X,Y)", "R(X,Y), S(Y,Z)",
+                           "R(X,Y), S(Y,Z), T(Z,X)"}) {
+    const Query q = Parse(text);
+    CardinalityAdvisor scalar_advisor(db);
+    CardinalityAdvisor batch_advisor(db);
+    const double scalar = scalar_advisor.EstimateLog2(q);
+    const std::vector<double> batch =
+        batch_advisor.EstimateLog2Batch(std::vector<Query>{q});
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], scalar) << text;
+  }
+  // Same for the what-if overload: one value vector, identical call
+  // history on both advisors (Explain, then one evaluation of the real
+  // values).
+  const Query q = Parse("R(X,Y), S(Y,Z)");
+  CardinalityAdvisor scalar_advisor(db);
+  CardinalityAdvisor batch_advisor(db);
+  const auto values = ValuesOf(scalar_advisor.Explain(q).stats);
+  (void)batch_advisor.Explain(q);
+  const double scalar = scalar_advisor.EstimateLog2(q);
+  const std::vector<double> got =
+      batch_advisor.EstimateLog2Batch(q, std::vector<std::vector<double>>{values});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], scalar);
+}
+
+TEST(AdvisorBatch, EmptyQueryRidesBatchesWithUnitBound) {
+  // A 0-atom query used to walk into the bound engines' n >= 1 assertion;
+  // it now answers log2 1 = 0 (the empty conjunction has one empty tuple)
+  // in every entry point, wherever it sits in the batch.
+  Catalog db = SmallDb(23);
+  const Query empty("empty");
+  const Query q1 = Parse("R(X,Y), S(Y,Z)");
+  const Query q2 = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  CardinalityAdvisor scalar_advisor(db);
+  EXPECT_EQ(scalar_advisor.EstimateLog2(empty), 0.0);
+  const double b1 = scalar_advisor.EstimateLog2(q1);
+  const double b2 = scalar_advisor.EstimateLog2(q2);
+
+  CardinalityAdvisor first_advisor(db);
+  const std::vector<double> first =
+      first_advisor.EstimateLog2Batch(std::vector<Query>{empty, q1, q2});
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 0.0);
+  EXPECT_EQ(first[1], b1);
+  EXPECT_EQ(first[2], b2);
+
+  CardinalityAdvisor last_advisor(db);
+  const std::vector<double> last =
+      last_advisor.EstimateLog2Batch(std::vector<Query>{q1, q2, empty});
+  ASSERT_EQ(last.size(), 3u);
+  EXPECT_EQ(last[0], b1);
+  EXPECT_EQ(last[1], b2);
+  EXPECT_EQ(last[2], 0.0);
+
+  // What-if on the empty query: only the empty value vector matches its
+  // (empty) statistics set; anything else cannot be priced.
+  const std::vector<std::vector<double>> probes = {{}, {1.0}};
+  const std::vector<double> what_if =
+      first_advisor.EstimateLog2Batch(empty, probes);
+  ASSERT_EQ(what_if.size(), 2u);
+  EXPECT_EQ(what_if[0], 0.0);
+  EXPECT_EQ(what_if[1], kInfNorm);
+}
+
+TEST(EvaluateBatch, MixedBoundedAndUnboundedStructureGroups) {
+  // The multi-query advisor batch evaluates one structure group at a time;
+  // a group whose structure is structurally unbounded must come out
+  // unbounded without perturbing the bounded group's results, whichever
+  // group goes first.
+  const std::vector<ConcreteStatistic> unbounded_stats = {
+      Stat(0b01, 0b10, kInfNorm, 5.0)};
+  ASSERT_TRUE(NormalPolymatroidBound(2, unbounded_stats).base.unbounded());
+  for (bool unbounded_first : {true, false}) {
+    for (const char* name : {"normal", "gamma", "auto"}) {
+      auto bounded = FindBoundEngine(name)->Compile(
+          StructureOf(3, SimpleStats()));
+      auto bounded_ref = FindBoundEngine(name)->Compile(
+          StructureOf(3, SimpleStats()));
+      auto unbounded = FindBoundEngine(name)->Compile(
+          StructureOf(2, unbounded_stats));
+      auto unbounded_ref = FindBoundEngine(name)->Compile(
+          StructureOf(2, unbounded_stats));
+      const auto bounded_batch = JitteredBatch(SimpleStats(), 31);
+      const auto unbounded_batch = JitteredBatch(unbounded_stats, 32);
+      std::vector<BoundResult> b_results, u_results;
+      if (unbounded_first) {
+        u_results = unbounded->EvaluateBatch(unbounded_batch, false);
+        b_results = bounded->EvaluateBatch(bounded_batch, false);
+      } else {
+        b_results = bounded->EvaluateBatch(bounded_batch, false);
+        u_results = unbounded->EvaluateBatch(unbounded_batch, false);
+      }
+      ASSERT_EQ(b_results.size(), bounded_batch.size());
+      ASSERT_EQ(u_results.size(), unbounded_batch.size());
+      const std::string order = unbounded_first ? "u-first" : "b-first";
+      for (size_t c = 0; c < bounded_batch.size(); ++c) {
+        const BoundResult ref =
+            bounded_ref->Evaluate(bounded_batch[c], false);
+        ExpectBitwiseEqual(b_results[c], ref,
+                           std::string(name) + "/" + order + " bounded " +
+                               std::to_string(c));
+        EXPECT_TRUE(b_results[c].ok());
+      }
+      for (size_t c = 0; c < unbounded_batch.size(); ++c) {
+        const BoundResult ref =
+            unbounded_ref->Evaluate(unbounded_batch[c], false);
+        ExpectBitwiseEqual(u_results[c], ref,
+                           std::string(name) + "/" + order + " unbounded " +
+                               std::to_string(c));
+        EXPECT_TRUE(u_results[c].unbounded());
+      }
+    }
+  }
+}
+
 TEST(AdvisorBatch, NormCacheEvictionKeepsResultsExact) {
   // A byte budget small enough to evict constantly must never change
   // estimates — eviction recomputes, it does not approximate.

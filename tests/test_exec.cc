@@ -253,6 +253,63 @@ TEST(HashJoin, AtomOrderDoesNotChangeResult) {
   EXPECT_EQ(CountByHashJoin(q, db, {1, 2, 0}).output_count, expected);
 }
 
+TEST(HashJoin, RejectsWrongLengthAtomOrder) {
+  Rng rng(16);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 30, 6);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  HashJoinStats stats = CountByHashJoin(q, db, {0, 1});
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.output_count, 0u);
+  EXPECT_TRUE(stats.intermediate_sizes.empty());
+  EXPECT_NE(stats.error.find("length"), std::string::npos) << stats.error;
+}
+
+TEST(HashJoin, RejectsOutOfRangeAtomOrder) {
+  Rng rng(17);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 30, 6);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  HashJoinStats high = CountByHashJoin(q, db, {0, 1, 3});
+  EXPECT_FALSE(high.ok);
+  EXPECT_TRUE(high.intermediate_sizes.empty());
+  EXPECT_NE(high.error.find("out of range"), std::string::npos) << high.error;
+  HashJoinStats negative = CountByHashJoin(q, db, {0, -1, 2});
+  EXPECT_FALSE(negative.ok);
+  EXPECT_NE(negative.error.find("out of range"), std::string::npos)
+      << negative.error;
+}
+
+TEST(HashJoin, RejectsDuplicateAtomOrder) {
+  Rng rng(18);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 30, 6);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  // A duplicate both double-joins atom 1 and silently drops atom 2 — before
+  // validation this returned a wrong count instead of an error.
+  HashJoinStats stats = CountByHashJoin(q, db, {0, 1, 1});
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.output_count, 0u);
+  EXPECT_TRUE(stats.intermediate_sizes.empty());
+  EXPECT_NE(stats.error.find("repeats"), std::string::npos) << stats.error;
+}
+
+TEST(HashJoin, RejectsEmptyQuery) {
+  Catalog db;
+  Query q("empty");
+  HashJoinStats stats = CountByHashJoin(q, db);
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.output_count, 0u);
+  EXPECT_TRUE(stats.intermediate_sizes.empty());
+}
+
+TEST(HashJoin, ValidExplicitOrderStaysOk) {
+  Rng rng(19);
+  Catalog db = RandomBinaryDb(rng, {"R", "S", "T"}, 30, 6);
+  Query q = Parse("R(X,Y), S(Y,Z), T(Z,X)");
+  HashJoinStats stats = CountByHashJoin(q, db, {2, 0, 1});
+  EXPECT_TRUE(stats.ok);
+  EXPECT_TRUE(stats.error.empty());
+  EXPECT_EQ(stats.output_count, CountByHashJoin(q, db).output_count);
+}
+
 TEST(Partition, StrongSatisfactionCheck) {
   // deg = (4,1): ||deg||_2^2 = 17. Strong satisfaction needs
   // |Π_U| · max^2 <= B^2: 2 * 16 = 32 > 17 -> not strong for B = sqrt(17).
