@@ -29,6 +29,23 @@ Fails (exit 1) when
     the ratio is machine-independent; the dense backend's ratio is
     printed for visibility only (its batch path is the row-reuse
     fallback, not the shared-pool resolve), or
+  * a serve lane (the AdvisorService admission-batching regime: 16
+    client threads x pipelined single estimates with invalidation churn)
+    aggregates fewer than --min-serve-speedup times the same-process
+    single-threaded scalar-warm rate (warm_ratio — the serving
+    acceptance bar: admission batching must recover the batch path's
+    amortization from scalar traffic), or its mean coalesced batch size
+    falls below --min-serve-coalesce (coalescing-effectiveness bar:
+    batches must actually form), or its p99 latency exceeds
+    --serve-p99-max-ms (a deliberately generous absolute ceiling — a
+    microbatch window is 100us, so a p99 in the hundreds of ms means
+    requests are stuck behind a stalled queue, not a slow machine), or
+    its norm-cache hit rate falls below --min-norm-hit-rate (the Zipf
+    template mix repeats keys; a cold cache here means batched assembly
+    stopped reusing the store), or its warm_ratio falls more than
+    --tolerance below the baseline's for the same backend (skipped with
+    a note when the baseline predates the serve section), or any
+    requests were rejected (shutdown races the measured window), or
   * the devex_cold lane needs more than --max-devex-ratio of the
     dantzig_cold lane's pivots (the Devex pricing acceptance bar:
     measured ~0.73 at introduction, i.e. ~27% fewer pivots than the
@@ -116,6 +133,17 @@ def main():
     parser.add_argument("--min-cut-batch-ratio", type=float, default=2.0,
                         help="required batch/scalar ratio for the revised "
                              "backend's cutting-plane batch regime")
+    parser.add_argument("--min-serve-speedup", type=float, default=3.0,
+                        help="required serve/warm aggregate throughput ratio "
+                             "(16 clients vs single-threaded scalar warm)")
+    parser.add_argument("--min-serve-coalesce", type=float, default=1.2,
+                        help="required mean coalesced admission-batch size")
+    parser.add_argument("--serve-p99-max-ms", type=float, default=500.0,
+                        help="absolute p99 latency ceiling for the serve "
+                             "regime (generous: ~2ms on the dev box)")
+    parser.add_argument("--min-norm-hit-rate", type=float, default=0.5,
+                        help="required norm-cache hit rate in the serve "
+                             "regime's Zipf template mix")
     parser.add_argument("--max-devex-ratio", type=float, default=0.85,
                         help="max devex/dantzig pivot ratio on the "
                              "gamma_n8 cold-growth lanes")
@@ -292,6 +320,69 @@ def main():
             failures.append(
                 f"batch/{backend}: only {speedup:.2f}x scalar warm "
                 f"(need >= {args.min_batch_speedup:.1f}x)")
+
+    # Serve lanes: every gated number is a same-process ratio (warm_ratio
+    # divides by the scalar-warm rate measured minutes earlier in the same
+    # binary; mean_batch and the hit rate are pure counters), so the gates
+    # travel across runners. The p99 ceiling is absolute but generous —
+    # it exists to catch a stalled queue, not a slow machine.
+    base_serve = by_backend(baseline.get("serve", []))
+    if not base_serve and new.get("serve"):
+        print("note: baseline has no serve section — baseline-relative "
+              "serve gates skipped (refresh the baseline)")
+    for backend, run in sorted(by_backend(new.get("serve", [])).items()):
+        label = f"serve {backend}"
+        ratio = run.get("warm_ratio", 0.0)
+        print(f"{label + ' warm_ratio':<34} {'':>12} {'':>12} "
+              f"{ratio:>7.2f}x")
+        if ratio < args.min_serve_speedup:
+            failures.append(
+                f"serve/{backend}: aggregate throughput only {ratio:.2f}x "
+                f"scalar warm (need >= {args.min_serve_speedup:.1f}x — "
+                f"admission batching not amortizing?)")
+        mean_batch = run.get("mean_batch", 0.0)
+        print(f"{label + ' mean_batch':<34} {'':>12} {mean_batch:>12.2f}")
+        if mean_batch < args.min_serve_coalesce:
+            failures.append(
+                f"serve/{backend}: mean coalesced batch {mean_batch:.2f} "
+                f"(need >= {args.min_serve_coalesce:.1f} — concurrent "
+                f"requests are not coalescing)")
+        p99_ms = run.get("p99_us", 0.0) / 1000.0
+        print(f"{label + ' p99_ms':<34} {'':>12} {p99_ms:>12.2f}")
+        if p99_ms > args.serve_p99_max_ms:
+            failures.append(
+                f"serve/{backend}: p99 {p99_ms:.1f}ms over the "
+                f"{args.serve_p99_max_ms:.0f}ms ceiling (stalled queue?)")
+        hit_rate = run.get("norm_hit_rate", 0.0)
+        print(f"{label + ' norm_hit_rate':<34} {'':>12} {hit_rate:>12.3f}")
+        if hit_rate < args.min_norm_hit_rate:
+            failures.append(
+                f"serve/{backend}: norm-cache hit rate {hit_rate:.2f} "
+                f"(need >= {args.min_norm_hit_rate:.2f})")
+        if run.get("rejected", 0):
+            failures.append(
+                f"serve/{backend}: {run['rejected']} requests rejected "
+                f"during the measured window")
+        base_run = base_serve.get(backend)
+        if base_run is not None:
+            base_ratio = base_run.get("warm_ratio", 0.0)
+            rel = ratio / base_ratio if base_ratio > 0 else float("inf")
+            print(f"{label + ' warm_ratio vs base':<34} "
+                  f"{base_ratio:>12.2f} {ratio:>12.2f} {rel:>7.2f}x")
+            if ratio < (1.0 - args.tolerance) * base_ratio:
+                failures.append(
+                    f"serve/{backend}: warm_ratio {ratio:.2f} is "
+                    f">{args.tolerance:.0%} below baseline {base_ratio:.2f}")
+            tag = "" if args.strict_absolute else " (info)"
+            base_eps = base_run.get("est_per_s", 0.0)
+            new_eps = run.get("est_per_s", 0.0)
+            print(f"{label + ' est_per_s' + tag:<34} {base_eps:>12.1f} "
+                  f"{new_eps:>12.1f}")
+            if (args.strict_absolute
+                    and new_eps < (1.0 - args.tolerance) * base_eps):
+                failures.append(
+                    f"serve/{backend}: est_per_s {new_eps:.1f} is "
+                    f">{args.tolerance:.0%} below baseline {base_eps:.1f}")
 
     # Optimizer lanes: enumeration counters are exactly deterministic
     # (connectivity-driven, estimate-value-independent), so probe/batch

@@ -22,6 +22,67 @@ std::vector<int> ColumnsOf(const Atom& atom, VarSet s) {
   return cols;
 }
 
+// One degree-sequence lookup a query's statistics assembly needs: the
+// norm-store key plus how its cached norms materialize into statistics
+// (every maintained norm for a conditional, only the ℓ1 entry for a
+// cardinality assertion). The scalar and batched assembly paths share
+// this enumeration, which is what makes their outputs bitwise identical.
+struct StatRequest {
+  ShardedNormCache::Key key;
+  Conditional sigma;
+  bool cardinality = false;  // emit only the p == 1 norm (ℓ1 of deg(V|∅))
+  int guard_atom = -1;
+};
+
+std::vector<StatRequest> EnumerateStatRequests(const Query& query) {
+  std::vector<StatRequest> requests;
+  for (int a = 0; a < query.num_atoms(); ++a) {
+    const Atom& atom = query.atom(a);
+    const VarSet atom_vars = atom.var_set();
+
+    // Cardinality assertion (ℓ1 over (vars | ∅)).
+    {
+      StatRequest r;
+      r.key = {atom.relation, {}, ColumnsOf(atom, atom_vars)};
+      r.sigma = {0, atom_vars};
+      r.cardinality = true;
+      r.guard_atom = a;
+      requests.push_back(std::move(r));
+    }
+
+    // Simple per-variable conditionals.
+    for (int v : VarRange(atom_vars)) {
+      const VarSet u = VarBit(v);
+      const VarSet rest = atom_vars & ~u;
+      if (rest == 0) continue;
+      StatRequest r;
+      r.key = {atom.relation, ColumnsOf(atom, u), ColumnsOf(atom, rest)};
+      r.sigma = {u, rest};
+      r.guard_atom = a;
+      requests.push_back(std::move(r));
+    }
+  }
+  return requests;
+}
+
+// Materializes one request's statistics from its cached norm vector
+// (aligned with `norm_ps`, the advisor's maintained norm indices).
+void AppendStats(const StatRequest& request,
+                 const std::vector<double>& log_norms,
+                 const std::vector<double>& norm_ps,
+                 std::vector<ConcreteStatistic>& stats) {
+  for (size_t k = 0; k < norm_ps.size(); ++k) {
+    if (request.cardinality && norm_ps[k] != 1.0) continue;
+    ConcreteStatistic s;
+    s.sigma = request.sigma;
+    s.p = norm_ps[k];
+    s.log_b = log_norms[k];
+    s.guard_atom = request.guard_atom;
+    stats.push_back(s);
+    if (request.cardinality) break;
+  }
+}
+
 }  // namespace
 
 CardinalityAdvisor::CardinalityAdvisor(const Catalog& catalog,
@@ -55,47 +116,64 @@ std::vector<double> CardinalityAdvisor::CachedNorms(
 std::vector<ConcreteStatistic> CardinalityAdvisor::AssembleStatistics(
     const Query& query) {
   std::vector<ConcreteStatistic> stats;
-  for (int a = 0; a < query.num_atoms(); ++a) {
-    const Atom& atom = query.atom(a);
-    const VarSet atom_vars = atom.var_set();
-
-    // Cardinality assertion (ℓ1 over (vars | ∅)).
-    {
-      const std::vector<int> v_cols = ColumnsOf(atom, atom_vars);
-      // ℓ1 of deg(V|∅) = |Π_V(R)|; reuse the cache with p = 1 position if
-      // present, otherwise compute through the same path with norms[0].
-      const std::vector<double> norms = CachedNorms(atom.relation, {}, v_cols);
-      for (size_t k = 0; k < options_.norms.size(); ++k) {
-        if (options_.norms[k] == 1.0) {
-          ConcreteStatistic s;
-          s.sigma = {0, atom_vars};
-          s.p = 1.0;
-          s.log_b = norms[k];
-          s.guard_atom = a;
-          stats.push_back(s);
-          break;
-        }
-      }
-    }
-
-    // Simple per-variable conditionals.
-    for (int v : VarRange(atom_vars)) {
-      const VarSet u = VarBit(v);
-      const VarSet rest = atom_vars & ~u;
-      if (rest == 0) continue;
-      const std::vector<double> norms = CachedNorms(
-          atom.relation, ColumnsOf(atom, u), ColumnsOf(atom, rest));
-      for (size_t k = 0; k < options_.norms.size(); ++k) {
-        ConcreteStatistic s;
-        s.sigma = {u, rest};
-        s.p = options_.norms[k];
-        s.log_b = norms[k];
-        s.guard_atom = a;
-        stats.push_back(s);
-      }
-    }
+  for (const StatRequest& request : EnumerateStatRequests(query)) {
+    const std::vector<double> norms =
+        CachedNorms(std::get<0>(request.key), std::get<1>(request.key),
+                    std::get<2>(request.key));
+    AppendStats(request, norms, options_.norms, stats);
   }
   return stats;
+}
+
+std::vector<std::vector<ConcreteStatistic>>
+CardinalityAdvisor::AssembleStatisticsBatch(std::span<const Query> queries) {
+  // Enumerate every query's degree-sequence lookups and dedup the keys
+  // across the batch (first-appearance order): under admission batching
+  // the batch mixes a few hot templates, so most requests resolve to a
+  // slot another query already claimed.
+  std::vector<std::vector<StatRequest>> requests(queries.size());
+  std::vector<ShardedNormCache::Key> distinct;
+  std::map<ShardedNormCache::Key, size_t> slot_of;
+  std::vector<std::vector<size_t>> slots(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i] = EnumerateStatRequests(queries[i]);
+    slots[i].reserve(requests[i].size());
+    for (const StatRequest& r : requests[i]) {
+      auto [it, inserted] = slot_of.emplace(r.key, distinct.size());
+      if (inserted) distinct.push_back(r.key);
+      slots[i].push_back(it->second);
+    }
+  }
+
+  // One GetBatch over the distinct keys: each touched store shard's mutex
+  // is taken once for the whole batch (norm_cache.h). Misses are computed
+  // outside any lock — same O(N log N) extraction and the same Log2NormP
+  // sequence as the scalar path — and re-inserted through one PutBatch,
+  // each under the generation its GetBatch observed (a concurrent
+  // Invalidate refuses the stale insert but this batch still serves its
+  // computed values, exactly like the scalar path).
+  std::vector<ShardedNormCache::Lookup> lookups = norms_.GetBatch(distinct);
+  std::vector<ShardedNormCache::PutItem> puts;
+  for (size_t s = 0; s < distinct.size(); ++s) {
+    if (lookups[s].found) continue;
+    const ShardedNormCache::Key& key = distinct[s];
+    const DegreeSequence deg = ComputeDegreeSequence(
+        catalog_.Get(std::get<0>(key)), std::get<1>(key), std::get<2>(key));
+    std::vector<double>& norms = lookups[s].norms;
+    norms.reserve(options_.norms.size());
+    for (double p : options_.norms) norms.push_back(deg.Log2NormP(p));
+    puts.push_back({key, norms, lookups[s].generation});
+  }
+  if (!puts.empty()) norms_.PutBatch(std::move(puts));
+
+  std::vector<std::vector<ConcreteStatistic>> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = 0; j < requests[i].size(); ++j) {
+      AppendStats(requests[i][j], lookups[slots[i][j]].norms, options_.norms,
+                  out[i]);
+    }
+  }
+  return out;
 }
 
 std::shared_ptr<CardinalityAdvisor::CompiledEntry>
@@ -286,6 +364,10 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
     const std::vector<Query>& queries) {
   batch_calls_.fetch_add(1, std::memory_order_relaxed);
   batch_probes_.fetch_add(queries.size(), std::memory_order_relaxed);
+  // Batched front half: all queries' statistics assembled through one
+  // norm-store GetBatch/PutBatch round (keys deduped across the batch).
+  const std::vector<std::vector<ConcreteStatistic>> all_stats =
+      AssembleStatisticsBatch(queries);
   // Group queries by compiled structure (first-appearance order) so every
   // group pays one structure lookup and one per-bound lock, and its value
   // vectors ride the batch path together.
@@ -303,7 +385,7 @@ std::vector<double> CardinalityAdvisor::EstimateLog2Batch(
       estimates_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    const auto stats = AssembleStatistics(queries[i]);
+    const std::vector<ConcreteStatistic>& stats = all_stats[i];
     BoundStructure structure = StructureOf(queries[i].num_vars(), stats);
     std::string key = StructureKey(structure);
     auto [it, inserted] = group_of.emplace(key, groups.size());
@@ -372,6 +454,9 @@ AdvisorMetrics CardinalityAdvisor::metrics() const {
   m.warm_resolves = warm_resolves_.load(std::memory_order_relaxed);
   m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
   m.norm_evictions = norms_.Evictions();
+  m.norm_hits = norms_.Hits();
+  m.norm_misses = norms_.Misses();
+  m.norm_shard_locks = norms_.LockAcquisitions();
   m.lp_pivots = lp_pivots_.load(std::memory_order_relaxed);
   m.lp_refactorizations =
       lp_refactorizations_.load(std::memory_order_relaxed);

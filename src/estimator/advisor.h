@@ -85,6 +85,15 @@ struct AdvisorMetrics {
   uint64_t warm_resolves = 0;    // dual-simplex pivots from the cached basis
   uint64_t cold_solves = 0;      // full LP solve
   uint64_t norm_evictions = 0;   // statistics-store LRU evictions
+  // Statistics-store traffic (estimator/norm_cache.h): lookup hits and
+  // misses (a miss is an O(N log N) degree-sequence recompute) and
+  // data-path shard-mutex acquisitions. Batched assembly keeps the last
+  // near "distinct shards touched per batch" instead of "statistics per
+  // batch"; the bench JSON surfaces all three so cache efficacy is gated,
+  // not guessed.
+  uint64_t norm_hits = 0;
+  uint64_t norm_misses = 0;
+  uint64_t norm_shard_locks = 0;
   // LP solver work behind the estimates, summed from BoundResult::lp_stats
   // (lp/simplex.h): simplex pivots across all phases, basis
   // refactorizations, Forrest–Tomlin vs product-form eta updates taken,
@@ -137,6 +146,19 @@ class CardinalityAdvisor {
   std::vector<double> EstimateLog2Batch(const std::vector<Query>& queries);
   // Linear-space variant of the above (2^log2 per entry, saturating).
   std::vector<double> EstimateBatch(const std::vector<Query>& queries);
+
+  // Batched front half of the estimate path: the statistics of many
+  // queries assembled through ONE norm-store GetBatch over the distinct
+  // (relation, U, V) degree-sequence keys of the whole batch (plus one
+  // PutBatch for whatever had to be computed). Keys repeated across the
+  // batch's queries — the norm under admission batching, where concurrent
+  // requests mix a few hot templates — are resolved once, and each
+  // touched cache shard's mutex is visited once per batch instead of once
+  // per statistic. Per query the returned statistics are bitwise those of
+  // the scalar assembly the Explain path performs (same enumeration
+  // order, same norm computation). A 0-atom query yields an empty vector.
+  std::vector<std::vector<ConcreteStatistic>> AssembleStatisticsBatch(
+      std::span<const Query> queries);
 
   // Full result (certificate weights, optimal polymatroid) plus the
   // statistics it was computed from and a metrics snapshot taken after the

@@ -30,36 +30,49 @@ ShardedNormCache::ShardedNormCache(NormCacheOptions options)
   }
 }
 
+size_t ShardedNormCache::ShardIndexOf(const std::string& relation) const {
+  return std::hash<std::string>{}(relation) % shards_.size();
+}
+
 ShardedNormCache::Shard& ShardedNormCache::ShardOf(
     const std::string& relation) {
-  return *shards_[std::hash<std::string>{}(relation) % shards_.size()];
+  return *shards_[ShardIndexOf(relation)];
 }
 
 const ShardedNormCache::Shard& ShardedNormCache::ShardOf(
     const std::string& relation) const {
-  return *shards_[std::hash<std::string>{}(relation) % shards_.size()];
+  return *shards_[ShardIndexOf(relation)];
 }
 
-ShardedNormCache::Lookup ShardedNormCache::Get(const Key& key) {
-  Shard& shard = ShardOf(std::get<0>(key));
-  std::lock_guard<std::mutex> lock(shard.mu);
+ShardedNormCache::Lookup ShardedNormCache::GetLocked(Shard& shard,
+                                                     const Key& key) {
   Lookup out;
   auto gen_it = shard.relation_generation.find(std::get<0>(key));
   out.generation =
       gen_it == shard.relation_generation.end() ? 0 : gen_it->second;
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) return out;
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return out;
+  }
   // Refresh recency: splice the entry's node to the back of the LRU list.
   shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+  ++shard.hits;
   out.found = true;
   out.norms = it->second.norms;
   return out;
 }
 
-void ShardedNormCache::Put(const Key& key, std::vector<double> norms,
-                           uint64_t generation) {
+ShardedNormCache::Lookup ShardedNormCache::Get(const Key& key) {
   Shard& shard = ShardOf(std::get<0>(key));
   std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lock_acquisitions;
+  return GetLocked(shard, key);
+}
+
+void ShardedNormCache::PutLocked(Shard& shard, const Key& key,
+                                 std::vector<double> norms,
+                                 uint64_t generation) {
   auto gen_it = shard.relation_generation.find(std::get<0>(key));
   const uint64_t current =
       gen_it == shard.relation_generation.end() ? 0 : gen_it->second;
@@ -89,9 +102,56 @@ void ShardedNormCache::Put(const Key& key, std::vector<double> norms,
   }
 }
 
+void ShardedNormCache::Put(const Key& key, std::vector<double> norms,
+                           uint64_t generation) {
+  Shard& shard = ShardOf(std::get<0>(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lock_acquisitions;
+  PutLocked(shard, key, std::move(norms), generation);
+}
+
+std::vector<ShardedNormCache::Lookup> ShardedNormCache::GetBatch(
+    std::span<const Key> keys) {
+  std::vector<Lookup> out(keys.size());
+  // Bucket key indices by shard, then visit each touched shard once. The
+  // shard count is small and fixed, so the bucket vector is cheap; shards
+  // are locked one at a time in index order (never nested), so batches
+  // racing each other or scalar calls cannot deadlock.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[ShardIndexOf(std::get<0>(keys[i]))].push_back(i);
+  }
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.lock_acquisitions;
+    for (size_t i : by_shard[s]) out[i] = GetLocked(shard, keys[i]);
+  }
+  return out;
+}
+
+void ShardedNormCache::PutBatch(std::vector<PutItem> items) {
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    by_shard[ShardIndexOf(std::get<0>(items[i].key))].push_back(i);
+  }
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.lock_acquisitions;
+    for (size_t i : by_shard[s]) {
+      PutLocked(shard, items[i].key, std::move(items[i].norms),
+                items[i].generation);
+    }
+  }
+}
+
 void ShardedNormCache::InvalidateRelation(const std::string& relation) {
   Shard& shard = ShardOf(relation);
   std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.lock_acquisitions;
   // In-flight computations for this relation must not re-insert; other
   // relations in the shard are unaffected.
   ++shard.relation_generation[relation];
@@ -129,6 +189,33 @@ uint64_t ShardedNormCache::Evictions() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->evictions;
+  }
+  return total;
+}
+
+uint64_t ShardedNormCache::Hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t ShardedNormCache::Misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t ShardedNormCache::LockAcquisitions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lock_acquisitions;
   }
   return total;
 }

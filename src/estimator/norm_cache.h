@@ -21,6 +21,14 @@
 // re-insert stale values (the caller still uses the computed norms for
 // its own call) — while invalidating one relation never discards
 // concurrent computations for other relations that share its shard.
+//
+// Batch entry points: GetBatch/PutBatch group their keys by shard and
+// take each touched shard's mutex once for the whole batch, instead of
+// once per key — the lock-traffic contract the advisor's batched
+// statistics assembly (estimator/advisor.h, AssembleStatisticsBatch)
+// relies on. Per key they run the same code as Get/Put (same LRU refresh,
+// same generation refusal), so results are bitwise those of the scalar
+// sequence.
 #ifndef LPB_ESTIMATOR_NORM_CACHE_H_
 #define LPB_ESTIMATOR_NORM_CACHE_H_
 
@@ -29,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -68,6 +77,26 @@ class ShardedNormCache {
   // shard is back under its byte share.
   void Put(const Key& key, std::vector<double> norms, uint64_t generation);
 
+  // Batched lookup: keys are grouped by shard and each touched shard's
+  // mutex is taken exactly once for the whole batch (LockAcquisitions
+  // grows by the number of *distinct* shards, not by keys.size()), so a
+  // multi-query statistics assembly stops paying one lock round-trip per
+  // statistic. Per key the result — found/norms/generation, LRU recency
+  // refresh, hit/miss accounting — is identical to calling Get in
+  // sequence. Returned lookups align with `keys`.
+  std::vector<Lookup> GetBatch(std::span<const Key> keys);
+
+  // Batched insert, the Put counterpart of GetBatch: one mutex visit per
+  // distinct shard, each item subject to the same per-relation generation
+  // refusal as Put (an item whose relation was invalidated since its
+  // GetBatch is dropped; the rest of the batch still lands).
+  struct PutItem {
+    Key key;
+    std::vector<double> norms;
+    uint64_t generation = 0;
+  };
+  void PutBatch(std::vector<PutItem> items);
+
   // Drops every entry of `relation` and bumps its generation so in-flight
   // computations cannot re-insert pre-invalidation values.
   void InvalidateRelation(const std::string& relation);
@@ -75,6 +104,13 @@ class ShardedNormCache {
   size_t Size() const;        // entries across all shards
   size_t Bytes() const;       // charged bytes across all shards
   uint64_t Evictions() const; // cumulative LRU evictions
+  uint64_t Hits() const;      // cumulative Get/GetBatch hits
+  uint64_t Misses() const;    // cumulative Get/GetBatch misses
+  // Data-path shard-mutex acquisitions (Get/Put/GetBatch/PutBatch/
+  // InvalidateRelation). Monitoring reads (Size, Bytes, counters) are not
+  // counted, so tests can assert "one acquisition per distinct shard per
+  // batch" exactly.
+  uint64_t LockAcquisitions() const;
 
  private:
   struct Entry {
@@ -92,8 +128,19 @@ class ShardedNormCache {
     // bounded by the number of relations ever invalidated in this shard.
     std::map<std::string, uint64_t> relation_generation;
     uint64_t evictions = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t lock_acquisitions = 0;
   };
 
+  // Per-key bodies of Get/Put, shared verbatim by the scalar and batch
+  // entry points (the batch results are bitwise those of the scalar
+  // sequence because they run the same code). Caller holds shard.mu.
+  Lookup GetLocked(Shard& shard, const Key& key);
+  void PutLocked(Shard& shard, const Key& key, std::vector<double> norms,
+                 uint64_t generation);
+
+  size_t ShardIndexOf(const std::string& relation) const;
   Shard& ShardOf(const std::string& relation);
   const Shard& ShardOf(const std::string& relation) const;
 

@@ -1,0 +1,225 @@
+#include "serve/advisor_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lpb {
+namespace {
+
+void MaxRelaxed(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// Structural identity for request dedup. The advisor's estimate is a
+// function of the query's atoms (relation names + interned var ids) and
+// its variable count — nothing else — so two queries equal under this
+// predicate are guaranteed the same estimate within one batch. FNV-1a
+// over that structure, no allocation.
+uint64_t HashQueryStructure(const Query& q) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(q.num_vars()));
+  for (const Atom& atom : q.atoms()) {
+    for (const char c : atom.relation) mix(static_cast<unsigned char>(c));
+    mix(0xFF);
+    for (const int v : atom.vars) mix(static_cast<uint64_t>(v) + 1);
+    mix(0xFE);
+  }
+  return h;
+}
+
+bool SameQueryStructure(const Query& a, const Query& b) {
+  if (a.num_vars() != b.num_vars() || a.num_atoms() != b.num_atoms()) {
+    return false;
+  }
+  for (int i = 0; i < a.num_atoms(); ++i) {
+    if (a.atom(i).vars != b.atom(i).vars ||
+        a.atom(i).relation != b.atom(i).relation) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PinToCore(int worker) {
+#if defined(__linux__)
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(worker) % ncpu, &set);
+  // Best effort: containers and cpusets may refuse; serving works
+  // unpinned, just with more migration jitter in the tail.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+#endif
+}
+
+}  // namespace
+
+AdvisorService::AdvisorService(CardinalityAdvisor& advisor,
+                               AdvisorServiceOptions options)
+    : advisor_(advisor), options_(options) {
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  options_.workers = workers;
+  options_.max_batch = std::max(1, options_.max_batch);
+  queues_.reserve(workers);
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    queues_.push_back(
+        std::make_unique<BoundedMpscQueue<Request>>(options_.queue_capacity));
+  }
+  // Queues first, then threads: a worker only touches its own queue slot.
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+AdvisorService::~AdvisorService() { Shutdown(); }
+
+std::future<double> AdvisorService::SubmitLog2(Query query) {
+  return SubmitLog2(std::make_shared<const Query>(std::move(query)));
+}
+
+std::future<double> AdvisorService::SubmitLog2(
+    std::shared_ptr<const Query> query) {
+  std::promise<double> promise;
+  std::future<double> future = promise.get_future();
+  if (stopping_.load(std::memory_order_acquire)) {
+    promise.set_value(std::numeric_limits<double>::quiet_NaN());
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  Request request{std::move(query), std::move(promise),
+                  std::chrono::steady_clock::now()};
+  const size_t w = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                   queues_.size();
+  const size_t depth = queues_[w]->Push(std::move(request));
+  if (depth == 0) {
+    // Shutdown closed the queue after our stopping_ check; the request
+    // was left intact, so complete it as rejected.
+    request.promise.set_value(std::numeric_limits<double>::quiet_NaN());
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  MaxRelaxed(max_queue_depth_, depth);
+  return future;
+}
+
+double AdvisorService::EstimateLog2(const Query& query) {
+  return SubmitLog2(query).get();
+}
+
+void AdvisorService::Invalidate(const std::string& relation) {
+  advisor_.Invalidate(relation);
+}
+
+void AdvisorService::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& queue : queues_) queue->Close();
+  std::lock_guard<std::mutex> lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void AdvisorService::WorkerLoop(int worker) {
+  if (options_.pin_workers) PinToCore(worker);
+  BoundedMpscQueue<Request>& queue = *queues_[worker];
+  const auto window = std::chrono::microseconds(
+      std::max(0, options_.batch_window_us));
+  const size_t max_batch = static_cast<size_t>(options_.max_batch);
+  std::vector<Request> batch;
+  std::vector<Query> queries;
+  std::vector<size_t> slot;  // request index -> distinct-query index
+  std::unordered_map<uint64_t, std::vector<size_t>> distinct;  // hash->idx
+  while (true) {
+    batch.clear();
+    const size_t n = queue.PopBatch(batch, max_batch, window);
+    if (n == 0) break;  // closed and drained
+    // Dedup identical queries within the admission batch: every
+    // evaluation in one EstimateLog2Batch call sees the same statistics
+    // snapshot and compiled basis, so identical queries are guaranteed
+    // identical results — fanning one evaluation out is exact. Keyed by
+    // structural hash with exact structural-equality verification (hash
+    // collisions never merge distinct queries).
+    queries.clear();
+    queries.reserve(n);  // no reallocation: distinct count <= n
+    slot.clear();
+    slot.reserve(n);
+    distinct.clear();
+    for (Request& request : batch) {
+      const uint64_t h = HashQueryStructure(*request.query);
+      std::vector<size_t>& bucket = distinct[h];
+      size_t idx = queries.size();
+      for (const size_t candidate : bucket) {
+        if (SameQueryStructure(queries[candidate], *request.query)) {
+          idx = candidate;
+          break;
+        }
+      }
+      if (idx == queries.size()) {
+        // Materialize the distinct query for the advisor call — the only
+        // deep copy on the serving path, paid per distinct rather than
+        // per request.
+        queries.push_back(*request.query);
+        bucket.push_back(idx);
+      }
+      slot.push_back(idx);
+    }
+    // One advisor call for the distinct queries of the whole admission
+    // batch: queries sharing a statistics structure ride one
+    // compiled-bound lock and one multi-RHS block resolve, and the
+    // batched assembly dedups their norm keys.
+    const std::vector<double> estimates = advisor_.EstimateLog2Batch(queries);
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      latency_.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - batch[i].enqueued)
+              .count()));
+      batch[i].promise.set_value(estimates[slot[i]]);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_.fetch_add(n, std::memory_order_relaxed);
+    evaluated_.fetch_add(queries.size(), std::memory_order_relaxed);
+    completed_.fetch_add(n, std::memory_order_relaxed);
+    MaxRelaxed(max_coalesced_, n);
+  }
+}
+
+AdvisorServiceMetrics AdvisorService::metrics() const {
+  AdvisorServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.batches = batches_.load(std::memory_order_relaxed);
+  m.coalesced = coalesced_.load(std::memory_order_relaxed);
+  m.evaluated = evaluated_.load(std::memory_order_relaxed);
+  m.max_coalesced = max_coalesced_.load(std::memory_order_relaxed);
+  m.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  m.latency = latency_.Summarize();
+  return m;
+}
+
+}  // namespace lpb

@@ -1,0 +1,106 @@
+// Lock-free log-bucketed latency histogram (HdrHistogram-lite).
+//
+// Values (nanoseconds) land in buckets of ~12.5% relative width: 8
+// sub-buckets per power of two, indexed by the top three bits below the
+// leading bit. Record is three relaxed atomic adds plus a CAS max — cheap
+// enough for every request on the serving hot path — and quantiles are
+// read from a snapshot scan, so p50/p99/p999 carry at most one bucket
+// width (~12.5%) of quantization error. Concurrent Record/Summarize is
+// safe; a summary taken during recording is a momentary cut, not an
+// atomic cross-bucket snapshot (fine for monitoring, which is all this
+// is for).
+#ifndef LPB_UTIL_LATENCY_HISTOGRAM_H_
+#define LPB_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace lpb {
+
+class LatencyHistogram {
+ public:
+  struct Summary {
+    uint64_t count = 0;
+    uint64_t max_ns = 0;
+    double mean_ns = 0.0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
+  };
+
+  void Record(uint64_t nanos) {
+    buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (nanos > seen &&
+           !max_.compare_exchange_weak(seen, nanos,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  Summary Summarize() const {
+    uint64_t counts[kBuckets];
+    uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    Summary out;
+    out.count = total;
+    out.max_ns = max_.load(std::memory_order_relaxed);
+    if (total == 0) return out;
+    out.mean_ns = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                  static_cast<double>(total);
+    out.p50_ns = QuantileFrom(counts, total, 0.50);
+    out.p99_ns = QuantileFrom(counts, total, 0.99);
+    out.p999_ns = QuantileFrom(counts, total, 0.999);
+    return out;
+  }
+
+ private:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;  // sub-buckets per octave
+  static constexpr int kBuckets = 64 * kSub;
+
+  static int BucketOf(uint64_t v) {
+    if (v < kSub) return static_cast<int>(v);  // exact small values
+    const int msb = 63 - std::countl_zero(v);
+    const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kSub - 1));
+    return msb * kSub + sub;
+  }
+
+  // Representative value (bucket midpoint) for quantile reads.
+  static double BucketMid(int b) {
+    if (b < kSub) return static_cast<double>(b);
+    const int msb = b / kSub;
+    const int sub = b % kSub;
+    const uint64_t low =
+        (uint64_t{1} << msb) +
+        (static_cast<uint64_t>(sub) << (msb - kSubBits));
+    const uint64_t width = uint64_t{1} << (msb - kSubBits);
+    return static_cast<double>(low) + static_cast<double>(width) / 2.0;
+  }
+
+  static double QuantileFrom(const uint64_t (&counts)[kBuckets],
+                             uint64_t total, double q) {
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+    uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cumulative += counts[b];
+      if (cumulative >= target) return BucketMid(b);
+    }
+    return BucketMid(kBuckets - 1);
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace lpb
+
+#endif  // LPB_UTIL_LATENCY_HISTOGRAM_H_

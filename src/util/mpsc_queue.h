@@ -1,0 +1,116 @@
+// Bounded multi-producer / single-consumer blocking queue.
+//
+// The admission queue of one AdvisorService worker (serve/
+// advisor_service.h): client threads Push single requests, the pinned
+// worker drains them in admission batches via PopBatch. Bounded so a
+// burst backpressures submitters instead of growing the heap; mutex +
+// condvar rather than a lock-free ring because the consumer immediately
+// performs an LP block resolve that dwarfs the lock cost, and because a
+// condvar gives the microbatch window (wait-a-little-for-more) for free.
+#ifndef LPB_UTIL_MPSC_QUEUE_H_
+#define LPB_UTIL_MPSC_QUEUE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lpb {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Blocks while the queue is full. Returns the queue depth right after
+  // the push (always >= 1), measured under the same lock — producers use
+  // it to track high-water depth without a second acquisition. Returns 0
+  // — leaving `item` untouched, so the caller can still complete it —
+  // once Close() ran.
+  size_t Push(T&& item) {
+    size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return 0;
+      items_.push_back(std::move(item));
+      depth = items_.size();
+    }
+    not_empty_.notify_one();
+    return depth;
+  }
+
+  // Pops up to `max` items into `out` (appending). Blocks until at least
+  // one item is available (or the queue is closed); after the first item
+  // keeps gathering — waiting up to `window` past the first pop — until
+  // `max` is reached or the window expires. Returns the number popped;
+  // 0 means closed *and* drained, the consumer's exit signal. With
+  // window == 0 it grabs whatever is queued right now and returns.
+  size_t PopBatch(std::vector<T>& out, size_t max,
+                  std::chrono::microseconds window) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return 0;  // closed and drained
+    size_t popped = 0;
+    auto take = [&] {
+      while (popped < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++popped;
+      }
+    };
+    take();
+    not_full_.notify_all();
+    if (popped >= max || window.count() <= 0) return popped;
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    while (popped < max) {
+      if (!not_empty_.wait_until(lock, deadline,
+                                 [&] { return closed_ || !items_.empty(); })) {
+        break;  // window expired
+      }
+      if (items_.empty()) break;  // closed while waiting
+      take();
+      not_full_.notify_all();
+    }
+    return popped;
+  }
+
+  // Stops accepting new items and wakes every waiter. Items already
+  // queued remain poppable: PopBatch keeps draining them and returns 0
+  // only once the queue is empty, so nothing submitted before Close is
+  // ever dropped.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace lpb
+
+#endif  // LPB_UTIL_MPSC_QUEUE_H_
